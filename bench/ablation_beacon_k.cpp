@@ -1,0 +1,30 @@
+// Ablation: beacon redundancy k. The paper transmits k = 3 beacons per
+// transmit window "for increasing the reliability of beacon delivery".
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace cocoa;
+
+int main() {
+    bench::print_header("Ablation — beacons per window (k)",
+                        "reliability/energy trade-off of beacon redundancy");
+
+    metrics::Table t({"k", "avg err (m)", "windows w/o fix", "beacons rx",
+                      "tx energy (J)", "team energy (kJ)"});
+    for (const int k : {1, 2, 3, 5}) {
+        core::ScenarioConfig c = bench::paper_config();
+        c.beacons_per_window = k;
+        const auto r = core::run_scenario(c);
+        t.add_row({std::to_string(k), metrics::fmt(r.avg_error.stats().mean()),
+                   std::to_string(r.agent_totals.windows_without_fix),
+                   std::to_string(r.agent_totals.beacons_received),
+                   metrics::fmt(r.team_energy.tx_mj / 1e3),
+                   metrics::fmt(r.team_energy.total_mj() / 1e6)});
+    }
+    t.print(std::cout);
+
+    bench::paper_note("k = 3 is the evaluation default (§2.3).");
+    return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation: Bayesian grid resolution. The paper does not state its grid cell
+// size; this sweep shows accuracy and cost across resolutions.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace cocoa;
+
+int main() {
+    bench::print_header("Ablation — Bayesian grid resolution",
+                        "CoCoA accuracy and run time vs grid cell size");
+
+    metrics::Table t({"cell (m)", "cells", "avg err (m)", "steady-state (m)",
+                      "wall time (s)"});
+    for (const double cell : {1.0, 2.0, 4.0, 8.0}) {
+        core::ScenarioConfig c = bench::paper_config();
+        c.cell_m = cell;
+        const auto t0 = std::chrono::steady_clock::now();
+        const auto r = core::run_scenario(c);
+        const auto t1 = std::chrono::steady_clock::now();
+        const auto cells = static_cast<long>(c.area_side_m / cell) *
+                           static_cast<long>(c.area_side_m / cell);
+        t.add_row({metrics::fmt(cell, 1), std::to_string(cells),
+                   metrics::fmt(r.avg_error.stats().mean()),
+                   metrics::fmt(r.avg_error.mean_in(sim::TimePoint::from_seconds(105),
+                                                    sim::TimePoint::from_seconds(1e9))),
+                   metrics::fmt(std::chrono::duration<double>(t1 - t0).count())});
+    }
+    t.print(std::cout);
+
+    std::cout << "\nnote: accuracy saturates once cells are smaller than the "
+                 "distance-PDF sigmas; the default (2 m) balances cost and "
+                 "fidelity.\n";
+    return 0;
+}

@@ -1,0 +1,115 @@
+#pragma once
+
+// Shared helpers for the figure-reproduction benches. Each bench binary runs
+// one of the paper's experiments end-to-end and prints the series/rows the
+// corresponding figure reports, alongside the paper's claimed values where
+// the text states them.
+
+#include <iostream>
+#include <string>
+
+#include "core/scenario.hpp"
+#include "metrics/table.hpp"
+
+namespace cocoa::bench {
+
+inline void print_header(const std::string& figure, const std::string& what) {
+    std::cout << "==================================================================\n"
+              << figure << "\n" << what << "\n"
+              << "==================================================================\n";
+}
+
+inline void print_config(const core::ScenarioConfig& c) {
+    std::cout << "setup: " << c.num_robots << " robots, " << c.num_anchors
+              << " anchors, area " << c.area_side_m << "m x " << c.area_side_m
+              << "m, v in [" << c.min_speed << ", " << c.max_speed << "] m/s, "
+              << c.duration.to_seconds() << " s simulated, T = "
+              << c.period.to_seconds() << " s, t = " << c.window.to_seconds()
+              << " s, k = " << c.beacons_per_window << ", seed = " << c.seed << "\n\n";
+}
+
+/// The paper's common configuration (§4): 50 robots in 40 000 m^2, half of
+/// them anchors, 30 simulated minutes, T = 100 s, t = 3 s, k = 3.
+inline core::ScenarioConfig paper_config() {
+    core::ScenarioConfig c;
+    c.seed = 7;
+    c.num_robots = 50;
+    c.num_anchors = 25;
+    c.area_side_m = 200.0;
+    c.max_speed = 2.0;
+    c.duration = sim::Duration::minutes(30);
+    c.period = sim::Duration::seconds(100.0);
+    c.window = sim::Duration::seconds(3.0);
+    c.beacons_per_window = 3;
+    return c;
+}
+
+/// Prints a time series as a table, one row per `bucket` of time.
+inline void print_series(const metrics::TimeSeries& series, sim::Duration bucket,
+                         const std::string& value_name) {
+    metrics::Table t({"t (s)", value_name});
+    const metrics::TimeSeries coarse = series.downsample(bucket);
+    for (const auto& s : coarse.samples()) {
+        t.add_row({metrics::fmt(s.time.to_seconds(), 0), metrics::fmt(s.value)});
+    }
+    t.print(std::cout);
+}
+
+/// Prints several aligned time series (same sampling) side by side.
+inline void print_series_multi(const std::vector<std::string>& names,
+                               const std::vector<metrics::TimeSeries>& series,
+                               sim::Duration bucket) {
+    std::vector<std::string> headers = {"t (s)"};
+    headers.insert(headers.end(), names.begin(), names.end());
+    metrics::Table t(headers);
+    std::vector<metrics::TimeSeries> coarse;
+    coarse.reserve(series.size());
+    for (const auto& s : series) coarse.push_back(s.downsample(bucket));
+    for (std::size_t i = 0; i < coarse.front().size(); ++i) {
+        std::vector<std::string> row = {
+            metrics::fmt(coarse.front().samples()[i].time.to_seconds(), 0)};
+        for (const auto& s : coarse) {
+            row.push_back(i < s.size() ? metrics::fmt(s.samples()[i].value) : "-");
+        }
+        t.add_row(row);
+    }
+    t.print(std::cout);
+}
+
+inline void paper_note(const std::string& note) {
+    std::cout << "\npaper reports: " << note << "\n";
+}
+
+/// Aggregates a scenario metric across several independent seeds.
+struct SeedAggregate {
+    metrics::RunningStat avg_error;         ///< whole-run average error per seed
+    metrics::RunningStat steady_error;      ///< post-first-period average per seed
+    metrics::RunningStat total_energy_kj;   ///< team energy per seed
+    core::ScenarioResult last;              ///< result of the final seed (for series)
+
+    std::string avg_pm() const {
+        return metrics::fmt(avg_error.mean()) + " ± " + metrics::fmt(avg_error.stddev());
+    }
+    std::string steady_pm() const {
+        return metrics::fmt(steady_error.mean()) + " ± " +
+               metrics::fmt(steady_error.stddev());
+    }
+};
+
+/// Runs `config` under `seeds` distinct master seeds (config.seed, +1, ...).
+inline SeedAggregate run_seeds(core::ScenarioConfig config, int seeds) {
+    SeedAggregate agg;
+    const std::uint64_t base = config.seed;
+    for (int i = 0; i < seeds; ++i) {
+        config.seed = base + static_cast<std::uint64_t>(i);
+        agg.last = core::run_scenario(config);
+        agg.avg_error.add(agg.last.avg_error.stats().mean());
+        agg.steady_error.add(agg.last.avg_error.mean_in(
+            sim::TimePoint::origin() + config.period + sim::Duration::seconds(5.0),
+            sim::TimePoint::max()));
+        agg.total_energy_kj.add(agg.last.team_energy.total_mj() / 1e6);
+    }
+    return agg;
+}
+
+}  // namespace cocoa::bench

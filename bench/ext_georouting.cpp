@@ -1,0 +1,136 @@
+// Extension (paper §6): "CoCoA coordinates are good enough to enable
+// scalable geographic routing [Bose et al.] of messages and data among the
+// robots or to a controller."
+//
+// This bench runs greedy+face geographic routing over the mobile team three
+// ways: with ground-truth positions (upper bound), with live CoCoA position
+// estimates, and with raw odometry estimates (drifting). It also shows what
+// happens if routing traffic ignores the sleep schedule.
+
+#include <iostream>
+#include <map>
+
+#include "bench/common.hpp"
+#include "georouting/geo_router.hpp"
+
+using namespace cocoa;
+
+namespace {
+
+struct RunResult {
+    double delivery_ratio = 0.0;
+    double avg_loc_error = 0.0;
+    std::uint64_t face_hops = 0;
+    std::uint64_t greedy_hops = 0;
+    std::uint64_t retransmits = 0;
+    std::uint64_t reroutes = 0;
+    std::uint64_t dropped_asleep = 0;
+};
+
+enum class PositionSource { Truth, Cocoa, Odometry };
+
+RunResult run(PositionSource source, bool sleep_coordination) {
+    core::ScenarioConfig c = bench::paper_config();
+    c.duration = sim::Duration::minutes(30);
+    c.sleep_coordination = sleep_coordination;
+    if (source == PositionSource::Odometry) {
+        c.mode = core::LocalizationMode::OdometryOnly;
+    }
+    core::Scenario scenario(c);
+
+    georouting::GeoRouterConfig gc;
+    georouting::GeoRoutingFleet fleet(
+        scenario.world(), gc, [&](net::NodeId id) -> georouting::GeoRouter::PositionFn {
+            if (source == PositionSource::Truth) {
+                auto& node = scenario.world().node(id);
+                return [&node] { return node.mobility().position(); };
+            }
+            auto& agent = scenario.agent(id);
+            return [&agent] { return agent.estimate(); };
+        });
+    fleet.start_all();
+
+    // Traffic: every 5 s one random robot sends to another, addressed at the
+    // position the destination itself would register (its own estimate).
+    auto traffic_rng = scenario.simulator().rng().stream("traffic");
+    std::uint64_t sent = 0;
+    std::uint64_t received = 0;
+    std::map<std::uint64_t, bool> outstanding;
+    for (std::size_t i = 0; i < scenario.agent_count(); ++i) {
+        fleet.at(static_cast<net::NodeId>(i))
+            .set_deliver_handler([&](const net::GeoDataPayload& d) {
+                if (outstanding.erase(d.app_tag) > 0) ++received;
+            });
+    }
+
+    // Traffic flows in the second half of the mission, when odometry-only
+    // position estimates have drifted far (Fig. 4) while CoCoA's have not.
+    const double total_s = c.duration.to_seconds();
+    for (double t = 900.0; t < total_s; t += 5.0) {
+        scenario.run_until(sim::TimePoint::from_seconds(t));
+        const auto src = static_cast<net::NodeId>(
+            traffic_rng.uniform_int(0, scenario.agent_count() - 1));
+        auto dst = static_cast<net::NodeId>(
+            traffic_rng.uniform_int(0, scenario.agent_count() - 1));
+        if (dst == src) dst = (dst + 1) % static_cast<net::NodeId>(scenario.agent_count());
+        const geom::Vec2 dst_pos = source == PositionSource::Truth
+                                       ? scenario.agent(dst).true_position()
+                                       : scenario.agent(dst).estimate();
+        const std::uint64_t tag = sent + 1;
+        outstanding[tag] = true;
+        fleet.at(src).send(dst, dst_pos, 128, tag);
+        ++sent;
+    }
+    scenario.run();
+
+    RunResult r;
+    r.delivery_ratio = sent ? static_cast<double>(received) / static_cast<double>(sent)
+                            : 0.0;
+    const auto res = scenario.result();
+    r.avg_loc_error = res.avg_error.stats().mean();
+    const auto total = fleet.total_stats();
+    r.face_hops = total.forwarded_face;
+    r.greedy_hops = total.forwarded_greedy;
+    r.retransmits = total.retransmits;
+    r.reroutes = total.reroutes;
+    r.dropped_asleep = total.dropped_asleep;
+    return r;
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Extension — geographic routing over CoCoA coordinates",
+                        "greedy + face routing; positions from truth / CoCoA / odometry");
+
+    metrics::Table t({"positions", "sleep coord", "delivery ratio", "loc err (m)",
+                      "greedy hops", "face hops", "retx", "reroutes",
+                      "dropped asleep"});
+    struct Case {
+        const char* name;
+        PositionSource src;
+        bool sleep;
+    };
+    const Case cases[] = {
+        {"ground truth", PositionSource::Truth, false},
+        {"CoCoA estimate", PositionSource::Cocoa, false},
+        {"odometry estimate", PositionSource::Odometry, false},
+        {"CoCoA + sleeping radios", PositionSource::Cocoa, true},
+    };
+    for (const Case& cs : cases) {
+        const RunResult r = run(cs.src, cs.sleep);
+        t.add_row({cs.name, cs.sleep ? "on" : "off", metrics::fmt(r.delivery_ratio),
+                   metrics::fmt(r.avg_loc_error), std::to_string(r.greedy_hops),
+                   std::to_string(r.face_hops), std::to_string(r.retransmits),
+                   std::to_string(r.reroutes), std::to_string(r.dropped_asleep)});
+    }
+    t.print(std::cout);
+
+    bench::paper_note(
+        "§6: CoCoA coordinates (avg error well under the ~100 m radio range) "
+        "should support geographic routing almost as well as ground truth, while "
+        "drifting odometry coordinates break it. Routing data through sleeping "
+        "radios needs the §2.3 footnote's accommodation (radios kept awake for "
+        "application traffic).");
+    return 0;
+}

@@ -1,0 +1,56 @@
+// Extension (paper §6): "how transmission power control can be used to
+// increase the distance that nodes in the CoCoA architecture can cooperate.
+// It is interesting to investigate the noise distributions of RF beacons
+// when operating over special hardware that supports power control."
+//
+// Uniform power control: the whole team transmits at a given power and the
+// offline calibration is redone at that power (as a real deployment would).
+// Higher power extends the decode range — more far beacons and a better
+// mesh — but the Gaussian-regime boundary is set by the channel's multipath
+// breakpoint (~40 m), not by power, so near-field accuracy gains saturate.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "phy/channel.hpp"
+
+using namespace cocoa;
+
+int main() {
+    bench::print_header("Extension — transmission power control",
+                        "team-wide TX power sweep, calibration redone per power");
+
+    metrics::Table t({"tx power (dBm)", "range (m)", "gauss regime (dBm)",
+                      "avg err (m)", "windows w/o fix", "beacons rx",
+                      "team energy (kJ)"});
+    for (const double power_dbm : {9.0, 12.0, 15.0, 18.0, 21.0}) {
+        core::ScenarioConfig c = bench::paper_config();
+        c.num_anchors = 10;  // sparse anchors: cooperation distance matters
+        c.channel.tx_power_dbm = power_dbm;
+        // The PA draws more at higher RF power (simple affine-in-mW model
+        // anchored at the WaveLAN 1400 mW @ 15 dBm / 32 mW RF).
+        c.power.tx_mw = 1100.0 + 300.0 * std::pow(10.0, (power_dbm - 15.0) / 10.0);
+
+        const phy::Channel channel(c.channel);
+        const auto table = phy::PdfTable::calibrate(
+            channel, c.calibration, sim::RngManager(c.seed).stream("calibration"));
+
+        const auto r = core::run_scenario(c);
+        t.add_row({metrics::fmt(power_dbm, 0), metrics::fmt(channel.max_range_m(), 0),
+                   std::to_string(table.weakest_gaussian_rssi().value_or(0)),
+                   metrics::fmt(r.avg_error.stats().mean()),
+                   std::to_string(r.agent_totals.windows_without_fix),
+                   std::to_string(r.agent_totals.beacons_received),
+                   metrics::fmt(r.team_energy.total_mj() / 1e6)});
+    }
+    t.print(std::cout);
+
+    bench::paper_note(
+        "a §6 avenue for further investigation. More power = longer decode "
+        "range = more (far) beacons and fewer fix gaps with sparse anchors; "
+        "the Gaussian boundary shifts in dBm but stays pinned near the 40 m "
+        "multipath breakpoint, so the benefit comes from coverage, not from "
+        "sharper ranging.");
+    return 0;
+}

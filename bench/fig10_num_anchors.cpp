@@ -1,0 +1,48 @@
+// Figure 10: impact of the number of robots equipped with localization
+// devices (anchors) on CoCoA's localization error: 5, 15, 25, 35 anchors of
+// 50 robots.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace cocoa;
+
+int main() {
+    bench::print_header("Figure 10 — impact of number of localization devices",
+                        "CoCoA, T = 100 s; anchors in {5, 15, 25, 35} of 50 robots");
+
+    std::vector<std::string> names;
+    std::vector<metrics::TimeSeries> series;
+    metrics::Table table({"anchors", "steady err (m, 3 seeds)", "max avg err (m)",
+                          "fixes", "windows w/o fix"});
+    for (const int anchors : {5, 15, 25, 35}) {
+        core::ScenarioConfig c = bench::paper_config();
+        c.num_anchors = anchors;
+        if (anchors == 5) bench::print_config(c);
+        const auto agg = bench::run_seeds(c, 3);
+        const auto& r = agg.last;
+        names.push_back(std::to_string(anchors) + " anchors (m)");
+        series.push_back(r.avg_error);
+        // Skip the initial convergence transient when reporting the maximum,
+        // as the paper's plots do.
+        double max_after = 0.0;
+        for (const auto& s : r.avg_error.samples()) {
+            if (s.time >= sim::TimePoint::from_seconds(105)) {
+                max_after = std::max(max_after, s.value);
+            }
+        }
+        table.add_row({std::to_string(anchors), agg.steady_pm(),
+                       metrics::fmt(max_after), std::to_string(r.agent_totals.fixes),
+                       std::to_string(r.agent_totals.windows_without_fix)});
+    }
+    table.print(std::cout);
+    std::cout << "\n";
+    bench::print_series_multi(names, series, sim::Duration::seconds(90.0));
+
+    bench::paper_note(
+        "error rises only mildly from 35 anchors (5.2 m) to 25 (5.9 m); with 15 "
+        "anchors it is ~8 m average / <12 m max — so half (or fewer) of the "
+        "robots need localization devices.");
+    return 0;
+}

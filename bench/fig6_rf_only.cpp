@@ -1,0 +1,41 @@
+// Figure 6: localization error over time using only RF localization (fixes
+// held constant between transmit windows), for several beacon periods T.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace cocoa;
+
+int main() {
+    bench::print_header("Figure 6 — localization error, RF localization only",
+                        "blind robots hold each fix until the next window; T sweep");
+
+    std::vector<std::string> names;
+    std::vector<metrics::TimeSeries> series;
+    metrics::Table summary({"T (s)", "avg err (m)", "steady-state avg (m)",
+                            "fixes", "windows w/o fix"});
+    for (const double T : {10.0, 50.0, 100.0, 300.0}) {
+        core::ScenarioConfig c = bench::paper_config();
+        c.mode = core::LocalizationMode::RfOnly;
+        c.period = sim::Duration::seconds(T);
+        if (T == 10.0) bench::print_config(c);
+        const auto r = core::run_scenario(c);
+        names.push_back("T=" + metrics::fmt(T, 0) + "s (m)");
+        series.push_back(r.avg_error);
+        summary.add_row(
+            {metrics::fmt(T, 0), metrics::fmt(r.avg_error.stats().mean()),
+             metrics::fmt(r.avg_error.mean_in(sim::TimePoint::from_seconds(T + 5),
+                                              sim::TimePoint::from_seconds(1e9))),
+             std::to_string(r.agent_totals.fixes),
+             std::to_string(r.agent_totals.windows_without_fix)});
+    }
+    summary.print(std::cout);
+    std::cout << "\n";
+    bench::print_series_multi(names, series, sim::Duration::seconds(60.0));
+    bench::paper_note(
+        "RF localization improves markedly on odometry; error is minimal right "
+        "after each transmit window and grows as the fix goes stale, so larger T "
+        "reduces accuracy over time.");
+    return 0;
+}

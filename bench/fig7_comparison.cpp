@@ -1,0 +1,45 @@
+// Figure 7: localization error over time for T = 100 s under (i) odometry
+// only, (ii) RF localization only, and (iii) CoCoA (RF + odometry), at both
+// maximum speeds (0.5 and 2.0 m/s).
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace cocoa;
+
+int main() {
+    bench::print_header("Figure 7 — odometry vs RF-only vs CoCoA, T = 100 s",
+                        "the paper's headline comparison (§4.3)");
+
+    for (const double vmax : {0.5, 2.0}) {
+        std::cout << "---- vmax = " << vmax << " m/s ----\n";
+        std::vector<std::string> names;
+        std::vector<metrics::TimeSeries> series;
+        metrics::Table summary(
+            {"mode", "avg err (m, 3 seeds)", "steady-state avg (m, 3 seeds)"});
+        const std::pair<core::LocalizationMode, const char*> modes[] = {
+            {core::LocalizationMode::OdometryOnly, "odometry"},
+            {core::LocalizationMode::RfOnly, "RF only"},
+            {core::LocalizationMode::Combined, "CoCoA"},
+        };
+        for (const auto& [mode, name] : modes) {
+            core::ScenarioConfig c = bench::paper_config();
+            c.mode = mode;
+            c.max_speed = vmax;
+            const auto agg = bench::run_seeds(c, 3);
+            names.push_back(std::string(name) + " (m)");
+            series.push_back(agg.last.avg_error);
+            summary.add_row({name, agg.avg_pm(), agg.steady_pm()});
+        }
+        summary.print(std::cout);
+        std::cout << "\n";
+        bench::print_series_multi(names, series, sim::Duration::seconds(90.0));
+        std::cout << "\n";
+    }
+    bench::paper_note(
+        "CoCoA combines the advantages of both: at vmax = 2 m/s its average error "
+        "over time is ~6.5 m versus ~33 m for the RF-only algorithm, while "
+        "odometry alone exceeds 100 m by the end.");
+    return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 9: impact of the beacon period T on CoCoA.
+//  (a) localization error over time for T in {10, 50, 100, 300} s;
+//  (b) team energy consumption, with and without sleep coordination.
+
+#include <iostream>
+
+#include "bench/common.hpp"
+
+using namespace cocoa;
+
+int main() {
+    bench::print_header("Figure 9 — impact of beacon period T",
+                        "(a) CoCoA error vs T; (b) team energy, coordination on/off");
+
+    std::vector<std::string> names;
+    std::vector<metrics::TimeSeries> series;
+    metrics::Table table({"T (s)", "avg err (m, 3 seeds)", "energy coord (kJ)",
+                          "energy no-coord (kJ)", "no-coord / coord"});
+    for (const double T : {10.0, 50.0, 100.0, 300.0}) {
+        core::ScenarioConfig c = bench::paper_config();
+        c.period = sim::Duration::seconds(T);
+        if (T == 10.0) bench::print_config(c);
+
+        const auto coord = bench::run_seeds(c, 3);
+        c.sleep_coordination = false;
+        const auto nocoord = bench::run_seeds(c, 3);
+
+        names.push_back("T=" + metrics::fmt(T, 0) + "s (m)");
+        series.push_back(coord.last.avg_error);
+        const double e_coord = coord.total_energy_kj.mean();
+        const double e_nocoord = nocoord.total_energy_kj.mean();
+        table.add_row({metrics::fmt(T, 0), coord.avg_pm(), metrics::fmt(e_coord),
+                       metrics::fmt(e_nocoord), metrics::fmt(e_nocoord / e_coord, 1)});
+    }
+    table.print(std::cout);
+    std::cout << "\n(a) error over time:\n";
+    bench::print_series_multi(names, series, sim::Duration::seconds(90.0));
+
+    bench::paper_note(
+        "(a) small T updates positions often, but very small T (10 s) is *worse* "
+        "than T = 50 s because bad long-distance beacons are folded in too "
+        "eagerly (paper: ~7 m at T=10, ~5 m at T=50, ~6.6 m at T=100); values "
+        "between 50 and 100 s are the sweet spot. (b) without coordination the "
+        "team consumes 2.6x-8x more energy, the gap growing with T.");
+    return 0;
+}

@@ -1,0 +1,150 @@
+// Micro-benchmarks (google-benchmark) for the hot paths of the simulator and
+// the localization core.
+
+#include <benchmark/benchmark.h>
+
+#include "core/bayes_grid.hpp"
+#include "core/rf_localizer.hpp"
+#include "geom/motion.hpp"
+#include "mobility/odometry.hpp"
+#include "mobility/waypoint.hpp"
+#include "phy/channel.hpp"
+#include "phy/pdf_table.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+
+using namespace cocoa;
+
+namespace {
+
+const phy::PdfTable& shared_table() {
+    static const phy::PdfTable table = phy::PdfTable::calibrate(
+        phy::Channel{}, {}, sim::RngManager(7).stream("calibration"));
+    return table;
+}
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+    sim::EventQueue q;
+    sim::RandomStream rng(1);
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            q.schedule(sim::TimePoint::from_nanos(t + rng.uniform_int(0, 1'000'000)),
+                       [] {});
+            t += 100;
+        }
+        while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_GridApplyConstraint(benchmark::State& state) {
+    core::GridConfig cfg;
+    cfg.area = geom::Rect::square(200.0);
+    cfg.cell_m = static_cast<double>(state.range(0));
+    core::BayesGrid grid(cfg);
+    const phy::DistancePdf* pdf = shared_table().lookup(-65.0);
+    for (auto _ : state) {
+        grid.apply_constraint({100.0, 100.0}, *pdf);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(grid.cell_count()));
+}
+BENCHMARK(BM_GridApplyConstraint)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GridMean(benchmark::State& state) {
+    core::GridConfig cfg;
+    cfg.area = geom::Rect::square(200.0);
+    cfg.cell_m = 2.0;
+    core::BayesGrid grid(cfg);
+    grid.apply_constraint({100.0, 100.0}, *shared_table().lookup(-65.0));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(grid.mean());
+    }
+}
+BENCHMARK(BM_GridMean);
+
+void BM_PdfTableLookup(benchmark::State& state) {
+    const phy::PdfTable& table = shared_table();
+    sim::RandomStream rng(2);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(table.lookup(rng.uniform(-95.0, -40.0)));
+    }
+}
+BENCHMARK(BM_PdfTableLookup);
+
+void BM_ChannelSample(benchmark::State& state) {
+    const phy::Channel ch;
+    sim::RandomStream rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(ch.sample_rssi_dbm(rng.uniform(1.0, 160.0), rng));
+    }
+}
+BENCHMARK(BM_ChannelSample);
+
+void BM_LinkLifetime(benchmark::State& state) {
+    sim::RandomStream rng(4);
+    for (auto _ : state) {
+        const geom::MotionState a{{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)},
+                                  {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)},
+                                  rng.uniform(1.0, 100.0)};
+        const geom::MotionState b{{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)},
+                                  {rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0)},
+                                  rng.uniform(1.0, 100.0)};
+        benchmark::DoNotOptimize(geom::link_lifetime(a, b, 160.0));
+    }
+}
+BENCHMARK(BM_LinkLifetime);
+
+void BM_WaypointAdvance(benchmark::State& state) {
+    mobility::WaypointConfig cfg;
+    cfg.area = geom::Rect::square(200.0);
+    cfg.max_speed = 2.0;
+    mobility::WaypointMobility m(cfg, sim::RandomStream(5));
+    std::int64_t t_ns = 0;
+    for (auto _ : state) {
+        t_ns += 500'000'000;  // 0.5 s tick
+        benchmark::DoNotOptimize(m.advance_to(sim::TimePoint::from_nanos(t_ns)));
+    }
+}
+BENCHMARK(BM_WaypointAdvance);
+
+void BM_OdometryObserve(benchmark::State& state) {
+    mobility::OdometryEstimator odo({}, sim::RandomStream(6));
+    odo.reset({100.0, 100.0}, 0.0);
+    const mobility::MotionIncrement inc{1.0, 0.01, sim::Duration::seconds(0.5)};
+    for (auto _ : state) {
+        odo.observe(inc);
+    }
+    benchmark::DoNotOptimize(odo.position());
+}
+BENCHMARK(BM_OdometryObserve);
+
+void BM_FullFix25Anchors(benchmark::State& state) {
+    core::GridConfig cfg;
+    cfg.area = geom::Rect::square(200.0);
+    cfg.cell_m = 2.0;
+    auto table = std::make_shared<const phy::PdfTable>(shared_table());
+    core::RfLocalizer loc(cfg, table);
+    const phy::Channel ch;
+    sim::RandomStream rng(8);
+    std::vector<core::BeaconObservation> obs;
+    const geom::Vec2 truth{100.0, 100.0};
+    for (int a = 0; a < 25; ++a) {
+        const geom::Vec2 anchor{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+        for (int k = 0; k < 3; ++k) {
+            const double rssi = ch.sample_rssi_dbm(geom::distance(anchor, truth), rng);
+            if (rssi >= ch.config().rx_sensitivity_dbm) obs.push_back({anchor, rssi});
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(loc.compute_fix(obs));
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(obs.size()));
+}
+BENCHMARK(BM_FullFix25Anchors);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Mission energy planning: pick the beacon period T for a deployment.
+//
+// §4.3.1 shows T trades localization accuracy against team energy. This
+// example sweeps T, reports the trade-off curve, and recommends the largest
+// T (lowest energy) that still meets an application accuracy target — the
+// decision a mission operator makes before deployment, and can revise at
+// runtime through the Sync robot (see the dynamic_retuning example).
+
+#include <iostream>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "metrics/table.hpp"
+
+using namespace cocoa;
+
+int main() {
+    constexpr double kAccuracyTargetM = 8.0;  // e.g. search & rescue (§6)
+    const std::vector<double> periods = {10.0, 25.0, 50.0, 100.0, 200.0, 300.0};
+
+    std::cout << "Energy planner: choosing T for a 30-minute mission, accuracy "
+                 "target "
+              << kAccuracyTargetM << " m\n\n";
+
+    struct Row {
+        double T;
+        double err;
+        double energy_kj;
+        double battery_fraction;
+    };
+    std::vector<Row> rows;
+    for (const double T : periods) {
+        core::ScenarioConfig c;
+        c.seed = 99;
+        c.duration = sim::Duration::minutes(30);
+        c.period = sim::Duration::seconds(T);
+        const auto r = core::run_scenario(c);
+        // Steady-state accuracy (skip the first period's cold start).
+        const double err = r.avg_error.mean_in(sim::TimePoint::from_seconds(T + 5.0),
+                                               sim::TimePoint::from_seconds(1e9));
+        const double energy_kj = r.team_energy.total_mj() / 1e6;
+        // A WaveLAN-era laptop battery holds ~50 Wh = 180 kJ; the team has 50.
+        const double budget_kj = 50.0 * 180.0;
+        rows.push_back({T, err, energy_kj, energy_kj / budget_kj});
+    }
+
+    metrics::Table table({"T (s)", "steady err (m)", "team energy (kJ)",
+                          "battery used (%)", "meets target"});
+    double best_t = -1.0;
+    for (const Row& row : rows) {
+        const bool ok = row.err <= kAccuracyTargetM;
+        if (ok) best_t = row.T;  // periods are sorted ascending: keep largest
+        table.add_row({metrics::fmt(row.T, 0), metrics::fmt(row.err),
+                       metrics::fmt(row.energy_kj), metrics::fmt(100.0 * row.battery_fraction, 2),
+                       ok ? "yes" : "no"});
+    }
+    table.print(std::cout);
+
+    if (best_t > 0) {
+        std::cout << "\nrecommendation: T = " << best_t
+                  << " s — the most energy-frugal period meeting the target.\n";
+    } else {
+        std::cout << "\nno period meets the target; add anchors or shrink T "
+                     "below the sweep.\n";
+    }
+    std::cout << "paper: values between 50 and 100 s offer both high accuracy "
+                 "and low energy consumption (§4.3.1).\n";
+    return 0;
+}

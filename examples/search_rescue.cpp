@@ -1,0 +1,105 @@
+// Search-and-rescue: the paper's motivating scenario (§1, §6).
+//
+// A team of 50 robots sweeps a disaster area; only a third carry localization
+// devices (the paper's low-cost configuration). Survivors are scattered at
+// unknown positions. When any robot passes within sensing range of a
+// survivor, it reports the survivor at *its own estimated position* — so the
+// quality of the report is exactly CoCoA's localization error. The paper
+// argues ~8 m accuracy suffices: "survivors can be located within 8m.
+// Pinpointing the exact location of the survivor is then trivial once more
+// resources are deployed to the area."
+
+#include <iostream>
+#include <optional>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "metrics/running_stat.hpp"
+#include "metrics/table.hpp"
+
+using namespace cocoa;
+
+namespace {
+
+struct Survivor {
+    geom::Vec2 position;
+    std::optional<geom::Vec2> reported;   // first report (robot's estimate)
+    double report_time_s = 0.0;
+    net::NodeId reporter = net::kInvalidId;
+};
+
+}  // namespace
+
+int main() {
+    constexpr double kSensingRange = 5.0;  // on-board survivor sensor (m)
+
+    core::ScenarioConfig config;
+    config.seed = 2026;
+    config.num_robots = 50;
+    config.num_anchors = 17;  // about one third, per the paper's conclusion
+    config.duration = sim::Duration::minutes(30);
+    config.period = sim::Duration::seconds(100.0);
+
+    core::Scenario scenario(config);
+
+    // Scatter survivors (unknown to the robots).
+    sim::RandomStream survivor_rng = scenario.simulator().rng().stream("survivors");
+    std::vector<Survivor> survivors;
+    for (int i = 0; i < 12; ++i) {
+        survivors.push_back(
+            {{survivor_rng.uniform(10.0, 190.0), survivor_rng.uniform(10.0, 190.0)},
+             std::nullopt});
+    }
+
+    std::cout << "Search & rescue: " << config.num_robots << " robots ("
+              << config.num_anchors << " with localization devices), "
+              << survivors.size() << " survivors hidden in "
+              << config.area_side_m << "m x " << config.area_side_m << "m\n\n";
+
+    // Step the simulation second by second; any robot within sensing range of
+    // an unreported survivor reports it at the robot's estimated position.
+    const double total_s = config.duration.to_seconds();
+    for (double t = 1.0; t <= total_s; t += 1.0) {
+        scenario.run_until(sim::TimePoint::from_seconds(t));
+        for (Survivor& s : survivors) {
+            if (s.reported.has_value()) continue;
+            for (std::size_t i = 0; i < scenario.agent_count(); ++i) {
+                auto& agent = scenario.agent(static_cast<net::NodeId>(i));
+                agent.tick();
+                // A robot only files a report once it has a position fix of
+                // its own (anchors always do).
+                if (agent.role() == core::Role::Blind && !agent.ever_fixed()) continue;
+                if (geom::distance(agent.true_position(), s.position) <= kSensingRange) {
+                    s.reported = agent.estimate();
+                    s.report_time_s = t;
+                    s.reporter = agent.id();
+                    break;
+                }
+            }
+        }
+    }
+
+    metrics::Table table({"survivor", "found at (s)", "reporter", "report error (m)"});
+    metrics::RunningStat errors;
+    int found = 0;
+    for (std::size_t i = 0; i < survivors.size(); ++i) {
+        const Survivor& s = survivors[i];
+        if (!s.reported.has_value()) {
+            table.add_row({std::to_string(i), "not found", "-", "-"});
+            continue;
+        }
+        ++found;
+        const double err = geom::distance(*s.reported, s.position);
+        errors.add(err);
+        table.add_row({std::to_string(i), metrics::fmt(s.report_time_s, 0),
+                       std::to_string(s.reporter), metrics::fmt(err)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nfound " << found << "/" << survivors.size()
+              << " survivors; mean report error " << metrics::fmt(errors.mean())
+              << " m (max " << metrics::fmt(errors.max()) << " m)\n"
+              << "paper: with one third of the robots equipped, average error is "
+                 "~8 m — good enough to dispatch rescuers to the right spot.\n";
+    return 0;
+}

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace cocoa::cli {
+
+/// A small declarative command-line parser for the tools in tools/.
+///
+/// Supports `--name value` options bound to numeric/string targets and
+/// boolean `--name` flags. `--help` prints the generated usage text and
+/// makes parse() return false without an error.
+class ArgParser {
+  public:
+    explicit ArgParser(std::string program, std::string description);
+
+    ArgParser& add_flag(const std::string& name, const std::string& description,
+                        bool* target);
+    ArgParser& add_option(const std::string& name, const std::string& description,
+                          double* target);
+    ArgParser& add_option(const std::string& name, const std::string& description,
+                          int* target);
+    ArgParser& add_option(const std::string& name, const std::string& description,
+                          std::uint64_t* target);
+    ArgParser& add_option(const std::string& name, const std::string& description,
+                          std::string* target);
+
+    /// Parses argv. Returns true when the program should proceed; false on
+    /// `--help` (help printed to `out`) or on error (message to `err`).
+    bool parse(int argc, const char* const* argv, std::ostream& out,
+               std::ostream& err);
+
+    /// True if parse() failed with an error (as opposed to --help).
+    bool failed() const { return failed_; }
+
+    std::string help() const;
+
+  private:
+    using Target = std::variant<bool*, double*, int*, std::uint64_t*, std::string*>;
+    struct Spec {
+        std::string description;
+        Target target;
+    };
+
+    ArgParser& add(const std::string& name, const std::string& description,
+                   Target target);
+    static bool assign(Target target, const std::string& value);
+
+    std::string program_;
+    std::string description_;
+    std::vector<std::string> order_;  ///< help listing order
+    std::map<std::string, Spec> specs_;
+    bool failed_ = false;
+};
+
+}  // namespace cocoa::cli

@@ -1,0 +1,314 @@
+#include "core/agent.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cocoa::core {
+
+CocoaAgent::CocoaAgent(net::Node& node, const AgentConfig& config,
+                       std::shared_ptr<const phy::PdfTable> table,
+                       multicast::MulticastNode* mcast, bool is_sync_robot)
+    : node_(node),
+      config_(config),
+      mcast_(mcast),
+      is_sync_robot_(is_sync_robot),
+      table_(table),
+      localizer_(config.grid, std::move(table),
+                 RfLocalizer::Options{.technique = config.technique,
+                                      .min_beacons = config.min_beacons_for_fix,
+                                      .rssi_cutoff_dbm = config.beacon_rssi_cutoff_dbm,
+                                      .use_non_gaussian_bins =
+                                          config.use_non_gaussian_bins}),
+      odometry_(config.odometry, node.simulator().rng().stream("odometry", node.id())),
+      noise_rng_(node.simulator().rng().stream("agent.noise", node.id())),
+      rf_position_(config.grid.area.center()) {
+    if (config_.beacons_per_window < 1) {
+        throw std::invalid_argument("CocoaAgent: beacons_per_window must be >= 1");
+    }
+    if (config_.window >= config_.period || config_.window <= sim::Duration::zero()) {
+        throw std::invalid_argument("CocoaAgent: need 0 < window < period");
+    }
+    if (config_.sync == SyncMode::Mrmm && mcast_ == nullptr) {
+        throw std::invalid_argument("CocoaAgent: Mrmm sync requires a multicast node");
+    }
+
+    node_.host().register_handler(
+        net::Port::Beacon,
+        [this](const net::Packet& p, const net::RxInfo& i) { on_beacon(p, i); });
+    if (mcast_ != nullptr) {
+        mcast_->join(config_.sync_group);
+        mcast_->set_deliver_handler(
+            [this](net::GroupId, const net::Packet& inner, const net::RxInfo&) {
+                on_mcast_deliver(inner);
+            });
+    }
+}
+
+void CocoaAgent::start() {
+    tick();
+    // Odometry starts anchored either at the true pose (the paper provides
+    // initial coordinates in the odometry-only study) or provisionally at the
+    // area centre until the first RF fix replaces it.
+    if (config_.initial_pose_known) {
+        odometry_.reset(true_position(), node_.mobility().heading());
+        ever_fixed_ = true;
+    } else {
+        odometry_.reset(config_.grid.area.center(), node_.mobility().heading());
+    }
+    last_odometry_position_ = odometry_.position();
+    last_predict_time_ = node_.simulator().now();
+    if (config_.mode == LocalizationMode::Ekf) {
+        if (config_.initial_pose_known) {
+            ekf_.reset(true_position(), 1.0);
+        } else {
+            // Unknown anywhere in the area.
+            const double half = 0.5 * config_.grid.area.width();
+            ekf_.reset(config_.grid.area.center(), half * half);
+        }
+    }
+
+    if (config_.mode == LocalizationMode::OdometryOnly) {
+        return;  // no RF activity at all: radio idles, no windows
+    }
+    if (is_sync_robot_ && mcast_ != nullptr) {
+        mcast_->start_source(config_.sync_group);
+    }
+    schedule_period(0);
+}
+
+void CocoaAgent::tick() {
+    const auto increments = node_.mobility().advance_to(node_.simulator().now());
+    const bool runs_odometry = config_.mode != LocalizationMode::RfOnly &&
+                               (config_.role == Role::Blind);
+    if (runs_odometry) {
+        odometry_.observe_all(increments);
+    }
+    if (config_.mode == LocalizationMode::Ekf && config_.role == Role::Blind) {
+        // EKF prediction from the *measured* (noisy) odometry displacement.
+        const geom::Vec2 delta = odometry_.position() - last_odometry_position_;
+        const double dt =
+            (node_.simulator().now() - last_predict_time_).to_seconds();
+        if (dt > 0.0 || delta.norm_sq() > 0.0) {
+            const double q = config_.ekf_q_displacement_frac *
+                                 config_.ekf_q_displacement_frac * delta.norm_sq() +
+                             config_.ekf_q_floor_var_per_s * dt;
+            ekf_.predict(delta, q);
+        }
+    }
+    last_odometry_position_ = odometry_.position();
+    last_predict_time_ = node_.simulator().now();
+}
+
+void CocoaAgent::retune(sim::Duration period, sim::Duration window) {
+    if (window <= sim::Duration::zero() || window >= period) {
+        throw std::invalid_argument("CocoaAgent::retune: need 0 < window < period");
+    }
+    config_.period = period;
+    config_.window = window;
+}
+
+void CocoaAgent::schedule_period(std::uint32_t seq) {
+    // Coarse clocks drift a little every period; SYNC messages re-align them
+    // (§2.3). The sync robot's clock defines the time-line.
+    if (config_.sync == SyncMode::Mrmm && !is_sync_robot_) {
+        clock_offset_s_ += noise_rng_.gaussian(0.0, config_.clock_skew_sigma_s);
+    }
+    const sim::TimePoint wake_at =
+        period_start_ + clock_offset() - config_.wake_guard;
+    node_.simulator().schedule_at(std::max(node_.simulator().now(), wake_at),
+                                  [this, seq] { on_wake(seq); });
+}
+
+void CocoaAgent::on_wake(std::uint32_t seq) {
+    tick();
+    if (!node_.radio().awake()) {
+        node_.radio().wake();
+    }
+
+    sim::Simulator& sim = node_.simulator();
+    const sim::TimePoint start = period_start_ + clock_offset();
+
+    if (is_sync_robot_ && mcast_ != nullptr) {
+        // Rebuild the mesh while everyone is awake, then push SYNC down it.
+        mcast_->refresh_now(config_.sync_group);
+        sim.schedule_at(std::max(sim.now(), start + config_.sync_settle), [this, seq] {
+            net::SyncPayload sync;
+            sync.period_s = config_.period.to_seconds();
+            sync.window_s = config_.window.to_seconds();
+            sync.seq = seq;
+            sync.period_start = period_start_;
+            auto inner = std::make_shared<net::Packet>();
+            inner->src = node_.id();
+            inner->port = net::Port::Test;  // carried inside McastData, not demuxed
+            inner->payload_bytes = config_.sync_bytes;
+            inner->payload = sync;
+            mcast_->send_data(config_.sync_group, std::move(inner));
+        });
+    }
+
+    const bool blind_beacons_now =
+        config_.role == Role::Blind && config_.blind_beaconing && ever_fixed_ &&
+        last_fix_spread_m_ <= config_.blind_beacon_max_spread_m &&
+        config_.mode == LocalizationMode::Combined;
+    if (config_.role == Role::Anchor || blind_beacons_now) {
+        // k beacons spread across the transmit window t (§2.3 uses k = 3 for
+        // delivery reliability); CSMA adds its own dispersion.
+        for (int i = 0; i < config_.beacons_per_window; ++i) {
+            const sim::Duration offset =
+                config_.window * static_cast<std::int64_t>(i + 1) /
+                static_cast<std::int64_t>(config_.beacons_per_window + 1);
+            sim.schedule_at(std::max(sim.now(), start + offset),
+                            [this, seq, i] { send_beacon(seq, i); });
+        }
+    }
+
+    const sim::TimePoint window_end = start + config_.window + config_.window_slack;
+    sim.schedule_at(std::max(sim.now(), window_end),
+                    [this, seq] { on_window_end(seq); });
+}
+
+void CocoaAgent::send_beacon(std::uint32_t seq, int index) {
+    if (!node_.radio().awake()) return;  // defensive: schedule drift past sleep
+    tick();  // beacon carries the *current* device position
+
+    net::BeaconPayload beacon;
+    beacon.anchor_id = node_.id();
+    if (config_.role == Role::Anchor) {
+        // The localization device (laser ranger + SLAM) reports the position
+        // with small Gaussian error.
+        beacon.anchor_position =
+            true_position() +
+            geom::Vec2{noise_rng_.gaussian(0.0, config_.anchor_position_sigma_m),
+                       noise_rng_.gaussian(0.0, config_.anchor_position_sigma_m)};
+    } else {
+        // Blind-beaconing extension: advertise our own estimate; its error
+        // becomes part of every receiver's constraint.
+        beacon.anchor_position = estimate();
+        ++stats_.blind_beacons_sent;
+    }
+    beacon.window_seq = seq;
+    beacon.beacon_index = static_cast<std::uint8_t>(index);
+
+    net::Packet packet;
+    packet.port = net::Port::Beacon;
+    packet.payload_bytes = config_.beacon_bytes;
+    packet.payload = beacon;
+    node_.radio().send(std::move(packet));
+    ++stats_.beacons_sent;
+}
+
+void CocoaAgent::on_beacon(const net::Packet& packet, const net::RxInfo& info) {
+    if (config_.role != Role::Blind || config_.mode == LocalizationMode::OdometryOnly) {
+        return;
+    }
+    const auto* beacon = std::get_if<net::BeaconPayload>(&packet.payload);
+    if (beacon == nullptr) return;
+    ++stats_.beacons_received;
+
+    if (config_.mode == LocalizationMode::Ekf) {
+        // Continuous fusion: every beacon range updates the filter at once.
+        tick();  // bring the prediction up to the beacon's arrival time
+        if (info.rssi_dbm < config_.beacon_rssi_cutoff_dbm) return;
+        const phy::DistancePdf* pdf = table_->lookup(info.rssi_dbm);
+        if (pdf == nullptr) return;
+        if (!pdf->gaussian_fit_ok && !config_.ekf_use_non_gaussian_bins) return;
+        const double sigma = std::max(pdf->sigma_m, config_.ekf_min_range_sigma_m);
+        if (ekf_.update_range(beacon->anchor_position, pdf->mean_m, sigma,
+                              config_.ekf_gate_sigmas)) {
+            ever_fixed_ = true;
+        } else {
+            // Gated out: if the belief keeps disagreeing with measurements it
+            // must lose confidence, or it will coast away for good.
+            ekf_.predict({}, config_.ekf_reject_inflation_var);
+        }
+        return;
+    }
+    window_beacons_.push_back({beacon->anchor_position, info.rssi_dbm});
+}
+
+void CocoaAgent::on_window_end(std::uint32_t seq) {
+    tick();
+
+    if (config_.role == Role::Blind && config_.mode != LocalizationMode::OdometryOnly &&
+        config_.mode != LocalizationMode::Ekf) {
+        const std::optional<Fix> fix = localizer_.compute_fix(window_beacons_);
+        window_beacons_.clear();
+        if (fix.has_value()) {
+            ever_fixed_ = true;
+            last_fix_spread_m_ = fix->posterior_spread_m;
+            ++stats_.fixes;
+            if (config_.mode == LocalizationMode::RfOnly) {
+                rf_position_ = fix->position;
+            } else {
+                // CoCoA: re-anchor dead reckoning at the fix. Heading is
+                // re-anchored too when heading_correction_at_fix is set
+                // (see AgentConfig for the modelling rationale).
+                const double heading = config_.heading_correction_at_fix
+                                           ? node_.mobility().heading()
+                                           : odometry_.heading();
+                odometry_.reset(fix->position, heading);
+            }
+        } else {
+            // "If certain robots do not receive any beacons, they continue
+            // with their old estimated position" (§2.3).
+            ++stats_.windows_without_fix;
+        }
+    }
+
+    // Sync-robot failover: a backup that has heard nothing from the Sync
+    // robot for (2 * rank + 2) periods takes over SYNC duties.
+    if (config_.sync == SyncMode::Mrmm && !is_sync_robot_ && config_.sync_rank > 0 &&
+        mcast_ != nullptr) {
+        const sim::Duration silence = node_.simulator().now() - last_sync_heard_;
+        const sim::Duration patience =
+            config_.period * static_cast<std::int64_t>(2 * config_.sync_rank + 2);
+        if (silence > patience) {
+            is_sync_robot_ = true;
+            ++stats_.sync_takeovers;
+            mcast_->start_source(config_.sync_group);
+        }
+    }
+
+    if (config_.sleep_coordination) {
+        node_.radio().sleep();
+    }
+    period_start_ += config_.period;
+    schedule_period(seq + 1);
+}
+
+void CocoaAgent::on_mcast_deliver(const net::Packet& inner) {
+    const auto* sync = std::get_if<net::SyncPayload>(&inner.payload);
+    if (sync == nullptr) return;
+    ++stats_.syncs_received;
+    sync_seq_ = sync->seq;
+    last_sync_heard_ = node_.simulator().now();
+    // Re-align the local clock and phase to the sync robot's time-line; the
+    // residual models the precision of coarse multicast synchronization.
+    // Also adopt the advertised T and t, so an operator can retune them at
+    // runtime (§2.3): the change takes effect when this period ends.
+    clock_offset_s_ = noise_rng_.gaussian(0.0, config_.sync_residual_sigma_s);
+    config_.period = sim::Duration::seconds(sync->period_s);
+    config_.window = sim::Duration::seconds(sync->window_s);
+    // Re-anchor phase, but never backwards: a straggler SYNC copy arriving
+    // after this period's books closed must not reopen it.
+    period_start_ = std::max(period_start_, sync->period_start);
+}
+
+geom::Vec2 CocoaAgent::estimate() const {
+    if (config_.role == Role::Anchor) {
+        return true_position();  // from the localization device
+    }
+    switch (config_.mode) {
+        case LocalizationMode::OdometryOnly:
+            return odometry_.position();
+        case LocalizationMode::RfOnly:
+            return rf_position_;
+        case LocalizationMode::Combined:
+            return ever_fixed_ ? odometry_.position() : config_.grid.area.center();
+        case LocalizationMode::Ekf:
+            return config_.grid.area.clamp(ekf_.mean());
+    }
+    return odometry_.position();
+}
+
+}  // namespace cocoa::core

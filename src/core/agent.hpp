@@ -1,0 +1,215 @@
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/ekf.hpp"
+#include "core/rf_localizer.hpp"
+#include "mobility/odometry.hpp"
+#include "multicast/odmrp.hpp"
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace cocoa::core {
+
+/// Whether a robot carries a localization device (laser ranger + SLAM).
+enum class Role { Anchor, Blind };
+
+/// Which estimator a blind robot runs — the three systems compared in §4,
+/// plus the continuous-fusion EKF alternative from the related work (§5).
+enum class LocalizationMode {
+    OdometryOnly,  ///< §4.1: initial pose given, dead reckoning only
+    RfOnly,        ///< §4.2: Bayesian RF fixes, held constant between windows
+    Combined,      ///< §4.3: CoCoA — RF fixes + odometry in between
+    Ekf,           ///< extension: EKF fusing odometry with each beacon range
+};
+
+/// How the team agrees on the Fig. 2 time-line.
+enum class SyncMode {
+    PerfectClock,  ///< idealized common clock (no sync traffic, no skew)
+    Mrmm,          ///< coarse clocks + SYNC messages down the MRMM mesh (§2.3)
+};
+
+struct AgentConfig {
+    Role role = Role::Blind;
+    LocalizationMode mode = LocalizationMode::Combined;
+    SyncMode sync = SyncMode::Mrmm;
+
+    sim::Duration period = sim::Duration::seconds(100.0);  ///< T
+    sim::Duration window = sim::Duration::seconds(3.0);    ///< t
+    int beacons_per_window = 3;                            ///< k
+    int min_beacons_for_fix = 3;
+
+    GridConfig grid;
+    mobility::OdometryConfig odometry;
+    /// Which RF technique turns window beacons into a fix (§5 pluggability).
+    RfTechnique technique = RfTechnique::BayesianGrid;
+    /// EKF mode process noise: fractional error on each dead-reckoned
+    /// displacement, plus a floor variance accrued per second. The floor is
+    /// deliberately generous: odometry drift is bias-driven (grows faster
+    /// than a random walk), and an overconfident filter under-weights its
+    /// corrections.
+    double ekf_q_displacement_frac = 0.1;
+    double ekf_q_floor_var_per_s = 0.6;  ///< m^2 / s
+    /// EKF innovation gate (standard deviations); bad beacons beyond it are
+    /// ignored.
+    double ekf_gate_sigmas = 4.0;
+    /// Far-field (non-Gaussian-bin) beacons carry real information even for
+    /// the EKF: with the sigma floor, the innovation gate and rejection
+    /// inflation they resolve single-anchor tangential ambiguity the same
+    /// way they disambiguate the grid's ring posteriors.
+    bool ekf_use_non_gaussian_bins = true;
+    /// Floor on the effective range sigma: the PDF-table sigma understates
+    /// the true measurement error (anchor SLAM noise, motion during the
+    /// window), and an overconfident filter gates itself to death.
+    double ekf_min_range_sigma_m = 2.0;
+    /// Covariance inflation (m^2) applied whenever the gate rejects a
+    /// measurement: persistent disagreement must reopen the filter.
+    double ekf_reject_inflation_var = 2.0;
+    /// Ignore beacons weaker than this RSSI (on top of the PDF-table rules).
+    double beacon_rssi_cutoff_dbm = -std::numeric_limits<double>::infinity();
+    /// Admit beacons whose PDF bin failed the Gaussian fit (the paper's "bad
+    /// beacons" from beyond ~40 m). See RfLocalizer::Options.
+    bool use_non_gaussian_bins = true;
+
+    /// Sleep radios between windows (CoCoA coordination). When false the
+    /// radio idles through the whole period — the Fig. 9(b) baseline.
+    bool sleep_coordination = true;
+    /// Robots wake this early before the nominal window start, absorbing
+    /// clock skew.
+    sim::Duration wake_guard = sim::Duration::seconds(1.0);
+    /// Fixes are computed (and radios sleep) this long after the nominal
+    /// window end, so straggler beacons still count.
+    sim::Duration window_slack = sim::Duration::seconds(0.5);
+
+    /// Per-period random-walk clock skew (Mrmm mode; zero for PerfectClock).
+    double clock_skew_sigma_s = 0.1;
+    /// Residual offset right after a SYNC re-alignment.
+    double sync_residual_sigma_s = 0.02;
+    /// Mesh settle delay between the sync robot's JOIN QUERY refresh and its
+    /// SYNC data packet.
+    sim::Duration sync_settle = sim::Duration::millis(150);
+
+    /// Gaussian error of the anchor's own localization device (SLAM).
+    double anchor_position_sigma_m = 0.25;
+    std::size_t beacon_bytes = 24;
+    std::size_t sync_bytes = 16;
+
+    /// §6 future-work extension: blind robots that are confidently localized
+    /// also transmit beacons (at their *estimated* position), reducing the
+    /// number of anchors needed — at the risk of propagating bad positions.
+    bool blind_beaconing = false;
+    /// Confidence gate for blind beaconing: only beacon while the last fix's
+    /// posterior RMS spread was at most this.
+    double blind_beacon_max_spread_m = 8.0;
+
+    /// Give the robot its true initial pose (the paper does this for the
+    /// odometry-only experiment).
+    bool initial_pose_known = false;
+    /// Re-anchor the odometry heading at each RF fix (matches the paper's
+    /// Glomosim odometry model, whose per-period error does not compound
+    /// across fixes). Disable for the drifting-heading ablation.
+    bool heading_correction_at_fix = true;
+
+    net::GroupId sync_group = 1;
+    /// Sync-robot failover rank: -1 = not a candidate, 0 = primary (set via
+    /// the constructor's is_sync_robot), k > 0 = k-th backup. A backup that
+    /// hears no SYNC for (2k + 2) periods promotes itself to Sync robot —
+    /// the staggering keeps two backups from promoting together. Addresses
+    /// the single-point-of-failure in the paper's §2.3 design.
+    int sync_rank = -1;
+};
+
+/// The per-robot CoCoA protocol agent (§2): executes the Fig. 2 time-line
+/// (wake, beacon/receive, fix, sleep), maintains the position estimate, and
+/// — on the sync robot — drives MRMM mesh refreshes and SYNC dissemination.
+class CocoaAgent {
+  public:
+    struct Stats {
+        std::uint64_t beacons_sent = 0;
+        std::uint64_t blind_beacons_sent = 0;  ///< blind-beaconing extension
+        std::uint64_t beacons_received = 0;
+        std::uint64_t fixes = 0;
+        std::uint64_t windows_without_fix = 0;
+        std::uint64_t syncs_received = 0;
+        std::uint64_t sync_takeovers = 0;  ///< failover promotions on this robot
+    };
+
+    /// `mcast` may be null in PerfectClock mode; `is_sync_robot` selects the
+    /// one robot that originates SYNC messages.
+    CocoaAgent(net::Node& node, const AgentConfig& config,
+               std::shared_ptr<const phy::PdfTable> table,
+               multicast::MulticastNode* mcast, bool is_sync_robot);
+
+    CocoaAgent(const CocoaAgent&) = delete;
+    CocoaAgent& operator=(const CocoaAgent&) = delete;
+
+    /// Schedules the agent's first period; call once before running.
+    void start();
+
+    /// Changes the beacon period T and transmit window t from the next
+    /// period on. Meant for the Sync robot: the new values ride the next
+    /// SYNC message and the whole team adopts them (§2.3's operator
+    /// retuning). Throws std::invalid_argument unless 0 < window < period.
+    void retune(sim::Duration period, sim::Duration window);
+
+    /// Advances true mobility (and odometry) to the current simulation time.
+    /// Called by the scenario's tick loop and internally before fixes.
+    void tick();
+
+    Role role() const { return config_.role; }
+    net::NodeId id() const { return node_.id(); }
+    net::Node& node() { return node_; }
+
+    /// The robot's current position estimate under the configured mode.
+    geom::Vec2 estimate() const;
+    /// Ground-truth position (for metrics only).
+    geom::Vec2 true_position() const { return node_.mobility().position(); }
+    /// Localization error: |estimate - truth|.
+    double error() const { return geom::distance(estimate(), true_position()); }
+
+    const Stats& stats() const { return stats_; }
+    const RfLocalizer::Stats& localizer_stats() const { return localizer_.stats(); }
+    bool ever_fixed() const { return ever_fixed_; }
+    bool is_sync_robot() const { return is_sync_robot_; }
+    sim::Duration period() const { return config_.period; }
+    sim::Duration window() const { return config_.window; }
+
+  private:
+    void schedule_period(std::uint32_t seq);
+    void on_wake(std::uint32_t seq);
+    void on_window_end(std::uint32_t seq);
+    void send_beacon(std::uint32_t seq, int index);
+    void on_beacon(const net::Packet& packet, const net::RxInfo& info);
+    void on_mcast_deliver(const net::Packet& inner);
+    sim::Duration clock_offset() const { return sim::Duration::seconds(clock_offset_s_); }
+
+    net::Node& node_;
+    AgentConfig config_;
+    multicast::MulticastNode* mcast_;
+    bool is_sync_robot_;
+    std::shared_ptr<const phy::PdfTable> table_;
+    RfLocalizer localizer_;
+    mobility::OdometryEstimator odometry_;
+    RangeEkf ekf_;
+    geom::Vec2 last_odometry_position_;
+    sim::TimePoint last_predict_time_;
+    sim::RandomStream noise_rng_;
+
+    std::vector<BeaconObservation> window_beacons_;
+    geom::Vec2 rf_position_;        ///< RfOnly estimate (held between fixes)
+    bool ever_fixed_ = false;
+    double last_fix_spread_m_ = std::numeric_limits<double>::infinity();
+    double clock_offset_s_ = 0.0;   ///< this robot's clock error vs true time
+    /// Nominal (sync-robot clock) start of the period being scheduled;
+    /// advanced by the current T at each window end, re-anchored by SYNCs.
+    sim::TimePoint period_start_;
+    sim::TimePoint last_sync_heard_;
+    std::uint32_t sync_seq_ = 0;
+    Stats stats_;
+};
+
+}  // namespace cocoa::core

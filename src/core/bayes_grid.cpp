@@ -1,0 +1,115 @@
+#include "core/bayes_grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cocoa::core {
+
+BayesGrid::BayesGrid(const GridConfig& config) : config_(config) {
+    if (config_.cell_m <= 0.0) {
+        throw std::invalid_argument("BayesGrid: cell size must be positive");
+    }
+    if (config_.area.width() <= 0.0 || config_.area.height() <= 0.0) {
+        throw std::invalid_argument("BayesGrid: area must have positive extent");
+    }
+    if (config_.floor_fraction < 0.0 || config_.floor_fraction >= 1.0) {
+        throw std::invalid_argument("BayesGrid: floor_fraction must be in [0, 1)");
+    }
+    nx_ = static_cast<std::size_t>(std::ceil(config_.area.width() / config_.cell_m));
+    ny_ = static_cast<std::size_t>(std::ceil(config_.area.height() / config_.cell_m));
+    nx_ = std::max<std::size_t>(nx_, 1);
+    ny_ = std::max<std::size_t>(ny_, 1);
+    cell_w_ = config_.area.width() / static_cast<double>(nx_);
+    cell_h_ = config_.area.height() / static_cast<double>(ny_);
+    cells_.resize(nx_ * ny_);
+    reset_uniform();
+}
+
+geom::Vec2 BayesGrid::cell_center(std::size_t ix, std::size_t iy) const {
+    return {config_.area.min.x + (static_cast<double>(ix) + 0.5) * cell_w_,
+            config_.area.min.y + (static_cast<double>(iy) + 0.5) * cell_h_};
+}
+
+double BayesGrid::mass_at(std::size_t ix, std::size_t iy) const {
+    return cells_.at(iy * nx_ + ix);
+}
+
+void BayesGrid::reset_uniform() {
+    const double uniform = 1.0 / static_cast<double>(cells_.size());
+    std::fill(cells_.begin(), cells_.end(), uniform);
+}
+
+void BayesGrid::apply_constraint(const geom::Vec2& anchor_position,
+                                 const phy::DistancePdf& pdf) {
+    if (pdf.sigma_m <= 0.0) {
+        throw std::invalid_argument("BayesGrid: constraint PDF has no spread");
+    }
+    // Floor relative to the constraint's own peak, so the relative damping of
+    // off-ring cells is scale-free.
+    const double peak = 1.0 / (pdf.sigma_m * std::sqrt(2.0 * 3.14159265358979323846));
+    const double floor = config_.floor_fraction * peak;
+
+    double sum = 0.0;
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+            const double d = geom::distance(cell_center(ix, iy), anchor_position);
+            double& cell = cells_[iy * nx_ + ix];
+            cell *= pdf.density(d) + floor;
+            sum += cell;
+        }
+    }
+    if (sum <= 0.0) {
+        // Defensive: cannot happen with a positive floor, but never leave the
+        // grid in a broken state.
+        reset_uniform();
+        return;
+    }
+    const double inv = 1.0 / sum;
+    for (double& cell : cells_) cell *= inv;
+}
+
+geom::Vec2 BayesGrid::mean() const {
+    geom::Vec2 acc;
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+            acc += cell_center(ix, iy) * cells_[iy * nx_ + ix];
+        }
+    }
+    return acc;
+}
+
+geom::Vec2 BayesGrid::map_estimate() const {
+    const auto it = std::max_element(cells_.begin(), cells_.end());
+    const std::size_t idx = static_cast<std::size_t>(it - cells_.begin());
+    return cell_center(idx % nx_, idx / nx_);
+}
+
+double BayesGrid::spread() const {
+    const geom::Vec2 mu = mean();
+    double acc = 0.0;
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+        for (std::size_t ix = 0; ix < nx_; ++ix) {
+            acc += geom::distance_sq(cell_center(ix, iy), mu) * cells_[iy * nx_ + ix];
+        }
+    }
+    return std::sqrt(acc);
+}
+
+double BayesGrid::total_mass() const {
+    double sum = 0.0;
+    for (const double c : cells_) sum += c;
+    return sum;
+}
+
+void BayesGrid::normalize() {
+    const double sum = total_mass();
+    if (sum <= 0.0) {
+        reset_uniform();
+        return;
+    }
+    const double inv = 1.0 / sum;
+    for (double& cell : cells_) cell *= inv;
+}
+
+}  // namespace cocoa::core

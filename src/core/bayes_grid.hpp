@@ -1,0 +1,82 @@
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/rect.hpp"
+#include "geom/vec2.hpp"
+#include "phy/pdf_table.hpp"
+
+namespace cocoa::core {
+
+/// Discretization of the deployment area for the Bayesian position estimate.
+struct GridConfig {
+    geom::Rect area = geom::Rect::square(200.0);
+    double cell_m = 2.0;  ///< nominal cell side; actual cells evenly divide the area
+    /// Constraint floor, as a fraction of the constraint's peak density: a
+    /// cell never gets weight below floor_fraction * peak. Keeps the
+    /// posterior proper under conflicting/bad beacons (Eq. 2 would otherwise
+    /// annihilate it).
+    double floor_fraction = 0.01;
+};
+
+/// The grid-based Bayesian position estimator of §2.2 (after Sichitiu &
+/// Ramadurai): a discrete PDF over the deployment area
+/// [(x_min, x_max) x (y_min, y_max)].
+///
+///  - reset_uniform()        : the constant initial estimate;
+///  - apply_constraint()     : Eqs. (1) and (2) — multiply the prior by
+///                             Constraint(x,y) = PDF_RSSI(d((x,y), beacon))
+///                             and renormalize;
+///  - mean()                 : Eq. (3) — the position estimate as the
+///                             posterior mean.
+class BayesGrid {
+  public:
+    explicit BayesGrid(const GridConfig& config);
+
+    std::size_t nx() const { return nx_; }
+    std::size_t ny() const { return ny_; }
+    std::size_t cell_count() const { return cells_.size(); }
+    const geom::Rect& area() const { return config_.area; }
+    double cell_width() const { return cell_w_; }
+    double cell_height() const { return cell_h_; }
+
+    /// Centre of cell (ix, iy).
+    geom::Vec2 cell_center(std::size_t ix, std::size_t iy) const;
+
+    /// Posterior probability mass of cell (ix, iy).
+    double mass_at(std::size_t ix, std::size_t iy) const;
+
+    /// Resets to the uniform prior (robot equally likely anywhere).
+    void reset_uniform();
+
+    /// Applies one beacon constraint (Eqs. 1-2): the distance PDF looked up
+    /// for the beacon's RSSI, centred on the anchor position carried in the
+    /// beacon. Renormalizes.
+    void apply_constraint(const geom::Vec2& anchor_position, const phy::DistancePdf& pdf);
+
+    /// Eq. (3): posterior mean position.
+    geom::Vec2 mean() const;
+
+    /// Centre of the highest-mass cell (diagnostic / MAP estimate).
+    geom::Vec2 map_estimate() const;
+
+    /// RMS distance of the posterior from its mean — a confidence measure
+    /// (large after bad beacons, small after three good ones).
+    double spread() const;
+
+    /// Total probability mass (== 1 up to rounding; exposed for tests).
+    double total_mass() const;
+
+  private:
+    void normalize();
+
+    GridConfig config_;
+    std::size_t nx_ = 0;
+    std::size_t ny_ = 0;
+    double cell_w_ = 0.0;
+    double cell_h_ = 0.0;
+    std::vector<double> cells_;  ///< row-major [iy * nx + ix] probability masses
+};
+
+}  // namespace cocoa::core

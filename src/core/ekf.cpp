@@ -1,0 +1,60 @@
+#include "core/ekf.hpp"
+
+#include <cmath>
+
+namespace cocoa::core {
+
+void RangeEkf::reset(const geom::Vec2& mean, double var) {
+    mean_ = mean;
+    cov_ = Cov2{var, 0.0, var};
+}
+
+void RangeEkf::predict(const geom::Vec2& delta, double q_var) {
+    mean_ += delta;
+    cov_.xx += q_var;
+    cov_.yy += q_var;
+}
+
+bool RangeEkf::update_range(const geom::Vec2& anchor, double distance, double sigma,
+                            double gate_sigmas) {
+    const geom::Vec2 diff = mean_ - anchor;
+    const double predicted = std::max(diff.norm(), 1e-6);
+    // Measurement Jacobian H = d|x - a| / dx = (x - a)^T / |x - a|.
+    const double hx = diff.x / predicted;
+    const double hy = diff.y / predicted;
+
+    // Innovation and its variance S = H P H^T + R.
+    const double innovation = distance - predicted;
+    const double hph = hx * (cov_.xx * hx + cov_.xy * hy) +
+                       hy * (cov_.xy * hx + cov_.yy * hy);
+    const double s = hph + sigma * sigma;
+    if (s <= 0.0) return false;
+
+    // Gate: a beacon wildly inconsistent with the current belief is likely a
+    // "bad beacon" (mis-ranged far-field); skip it rather than poison the
+    // state.
+    if (innovation * innovation > gate_sigmas * gate_sigmas * s) return false;
+
+    // Kalman gain K = P H^T / S.
+    const double kx = (cov_.xx * hx + cov_.xy * hy) / s;
+    const double ky = (cov_.xy * hx + cov_.yy * hy) / s;
+
+    mean_ += geom::Vec2{kx, ky} * innovation;
+
+    // Joseph-free covariance update P' = (I - K H) P (sufficient here; the
+    // gain is exact for the linearized model).
+    const double xx = cov_.xx;
+    const double xy = cov_.xy;
+    const double yy = cov_.yy;
+    cov_.xx = (1.0 - kx * hx) * xx - kx * hy * xy;
+    cov_.xy = (1.0 - kx * hx) * xy - kx * hy * yy;
+    cov_.yy = -ky * hx * xy + (1.0 - ky * hy) * yy;
+    // Numerical symmetry/positivity guard.
+    cov_.xx = std::max(cov_.xx, 1e-9);
+    cov_.yy = std::max(cov_.yy, 1e-9);
+    return true;
+}
+
+double RangeEkf::uncertainty() const { return std::sqrt(std::max(cov_.trace(), 0.0)); }
+
+}  // namespace cocoa::core

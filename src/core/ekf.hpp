@@ -1,0 +1,53 @@
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace cocoa::core {
+
+/// A symmetric 2x2 covariance matrix.
+struct Cov2 {
+    double xx = 0.0;
+    double xy = 0.0;
+    double yy = 0.0;
+
+    double trace() const { return xx + yy; }
+};
+
+/// Extended Kalman filter over a robot's 2-D position, fusing dead-reckoned
+/// displacement (predict) with RSSI-ranged beacon distances (update).
+///
+/// This is the continuous-fusion alternative to CoCoA's windowed
+/// reset-and-fix (§5 cites Kalman-based "Collective Localization"
+/// [Roumeliotis & Bekey] as related work): instead of discarding the
+/// estimate at each transmit window, every beacon immediately refines it.
+/// The state is position only; heading error is folded into the process
+/// noise.
+class RangeEkf {
+  public:
+    /// Starts at `mean` with isotropic variance `var` (m^2). A large `var`
+    /// encodes "unknown anywhere in the area".
+    void reset(const geom::Vec2& mean, double var);
+
+    /// Prediction step: the odometry says we moved by `delta`; process noise
+    /// grows the uncertainty by `q_var` (m^2) isotropically.
+    void predict(const geom::Vec2& delta, double q_var);
+
+    /// Measurement step: a beacon from `anchor` ranged at `distance` with
+    /// standard deviation `sigma` metres. Linearizes the range measurement
+    /// around the current mean. Robust gating: innovations beyond
+    /// `gate_sigmas` standard deviations are ignored (bad beacons).
+    /// Returns whether the update was applied.
+    bool update_range(const geom::Vec2& anchor, double distance, double sigma,
+                      double gate_sigmas = 4.0);
+
+    const geom::Vec2& mean() const { return mean_; }
+    const Cov2& covariance() const { return cov_; }
+    /// RMS position uncertainty (sqrt of covariance trace).
+    double uncertainty() const;
+
+  private:
+    geom::Vec2 mean_;
+    Cov2 cov_{1e6, 0.0, 1e6};
+};
+
+}  // namespace cocoa::core

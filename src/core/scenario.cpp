@@ -1,0 +1,238 @@
+#include "core/scenario.hpp"
+
+#include <ostream>
+#include <stdexcept>
+
+namespace cocoa::core {
+
+void ScenarioConfig::validate() const {
+    if (num_robots < 1) throw std::invalid_argument("ScenarioConfig: num_robots >= 1");
+    if (num_anchors < 0 || num_anchors > num_robots) {
+        throw std::invalid_argument("ScenarioConfig: num_anchors in [0, num_robots]");
+    }
+    if (mode != LocalizationMode::OdometryOnly && num_anchors < 1) {
+        throw std::invalid_argument("ScenarioConfig: RF modes need at least one anchor");
+    }
+    if (area_side_m <= 0.0) throw std::invalid_argument("ScenarioConfig: positive area");
+    if (window <= sim::Duration::zero() || window >= period) {
+        throw std::invalid_argument("ScenarioConfig: need 0 < window < period");
+    }
+    if (duration <= sim::Duration::zero() || tick <= sim::Duration::zero() ||
+        sample_interval <= sim::Duration::zero()) {
+        throw std::invalid_argument("ScenarioConfig: positive durations");
+    }
+    if (beacons_per_window < 1 || min_beacons_for_fix < 1) {
+        throw std::invalid_argument("ScenarioConfig: beacon counts >= 1");
+    }
+    if (min_speed <= 0.0 || max_speed < min_speed) {
+        throw std::invalid_argument("ScenarioConfig: need 0 < min_speed <= max_speed");
+    }
+}
+
+Scenario::Scenario(const ScenarioConfig& config)
+    : config_(config),
+      sim_(config.seed),
+      channel_(config.channel) {
+    config_.validate();
+
+    // Offline calibration phase (§2.2): build the PDF Table once; every robot
+    // stores a copy (here: shares an immutable one).
+    table_ = std::make_shared<const phy::PdfTable>(phy::PdfTable::calibrate(
+        channel_, config_.calibration, sim_.rng().stream("calibration")));
+
+    world_ = std::make_unique<net::World>(sim_, channel_, config_.medium);
+
+    mobility::WaypointConfig mobility_config;
+    mobility_config.area = geom::Rect::square(config_.area_side_m);
+    mobility_config.min_speed = config_.min_speed;
+    mobility_config.max_speed = config_.max_speed;
+
+    for (int i = 0; i < config_.num_robots; ++i) {
+        world_->add_node(mobility_config, config_.power, config_.mac);
+    }
+
+    const bool use_mrmm = config_.sync == SyncMode::Mrmm &&
+                          config_.mode != LocalizationMode::OdometryOnly;
+    if (use_mrmm) {
+        multicast::MulticastConfig mc = config_.multicast;
+        mc.auto_refresh = false;  // CoCoA drives refreshes at period starts
+        mcast_.emplace(*world_, mc);
+    }
+
+    GridConfig grid;
+    grid.area = mobility_config.area;
+    grid.cell_m = config_.cell_m;
+    grid.floor_fraction = config_.floor_fraction;
+
+    for (int i = 0; i < config_.num_robots; ++i) {
+        AgentConfig ac;
+        ac.role = is_anchor(static_cast<net::NodeId>(i)) ? Role::Anchor : Role::Blind;
+        ac.mode = config_.mode;
+        ac.sync = use_mrmm ? SyncMode::Mrmm : SyncMode::PerfectClock;
+        ac.period = config_.period;
+        ac.window = config_.window;
+        ac.beacons_per_window = config_.beacons_per_window;
+        ac.min_beacons_for_fix = config_.min_beacons_for_fix;
+        ac.grid = grid;
+        ac.odometry = config_.odometry;
+        ac.technique = config_.technique;
+        ac.ekf_q_displacement_frac = config_.ekf_q_displacement_frac;
+        ac.ekf_q_floor_var_per_s = config_.ekf_q_floor_var_per_s;
+        ac.ekf_gate_sigmas = config_.ekf_gate_sigmas;
+        ac.ekf_use_non_gaussian_bins = config_.ekf_use_non_gaussian_bins;
+        ac.ekf_min_range_sigma_m = config_.ekf_min_range_sigma_m;
+        ac.ekf_reject_inflation_var = config_.ekf_reject_inflation_var;
+        ac.beacon_rssi_cutoff_dbm = config_.beacon_rssi_cutoff_dbm;
+        ac.use_non_gaussian_bins = config_.use_non_gaussian_bins;
+        ac.sleep_coordination = config_.sleep_coordination;
+        ac.wake_guard = config_.wake_guard;
+        ac.window_slack = config_.window_slack;
+        ac.clock_skew_sigma_s = config_.clock_skew_sigma_s;
+        ac.sync_residual_sigma_s = config_.sync_residual_sigma_s;
+        ac.anchor_position_sigma_m = config_.anchor_position_sigma_m;
+        ac.heading_correction_at_fix = config_.heading_correction_at_fix;
+        ac.blind_beaconing = config_.blind_beaconing;
+        ac.blind_beacon_max_spread_m = config_.blind_beacon_max_spread_m;
+        ac.initial_pose_known =
+            config_.initial_pose_known || config_.mode == LocalizationMode::OdometryOnly;
+
+        multicast::MulticastNode* mcast_node =
+            use_mrmm ? &mcast_->at(static_cast<net::NodeId>(i)) : nullptr;
+        const bool is_sync_robot = use_mrmm && i == 0;
+        if (use_mrmm) {
+            if (i == 0) {
+                ac.sync_rank = 0;
+            } else if (i <= config_.sync_backups) {
+                ac.sync_rank = i;
+            }
+        }
+        agents_.push_back(std::make_unique<CocoaAgent>(
+            world_->node(static_cast<net::NodeId>(i)), ac, table_, mcast_node,
+            is_sync_robot));
+    }
+
+    node_error_.resize(static_cast<std::size_t>(config_.num_robots));
+
+    for (auto& agent : agents_) agent->start();
+
+    // Tick loop (mobility/odometry granularity) and metric sampling. The tick
+    // event is scheduled first so that at coinciding times motion is advanced
+    // before errors are read.
+    sim_.schedule_in(config_.tick, [this] { on_tick(); });
+    sim_.schedule_in(config_.sample_interval, [this] { on_sample(); });
+}
+
+bool Scenario::is_anchor(net::NodeId id) const {
+    if (config_.mode == LocalizationMode::OdometryOnly) return false;
+    return id < static_cast<net::NodeId>(config_.num_anchors);
+}
+
+void Scenario::on_tick() {
+    for (auto& agent : agents_) agent->tick();
+    sim_.schedule_in(config_.tick, [this] { on_tick(); });
+}
+
+void Scenario::on_sample() {
+    metrics::RunningStat blind_errors;
+    for (auto& agent : agents_) {
+        agent->tick();
+        if (agent->role() != Role::Blind) continue;
+        const double err = agent->error();
+        blind_errors.add(err);
+        node_error_[agent->id()].push(sim_.now(), err);
+    }
+    if (!blind_errors.empty()) {
+        avg_error_.push(sim_.now(), blind_errors.mean());
+    }
+    sim_.schedule_in(config_.sample_interval, [this] { on_sample(); });
+}
+
+void Scenario::enable_position_trace(sim::Duration interval) {
+    if (interval <= sim::Duration::zero()) {
+        throw std::invalid_argument("Scenario: trace interval must be positive");
+    }
+    const bool was_enabled = trace_interval_ > sim::Duration::zero();
+    trace_interval_ = interval;
+    if (!was_enabled) {
+        sim_.schedule_in(trace_interval_, [this] { on_trace(); });
+    }
+}
+
+void Scenario::on_trace() {
+    for (auto& agent : agents_) {
+        agent->tick();
+        trace_.push_back(
+            {sim_.now(), agent->id(), agent->true_position(), agent->estimate()});
+    }
+    sim_.schedule_in(trace_interval_, [this] { on_trace(); });
+}
+
+void Scenario::write_position_trace_csv(std::ostream& os) const {
+    os << "t_s,node,role,true_x,true_y,est_x,est_y,error_m\n";
+    for (const PositionTraceRow& row : trace_) {
+        os << row.time.to_seconds() << ',' << row.node << ','
+           << (is_anchor(row.node) ? "anchor" : "blind") << ',' << row.truth.x << ','
+           << row.truth.y << ',' << row.estimate.x << ',' << row.estimate.y << ','
+           << geom::distance(row.truth, row.estimate) << '\n';
+    }
+}
+
+void Scenario::run() { run_until(sim::TimePoint::origin() + config_.duration); }
+
+void Scenario::run_until(sim::TimePoint t) { sim_.run_until(t); }
+
+ScenarioResult Scenario::result() const {
+    ScenarioResult r;
+    r.avg_error = avg_error_;
+    r.node_error = node_error_;
+
+    for (const auto& node : world_->nodes()) {
+        // Settle closes each meter's books through now; the radio stays usable.
+        node->radio().settle_energy();
+        const energy::EnergyMeter& m = node->radio().meter();
+        r.team_energy.tx_mj += m.state_mj(energy::RadioState::Tx);
+        r.team_energy.rx_mj += m.state_mj(energy::RadioState::Rx);
+        r.team_energy.idle_mj += m.state_mj(energy::RadioState::Idle);
+        r.team_energy.sleep_mj += m.state_mj(energy::RadioState::Sleep);
+        r.team_energy.transitions_mj += m.transition_mj();
+    }
+
+    r.medium_stats = world_->medium().stats();
+    if (mcast_.has_value()) {
+        r.multicast_stats = mcast_->total_stats();
+    }
+    for (const auto& agent : agents_) {
+        const auto& s = agent->stats();
+        r.agent_totals.beacons_sent += s.beacons_sent;
+        r.agent_totals.blind_beacons_sent += s.blind_beacons_sent;
+        r.agent_totals.beacons_received += s.beacons_received;
+        r.agent_totals.fixes += s.fixes;
+        r.agent_totals.windows_without_fix += s.windows_without_fix;
+        r.agent_totals.syncs_received += s.syncs_received;
+        r.agent_totals.sync_takeovers += s.sync_takeovers;
+        const auto& ls = agent->localizer_stats();
+        r.localizer_totals.fixes += ls.fixes;
+        r.localizer_totals.rejected_too_few += ls.rejected_too_few;
+        r.localizer_totals.beacons_without_bin += ls.beacons_without_bin;
+        r.localizer_totals.beacons_non_gaussian += ls.beacons_non_gaussian;
+    }
+    r.executed_events = sim_.executed_events();
+    return r;
+}
+
+std::vector<double> ScenarioResult::errors_at(sim::TimePoint t) const {
+    std::vector<double> out;
+    for (const auto& series : node_error) {
+        if (series.empty()) continue;  // anchor
+        out.push_back(series.value_at(t));
+    }
+    return out;
+}
+
+ScenarioResult run_scenario(const ScenarioConfig& config) {
+    Scenario scenario(config);
+    scenario.run();
+    return scenario.result();
+}
+
+}  // namespace cocoa::core

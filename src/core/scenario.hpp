@@ -1,0 +1,171 @@
+#pragma once
+
+#include <iosfwd>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/agent.hpp"
+#include "metrics/time_series.hpp"
+#include "multicast/odmrp.hpp"
+#include "net/node.hpp"
+#include "phy/channel.hpp"
+#include "phy/pdf_table.hpp"
+
+namespace cocoa::core {
+
+/// Full experiment configuration: one of the paper's simulation runs.
+/// Defaults reproduce the common setup of §4: 50 robots in a 200 m x 200 m
+/// (40 000 m^2) area, half of them anchors, 30 simulated minutes, T = 100 s,
+/// t = 3 s, k = 3.
+struct ScenarioConfig {
+    std::uint64_t seed = 1;
+
+    double area_side_m = 200.0;
+    int num_robots = 50;
+    int num_anchors = 25;     ///< ignored (all blind) in OdometryOnly mode
+    double min_speed = 0.1;   ///< m/s
+    double max_speed = 2.0;   ///< m/s; the paper evaluates 0.5 and 2.0
+    sim::Duration duration = sim::Duration::minutes(30);
+
+    LocalizationMode mode = LocalizationMode::Combined;
+    SyncMode sync = SyncMode::Mrmm;
+    bool sleep_coordination = true;
+
+    sim::Duration period = sim::Duration::seconds(100.0);  ///< T
+    sim::Duration window = sim::Duration::seconds(3.0);    ///< t
+    int beacons_per_window = 3;                            ///< k
+    int min_beacons_for_fix = 3;
+
+    RfTechnique technique = RfTechnique::BayesianGrid;
+    double cell_m = 2.0;
+    double floor_fraction = 0.01;
+    /// EKF-mode tuning (see AgentConfig).
+    double ekf_q_displacement_frac = 0.1;
+    double ekf_q_floor_var_per_s = 0.6;
+    double ekf_gate_sigmas = 4.0;
+    bool ekf_use_non_gaussian_bins = true;
+    double ekf_min_range_sigma_m = 2.0;
+    double ekf_reject_inflation_var = 2.0;
+    double beacon_rssi_cutoff_dbm = -std::numeric_limits<double>::infinity();
+    bool use_non_gaussian_bins = true;
+
+    mobility::OdometryConfig odometry;
+    phy::ChannelConfig channel;
+    phy::CalibrationConfig calibration;
+    energy::PowerProfile power;
+    mac::MacConfig mac;
+    mac::MediumConfig medium;
+    multicast::MulticastConfig multicast;  ///< auto_refresh is forced off
+
+    sim::Duration tick = sim::Duration::seconds(0.5);
+    sim::Duration sample_interval = sim::Duration::seconds(1.0);
+
+    sim::Duration wake_guard = sim::Duration::seconds(1.0);
+    sim::Duration window_slack = sim::Duration::seconds(0.5);
+    double clock_skew_sigma_s = 0.1;
+    double sync_residual_sigma_s = 0.02;
+    double anchor_position_sigma_m = 0.25;
+    bool heading_correction_at_fix = true;
+    bool initial_pose_known = false;  ///< forced on in OdometryOnly mode
+    /// §6 extension: confidently-localized blind robots also beacon.
+    bool blind_beaconing = false;
+    double blind_beacon_max_spread_m = 8.0;
+    /// Robustness extension: this many robots (after the primary, node 0)
+    /// act as ranked Sync-robot backups and take over if SYNCs go silent.
+    int sync_backups = 2;
+
+    /// Throws std::invalid_argument on inconsistent settings.
+    void validate() const;
+};
+
+/// Team energy, summed over all radios, in millijoules.
+struct EnergyBreakdown {
+    double tx_mj = 0.0;
+    double rx_mj = 0.0;
+    double idle_mj = 0.0;
+    double sleep_mj = 0.0;
+    double transitions_mj = 0.0;
+    double total_mj() const { return tx_mj + rx_mj + idle_mj + sleep_mj + transitions_mj; }
+};
+
+/// Everything a bench needs to print a figure.
+struct ScenarioResult {
+    /// Average localization error over blind robots, sampled each second —
+    /// the y-axis of Figures 4, 6, 7 and 9(a).
+    metrics::TimeSeries avg_error;
+    /// Per-robot error series (empty for anchors) — Figure 8's CDFs cut
+    /// through these at fixed instants.
+    std::vector<metrics::TimeSeries> node_error;
+
+    EnergyBreakdown team_energy;
+    mac::Medium::Stats medium_stats;
+    multicast::MulticastNode::Stats multicast_stats;
+    CocoaAgent::Stats agent_totals;
+    RfLocalizer::Stats localizer_totals;
+    std::uint64_t executed_events = 0;
+
+    /// Error of every blind robot at time `t` (step-sampled).
+    std::vector<double> errors_at(sim::TimePoint t) const;
+};
+
+/// Builds and runs one simulation: world, channel + PDF-table calibration,
+/// multicast fleet (Mrmm mode), one CoCoA agent per robot, metric sampling.
+class Scenario {
+  public:
+    explicit Scenario(const ScenarioConfig& config);
+
+    /// Runs to config.duration (or further calls run_until piecemeal).
+    void run();
+    void run_until(sim::TimePoint t);
+
+    /// Collects results at the current simulation time.
+    ScenarioResult result() const;
+
+    const ScenarioConfig& config() const { return config_; }
+    sim::Simulator& simulator() { return sim_; }
+    net::World& world() { return *world_; }
+    CocoaAgent& agent(net::NodeId id) { return *agents_.at(id); }
+    std::size_t agent_count() const { return agents_.size(); }
+    bool is_anchor(net::NodeId id) const;
+    const phy::PdfTable& pdf_table() const { return *table_; }
+    std::shared_ptr<const phy::PdfTable> pdf_table_ptr() const { return table_; }
+
+    /// One recorded robot pose snapshot (true and estimated).
+    struct PositionTraceRow {
+        sim::TimePoint time;
+        net::NodeId node;
+        geom::Vec2 truth;
+        geom::Vec2 estimate;
+    };
+
+    /// Starts recording every robot's true and estimated position each
+    /// `interval` (call before running; safe mid-run too). Used for
+    /// visualization / post-processing via write_position_trace_csv().
+    void enable_position_trace(sim::Duration interval);
+    const std::vector<PositionTraceRow>& position_trace() const { return trace_; }
+    void write_position_trace_csv(std::ostream& os) const;
+
+  private:
+    void on_tick();
+    void on_sample();
+    void on_trace();
+
+    ScenarioConfig config_;
+    sim::Simulator sim_;
+    phy::Channel channel_;
+    std::shared_ptr<const phy::PdfTable> table_;
+    std::unique_ptr<net::World> world_;
+    std::optional<multicast::MulticastFleet> mcast_;
+    std::vector<std::unique_ptr<CocoaAgent>> agents_;
+
+    metrics::TimeSeries avg_error_;
+    std::vector<metrics::TimeSeries> node_error_;
+    std::vector<PositionTraceRow> trace_;
+    sim::Duration trace_interval_ = sim::Duration::zero();
+};
+
+/// One-shot convenience wrapper: configure, run, collect.
+ScenarioResult run_scenario(const ScenarioConfig& config);
+
+}  // namespace cocoa::core

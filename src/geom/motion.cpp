@@ -1,0 +1,47 @@
+#include "geom/motion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace cocoa::geom {
+
+double link_lifetime(const Vec2& pos_a, const Vec2& vel_a,
+                     const Vec2& pos_b, const Vec2& vel_b,
+                     double range) {
+    const Vec2 dp = pos_b - pos_a;
+    const Vec2 dv = vel_b - vel_a;
+
+    if (dp.norm_sq() > range * range) return 0.0;
+
+    // |dp + dv * t|^2 = range^2  =>  a t^2 + b t + c = 0
+    const double a = dv.norm_sq();
+    const double b = 2.0 * dp.dot(dv);
+    const double c = dp.norm_sq() - range * range;
+
+    if (a == 0.0) {
+        // Relative position is constant; in range now => in range forever.
+        return std::numeric_limits<double>::infinity();
+    }
+
+    const double disc = b * b - 4.0 * a * c;
+    if (disc < 0.0) {
+        // No real crossing: the relative trajectory never reaches the range
+        // circle. Since we start inside (c <= 0 guarantees disc >= 0), this
+        // can only happen from numeric noise right at the boundary.
+        return 0.0;
+    }
+
+    // The larger root is the future time at which separation reaches `range`.
+    const double t = (-b + std::sqrt(disc)) / (2.0 * a);
+    return std::max(t, 0.0);
+}
+
+double link_lifetime(const MotionState& a, const MotionState& b, double range) {
+    double life = link_lifetime(a.position, a.velocity, b.position, b.velocity, range);
+    if (a.plan_horizon_s > 0.0) life = std::min(life, a.plan_horizon_s);
+    if (b.plan_horizon_s > 0.0) life = std::min(life, b.plan_horizon_s);
+    return life;
+}
+
+}  // namespace cocoa::geom

@@ -1,0 +1,32 @@
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace cocoa::geom {
+
+/// A constant-velocity motion snapshot of a robot, as carried in MRMM JOIN
+/// QUERY packets: current position, current velocity, and the remaining time
+/// (seconds) the robot will keep this velocity before its plan changes
+/// (the paper's d_rest / v / t mobility knowledge).
+struct MotionState {
+    Vec2 position;
+    Vec2 velocity;          ///< metres/second; zero when resting.
+    double plan_horizon_s = 0.0;  ///< time for which `velocity` stays valid.
+};
+
+/// Predicted time (seconds) for which two nodes moving at constant velocity
+/// stay within communication `range` of each other, starting from now.
+///
+/// Returns 0 if they are already out of range, and +infinity if they never
+/// separate (e.g. identical velocities while in range).
+double link_lifetime(const Vec2& pos_a, const Vec2& vel_a,
+                     const Vec2& pos_b, const Vec2& vel_b,
+                     double range);
+
+/// Link lifetime between two motion snapshots, conservatively capped at the
+/// smaller of the two plan horizons: beyond the horizon the prediction is
+/// unreliable, so MRMM only credits the link with what it can guarantee.
+/// A non-positive horizon on either side disables the cap for that side.
+double link_lifetime(const MotionState& a, const MotionState& b, double range);
+
+}  // namespace cocoa::geom

@@ -1,0 +1,22 @@
+#include "geom/rect.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cocoa::geom {
+
+Rect::Rect(Vec2 min_, Vec2 max_) : min(min_), max(max_) {
+    if (min.x > max.x || min.y > max.y) {
+        throw std::invalid_argument("Rect: min must not exceed max");
+    }
+}
+
+Rect Rect::from_bounds(double x_min, double y_min, double x_max, double y_max) {
+    return Rect{{x_min, y_min}, {x_max, y_max}};
+}
+
+Vec2 Rect::clamp(const Vec2& p) const {
+    return {std::clamp(p.x, min.x, max.x), std::clamp(p.y, min.y, max.y)};
+}
+
+}  // namespace cocoa::geom

@@ -1,0 +1,38 @@
+#pragma once
+
+#include "geom/vec2.hpp"
+
+namespace cocoa::geom {
+
+/// Axis-aligned rectangle; used for the robot deployment area
+/// [(x_min, x_max) x (y_min, y_max)] of Eq. (1) in the paper.
+struct Rect {
+    Vec2 min;
+    Vec2 max;
+
+    constexpr Rect() = default;
+    Rect(Vec2 min_, Vec2 max_);
+
+    /// Rectangle with the given corner coordinates; throws std::invalid_argument
+    /// if min > max on either axis.
+    static Rect from_bounds(double x_min, double y_min, double x_max, double y_max);
+
+    /// Square area of the given side length anchored at the origin.
+    static Rect square(double side) { return from_bounds(0.0, 0.0, side, side); }
+
+    double width() const { return max.x - min.x; }
+    double height() const { return max.y - min.y; }
+    double area() const { return width() * height(); }
+    Vec2 center() const { return (min + max) * 0.5; }
+    /// Length of the diagonal — an upper bound on any in-area distance.
+    double diagonal() const { return distance(min, max); }
+
+    bool contains(const Vec2& p) const {
+        return p.x >= min.x && p.x <= max.x && p.y >= min.y && p.y <= max.y;
+    }
+
+    /// Closest point inside the rectangle to `p`.
+    Vec2 clamp(const Vec2& p) const;
+};
+
+}  // namespace cocoa::geom

@@ -1,0 +1,26 @@
+#include "geom/vec2.hpp"
+
+#include <ostream>
+
+namespace cocoa::geom {
+
+Vec2 Vec2::normalized() const {
+    const double n = norm();
+    if (n == 0.0) return {};
+    return {x / n, y / n};
+}
+
+double wrap_angle(double radians) {
+    constexpr double kPi = 3.14159265358979323846;
+    constexpr double kTwoPi = 2.0 * kPi;
+    double a = std::fmod(radians, kTwoPi);
+    if (a <= -kPi) a += kTwoPi;
+    if (a > kPi) a -= kTwoPi;
+    return a;
+}
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v) {
+    return os << '(' << v.x << ", " << v.y << ')';
+}
+
+}  // namespace cocoa::geom

@@ -1,0 +1,69 @@
+#pragma once
+
+#include <cmath>
+#include <iosfwd>
+
+namespace cocoa::geom {
+
+/// A 2-D vector / point in metres. Used for robot positions, velocities and
+/// displacements throughout the simulator.
+struct Vec2 {
+    double x = 0.0;
+    double y = 0.0;
+
+    constexpr Vec2() = default;
+    constexpr Vec2(double x_, double y_) : x(x_), y(y_) {}
+
+    constexpr Vec2 operator+(const Vec2& o) const { return {x + o.x, y + o.y}; }
+    constexpr Vec2 operator-(const Vec2& o) const { return {x - o.x, y - o.y}; }
+    constexpr Vec2 operator*(double s) const { return {x * s, y * s}; }
+    constexpr Vec2 operator/(double s) const { return {x / s, y / s}; }
+    constexpr Vec2 operator-() const { return {-x, -y}; }
+
+    Vec2& operator+=(const Vec2& o) { x += o.x; y += o.y; return *this; }
+    Vec2& operator-=(const Vec2& o) { x -= o.x; y -= o.y; return *this; }
+    Vec2& operator*=(double s) { x *= s; y *= s; return *this; }
+
+    constexpr bool operator==(const Vec2& o) const { return x == o.x && y == o.y; }
+    constexpr bool operator!=(const Vec2& o) const { return !(*this == o); }
+
+    /// Squared Euclidean norm (cheap; prefer when only comparing lengths).
+    constexpr double norm_sq() const { return x * x + y * y; }
+    /// Euclidean norm.
+    double norm() const { return std::sqrt(norm_sq()); }
+    /// Dot product.
+    constexpr double dot(const Vec2& o) const { return x * o.x + y * o.y; }
+
+    /// Unit vector in the same direction; the zero vector maps to itself.
+    Vec2 normalized() const;
+
+    /// Heading angle in radians, measured counter-clockwise from +x, in (-pi, pi].
+    double heading() const { return std::atan2(y, x); }
+
+    /// Unit vector pointing along `heading_rad`.
+    static Vec2 from_heading(double heading_rad) {
+        return {std::cos(heading_rad), std::sin(heading_rad)};
+    }
+};
+
+constexpr Vec2 operator*(double s, const Vec2& v) { return v * s; }
+
+/// Euclidean distance between two points.
+inline double distance(const Vec2& a, const Vec2& b) { return (a - b).norm(); }
+
+/// Squared Euclidean distance between two points.
+constexpr double distance_sq(const Vec2& a, const Vec2& b) {
+    return (a - b).norm_sq();
+}
+
+/// Normalizes an angle in radians to (-pi, pi].
+double wrap_angle(double radians);
+
+/// Degrees → radians.
+constexpr double deg_to_rad(double deg) { return deg * 3.14159265358979323846 / 180.0; }
+/// Radians → degrees.
+constexpr double rad_to_deg(double rad) { return rad * 180.0 / 3.14159265358979323846; }
+
+std::ostream& operator<<(std::ostream& os, const Vec2& v);
+
+}  // namespace cocoa::geom

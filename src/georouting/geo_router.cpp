@@ -1,0 +1,373 @@
+#include "georouting/geo_router.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace cocoa::georouting {
+
+namespace {
+constexpr double kTwoPi = 2.0 * 3.14159265358979323846;
+
+/// Counter-clockwise angle from vector `a` to vector `b`, in (0, 2*pi].
+double ccw_angle(const geom::Vec2& a, const geom::Vec2& b) {
+    const double cross = a.x * b.y - a.y * b.x;
+    const double angle = std::atan2(cross, a.dot(b));
+    if (angle <= 0.0) return angle + kTwoPi;
+    return angle;
+}
+}  // namespace
+
+GeoRouter::GeoRouter(net::Node& node, const GeoRouterConfig& config,
+                     PositionFn self_position)
+    : node_(node),
+      config_(config),
+      self_position_(std::move(self_position)),
+      jitter_rng_(node.simulator().rng().stream("georouting.jitter", node.id())) {
+    if (!self_position_) {
+        throw std::invalid_argument("GeoRouter: position provider required");
+    }
+    if (config_.hello_interval <= sim::Duration::zero() ||
+        config_.neighbor_timeout <= sim::Duration::zero()) {
+        throw std::invalid_argument("GeoRouter: positive hello/timeout required");
+    }
+    node_.host().register_handler(
+        net::Port::GeoHello,
+        [this](const net::Packet& p, const net::RxInfo&) { on_hello(p); });
+    node_.host().register_handler(
+        net::Port::GeoData,
+        [this](const net::Packet& p, const net::RxInfo&) { on_data(p); });
+}
+
+void GeoRouter::start() {
+    if (running_) return;
+    running_ = true;
+    send_hello();
+}
+
+void GeoRouter::stop() {
+    running_ = false;
+    node_.simulator().cancel(hello_event_);
+    hello_event_ = sim::EventId{};
+}
+
+void GeoRouter::send_hello() {
+    if (!running_) return;
+    if (node_.radio().awake()) {
+        net::Packet packet;
+        packet.port = net::Port::GeoHello;
+        packet.payload_bytes = config_.hello_bytes;
+        packet.payload = net::GeoHelloPayload{self_position_()};
+        node_.radio().send(std::move(packet));
+        ++stats_.hellos_sent;
+    } else {
+        ++stats_.dropped_asleep;
+    }
+    const sim::Duration jitter = sim::Duration::nanos(
+        jitter_rng_.uniform_int(0, config_.hello_jitter_max.to_nanos()));
+    hello_event_ =
+        node_.simulator().schedule_in(config_.hello_interval + jitter,
+                                      [this] { send_hello(); });
+}
+
+void GeoRouter::on_hello(const net::Packet& packet) {
+    const auto* hello = std::get_if<net::GeoHelloPayload>(&packet.payload);
+    if (hello == nullptr) return;
+    neighbors_[packet.src] = Neighbor{hello->position, node_.simulator().now()};
+}
+
+void GeoRouter::expire_neighbors() {
+    const sim::TimePoint now = node_.simulator().now();
+    std::erase_if(neighbors_, [&](const auto& kv) {
+        return now - kv.second.last_seen > config_.neighbor_timeout;
+    });
+}
+
+std::size_t GeoRouter::neighbor_count() const { return neighbors_.size(); }
+
+bool GeoRouter::send(net::NodeId dest, geom::Vec2 dest_position,
+                     std::size_t payload_bytes, std::uint64_t app_tag) {
+    ++stats_.originated;
+    net::GeoDataPayload data;
+    data.origin = node_.id();
+    data.dest = dest;
+    data.dest_position = dest_position;
+    data.seq = next_seq_++;
+    data.ttl = config_.ttl;
+    data.prev_hop = node_.id();
+    data.app_tag = app_tag;
+    const std::uint64_t drops_before = stats_.dropped_no_neighbor;
+    route(std::move(data), payload_bytes);
+    return stats_.dropped_no_neighbor == drops_before;
+}
+
+void GeoRouter::on_data(const net::Packet& packet) {
+    if (const auto* ack = std::get_if<net::GeoAckPayload>(&packet.payload)) {
+        on_ack(*ack);
+        return;
+    }
+    const auto* data = std::get_if<net::GeoDataPayload>(&packet.payload);
+    if (data == nullptr) return;
+    if (data->next_hop != node_.id()) return;  // broadcast medium: not for us
+
+    // Link-layer ACK to the previous hop, including for duplicates (our
+    // earlier ACK may have been the loss).
+    send_link_ack(*data);
+
+    // Swallow retransmitted duplicates: same packet, same arrival edge, same
+    // mode, recently handled. Face traversals may legitimately revisit us,
+    // but they arrive over a different edge.
+    const std::uint64_t key = packet_key(data->origin, data->seq);
+    const sim::TimePoint now = node_.simulator().now();
+    if (const auto it = seen_.find(key);
+        it != seen_.end() && it->second.prev_hop == data->prev_hop &&
+        it->second.mode == data->mode &&
+        now - it->second.when < sim::Duration::seconds(2.0)) {
+        ++stats_.duplicates_swallowed;
+        return;
+    }
+    seen_[key] = SeenRecord{data->prev_hop, data->mode, now};
+    if (seen_.size() > 1024) {
+        seen_.erase(seen_.begin());  // crude cap; keys grow with origin|seq
+    }
+
+    if (data->dest == node_.id()) {
+        ++stats_.delivered;
+        if (deliver_) deliver_(*data);
+        return;
+    }
+    net::GeoDataPayload onward = *data;
+    if (onward.ttl == 0) {
+        ++stats_.dropped_ttl;
+        return;
+    }
+    onward.ttl -= 1;
+    onward.prev_hop = node_.id();
+    route(std::move(onward),
+          packet.payload_bytes >= config_.data_header_bytes
+              ? packet.payload_bytes - config_.data_header_bytes
+              : 0);
+}
+
+void GeoRouter::send_link_ack(const net::GeoDataPayload& data) {
+    if (!node_.radio().awake()) return;
+    net::Packet packet;
+    packet.port = net::Port::GeoData;
+    packet.payload_bytes = config_.ack_bytes;
+    packet.payload = net::GeoAckPayload{data.origin, data.seq, node_.id()};
+    node_.radio().send(std::move(packet));
+}
+
+void GeoRouter::on_ack(const net::GeoAckPayload& ack) {
+    const auto it = pending_acks_.find(packet_key(ack.origin, ack.seq));
+    if (it == pending_acks_.end() || it->second.data.next_hop != ack.acker) return;
+    node_.simulator().cancel(it->second.timer);
+    pending_acks_.erase(it);
+}
+
+void GeoRouter::on_ack_timeout(std::uint64_t key) {
+    const auto it = pending_acks_.find(key);
+    if (it == pending_acks_.end()) return;
+    PendingAck& pending = it->second;
+    if (pending.retries_left > 0 && node_.radio().awake()) {
+        --pending.retries_left;
+        ++stats_.retransmits;
+        net::Packet packet;
+        packet.port = net::Port::GeoData;
+        packet.payload_bytes = config_.data_header_bytes + pending.payload_bytes;
+        packet.payload = pending.data;
+        node_.radio().send(std::move(packet));
+        pending.timer = node_.simulator().schedule_in(config_.ack_timeout,
+                                                      [this, key] { on_ack_timeout(key); });
+        return;
+    }
+    // ARQ exhausted: the link is bad. Blacklist the neighbour and try a
+    // different path for the same packet.
+    net::GeoDataPayload data = std::move(pending.data);
+    const std::size_t payload_bytes = pending.payload_bytes;
+    pending_acks_.erase(it);
+    neighbors_.erase(data.next_hop);
+    ++stats_.reroutes;
+    route(std::move(data), payload_bytes);
+}
+
+void GeoRouter::route(net::GeoDataPayload data, std::size_t payload_bytes) {
+    expire_neighbors();
+    if (!node_.radio().awake()) {
+        ++stats_.dropped_asleep;
+        return;
+    }
+    const geom::Vec2 self = self_position_();
+
+    // Destination may be a direct neighbour regardless of geometry.
+    if (neighbors_.contains(data.dest)) {
+        data.next_hop = data.dest;
+        data.mode = net::GeoMode::Greedy;
+        ++stats_.forwarded_greedy;
+        transmit(data, payload_bytes);
+        return;
+    }
+
+    // Face mode ends as soon as we are closer to the destination than the
+    // point where greedy failed (GFG's recovery-exit rule).
+    if (data.mode == net::GeoMode::Face &&
+        geom::distance(self, data.dest_position) <
+            geom::distance(data.face_entry, data.dest_position)) {
+        data.mode = net::GeoMode::Greedy;
+    }
+
+    if (data.mode == net::GeoMode::Greedy) {
+        const net::NodeId next = greedy_next(data.dest_position);
+        if (next != net::kInvalidId) {
+            data.next_hop = next;
+            ++stats_.forwarded_greedy;
+            transmit(data, payload_bytes);
+            return;
+        }
+        // Local minimum: enter face mode around the void.
+        data.mode = net::GeoMode::Face;
+        data.face_entry = self;
+        const net::NodeId fnext = face_next(data.dest_position, data.prev_hop);
+        if (fnext == net::kInvalidId) {
+            ++stats_.dropped_no_neighbor;
+            return;
+        }
+        data.next_hop = fnext;
+        ++stats_.forwarded_face;
+        transmit(data, payload_bytes);
+        return;
+    }
+
+    // Continuing an ongoing face traversal: right-hand rule relative to the
+    // edge we arrived on.
+    const auto prev_it = neighbors_.find(data.prev_hop);
+    const geom::Vec2 ref =
+        prev_it != neighbors_.end() ? prev_it->second.position : data.dest_position;
+    const net::NodeId next = face_next(ref, data.prev_hop);
+    if (next == net::kInvalidId) {
+        ++stats_.dropped_no_neighbor;
+        return;
+    }
+    data.next_hop = next;
+    ++stats_.forwarded_face;
+    transmit(data, payload_bytes);
+}
+
+void GeoRouter::transmit(const net::GeoDataPayload& data, std::size_t payload_bytes) {
+    net::Packet packet;
+    packet.port = net::Port::GeoData;
+    packet.payload_bytes = config_.data_header_bytes + payload_bytes;
+    packet.payload = data;
+    node_.radio().send(std::move(packet));
+
+    if (config_.max_retries > 0) {
+        const std::uint64_t key = packet_key(data.origin, data.seq);
+        // A previous transaction for this packet (e.g. a reroute) is replaced.
+        if (const auto it = pending_acks_.find(key); it != pending_acks_.end()) {
+            node_.simulator().cancel(it->second.timer);
+            pending_acks_.erase(it);
+        }
+        PendingAck pending;
+        pending.data = data;
+        pending.payload_bytes = payload_bytes;
+        pending.retries_left = config_.max_retries;
+        pending.timer = node_.simulator().schedule_in(config_.ack_timeout,
+                                                      [this, key] { on_ack_timeout(key); });
+        pending_acks_.emplace(key, std::move(pending));
+    }
+}
+
+net::NodeId GeoRouter::greedy_next(const geom::Vec2& dest) const {
+    const double own = geom::distance(self_position_(), dest);
+    net::NodeId best = net::kInvalidId;
+    double best_dist = own;
+    for (const auto& [id, nb] : neighbors_) {
+        const double d = geom::distance(nb.position, dest);
+        if (d < best_dist) {
+            best_dist = d;
+            best = id;
+        }
+    }
+    return best;
+}
+
+std::vector<net::NodeId> GeoRouter::planar_neighbors() const {
+    // Gabriel graph test: keep edge (self, v) iff no other neighbour w lies
+    // inside the circle whose diameter is that edge.
+    const geom::Vec2 self = self_position_();
+    std::vector<net::NodeId> planar;
+    for (const auto& [v, nbv] : neighbors_) {
+        const geom::Vec2 mid = (self + nbv.position) * 0.5;
+        const double radius_sq = geom::distance_sq(self, nbv.position) * 0.25;
+        bool keep = true;
+        for (const auto& [w, nbw] : neighbors_) {
+            if (w == v) continue;
+            if (geom::distance_sq(nbw.position, mid) < radius_sq) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep) planar.push_back(v);
+    }
+    return planar;
+}
+
+net::NodeId GeoRouter::face_next(const geom::Vec2& ref, net::NodeId prev) const {
+    const geom::Vec2 self = self_position_();
+    const geom::Vec2 ref_dir = ref - self;
+    if (ref_dir.norm_sq() == 0.0) return net::kInvalidId;
+
+    const std::vector<net::NodeId> planar = planar_neighbors();
+    net::NodeId best = net::kInvalidId;
+    double best_angle = std::numeric_limits<double>::infinity();
+    for (const net::NodeId v : planar) {
+        if (v == prev) continue;  // only take the arrival edge as a last resort
+        const geom::Vec2 dir = neighbors_.at(v).position - self;
+        if (dir.norm_sq() == 0.0) continue;
+        const double angle = ccw_angle(ref_dir, dir);
+        if (angle < best_angle) {
+            best_angle = angle;
+            best = v;
+        }
+    }
+    if (best == net::kInvalidId && prev != net::kInvalidId &&
+        neighbors_.contains(prev)) {
+        return prev;  // dead end: walk back along the arrival edge
+    }
+    return best;
+}
+
+GeoRoutingFleet::GeoRoutingFleet(
+    net::World& world, const GeoRouterConfig& config,
+    const std::function<GeoRouter::PositionFn(net::NodeId)>& position_for) {
+    routers_.reserve(world.size());
+    for (const auto& node : world.nodes()) {
+        routers_.push_back(
+            std::make_unique<GeoRouter>(*node, config, position_for(node->id())));
+    }
+}
+
+void GeoRoutingFleet::start_all() {
+    for (auto& r : routers_) r->start();
+}
+
+GeoRouter::Stats GeoRoutingFleet::total_stats() const {
+    GeoRouter::Stats total;
+    for (const auto& r : routers_) {
+        const auto& s = r->stats();
+        total.originated += s.originated;
+        total.delivered += s.delivered;
+        total.forwarded_greedy += s.forwarded_greedy;
+        total.forwarded_face += s.forwarded_face;
+        total.dropped_no_neighbor += s.dropped_no_neighbor;
+        total.dropped_ttl += s.dropped_ttl;
+        total.dropped_asleep += s.dropped_asleep;
+        total.hellos_sent += s.hellos_sent;
+        total.retransmits += s.retransmits;
+        total.reroutes += s.reroutes;
+        total.duplicates_swallowed += s.duplicates_swallowed;
+    }
+    return total;
+}
+
+}  // namespace cocoa::georouting

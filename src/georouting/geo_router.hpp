@@ -1,0 +1,165 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+
+namespace cocoa::georouting {
+
+/// Configuration of the position-based router.
+struct GeoRouterConfig {
+    sim::Duration hello_interval = sim::Duration::seconds(5.0);
+    /// Neighbours not heard for this long are evicted (~3 hello periods).
+    sim::Duration neighbor_timeout = sim::Duration::seconds(15.0);
+    /// Random jitter applied to each hello (desynchronizes the fleet).
+    sim::Duration hello_jitter_max = sim::Duration::millis(500);
+    std::size_t hello_bytes = 12;
+    std::size_t data_header_bytes = 40;
+    std::size_t ack_bytes = 14;
+    std::uint8_t ttl = 64;
+    /// Link-layer ARQ (emulating 802.11 unicast): retransmissions per hop
+    /// before the next hop is blacklisted and the packet re-routed.
+    int max_retries = 3;
+    sim::Duration ack_timeout = sim::Duration::millis(40);
+};
+
+/// Position-based unicast routing: greedy forwarding with face-routing
+/// recovery on the Gabriel-planarized neighbour graph — the "scalable
+/// geographic routing" (Bose et al., the paper's citation [23]) that §6
+/// names as the application CoCoA coordinates are good enough for.
+///
+/// Positions are whatever the supplied provider returns: ground truth, the
+/// CoCoA estimate, or raw odometry — the extension bench compares them.
+///
+/// Simplification vs full GFG/GPSR: face traversal uses the right-hand rule
+/// with the greedy-return condition (resume greedy once closer to the
+/// destination than where face mode started) but omits the face-crossing
+/// test; the TTL bounds any residual traversal loop.
+class GeoRouter {
+  public:
+    using PositionFn = std::function<geom::Vec2()>;
+    using DeliverHandler = std::function<void(const net::GeoDataPayload&)>;
+
+    struct Stats {
+        std::uint64_t originated = 0;
+        std::uint64_t delivered = 0;        ///< packets that reached this node
+        std::uint64_t forwarded_greedy = 0;
+        std::uint64_t forwarded_face = 0;
+        std::uint64_t dropped_no_neighbor = 0;
+        std::uint64_t dropped_ttl = 0;
+        std::uint64_t dropped_asleep = 0;
+        std::uint64_t hellos_sent = 0;
+        std::uint64_t retransmits = 0;   ///< ARQ retries after a missing ACK
+        std::uint64_t reroutes = 0;      ///< next hop blacklisted, path recomputed
+        std::uint64_t duplicates_swallowed = 0;  ///< repeats over the same edge
+    };
+
+    struct Neighbor {
+        geom::Vec2 position;       ///< as advertised (the neighbour's estimate)
+        sim::TimePoint last_seen;
+    };
+
+    /// `self_position` supplies this node's own (estimated) position for both
+    /// hellos and forwarding decisions.
+    GeoRouter(net::Node& node, const GeoRouterConfig& config, PositionFn self_position);
+
+    GeoRouter(const GeoRouter&) = delete;
+    GeoRouter& operator=(const GeoRouter&) = delete;
+
+    /// Begins periodic hello beaconing.
+    void start();
+    /// Stops hello beaconing (pending forwards still complete).
+    void stop();
+
+    void set_deliver_handler(DeliverHandler handler) { deliver_ = std::move(handler); }
+
+    /// Routes `payload_bytes` of application data toward `dest`, believed to
+    /// be at `dest_position`. Returns false (and counts a drop) when there is
+    /// no useful neighbour at all.
+    bool send(net::NodeId dest, geom::Vec2 dest_position, std::size_t payload_bytes,
+              std::uint64_t app_tag = 0);
+
+    std::size_t neighbor_count() const;
+    const std::map<net::NodeId, Neighbor>& neighbors() const { return neighbors_; }
+    const Stats& stats() const { return stats_; }
+    net::NodeId id() const { return node_.id(); }
+
+  private:
+    void send_hello();
+    void on_hello(const net::Packet& packet);
+    void on_data(const net::Packet& packet);
+    void on_ack(const net::GeoAckPayload& ack);
+    /// Routes or drops; consumes the payload.
+    void route(net::GeoDataPayload data, std::size_t payload_bytes);
+    void transmit(const net::GeoDataPayload& data, std::size_t payload_bytes);
+    void send_link_ack(const net::GeoDataPayload& data);
+    void on_ack_timeout(std::uint64_t key);
+    void expire_neighbors();
+
+    /// Greedy next hop: the neighbour strictly closer to `dest` than we are,
+    /// minimizing remaining distance; kInvalidId if none (local minimum).
+    net::NodeId greedy_next(const geom::Vec2& dest) const;
+
+    /// Neighbours that survive the Gabriel-graph planarization test.
+    std::vector<net::NodeId> planar_neighbors() const;
+
+    /// Right-hand-rule successor: the planar neighbour with the smallest
+    /// counter-clockwise angle from the reference direction (self -> ref).
+    net::NodeId face_next(const geom::Vec2& ref, net::NodeId prev) const;
+
+    /// One per-hop ARQ transaction, keyed by (origin, seq).
+    struct PendingAck {
+        net::GeoDataPayload data;
+        std::size_t payload_bytes = 0;
+        int retries_left = 0;
+        sim::EventId timer;
+    };
+    /// Memory of the last handling of a packet, to swallow retransmitted
+    /// duplicates (their ACK was lost) without breaking legitimate face
+    /// revisits, which arrive from a different previous hop.
+    struct SeenRecord {
+        net::NodeId prev_hop = net::kInvalidId;
+        net::GeoMode mode = net::GeoMode::Greedy;
+        sim::TimePoint when;
+    };
+    static std::uint64_t packet_key(net::NodeId origin, std::uint32_t seq) {
+        return (static_cast<std::uint64_t>(origin) << 32) | seq;
+    }
+
+    net::Node& node_;
+    GeoRouterConfig config_;
+    PositionFn self_position_;
+    sim::RandomStream jitter_rng_;
+    DeliverHandler deliver_;
+    std::map<net::NodeId, Neighbor> neighbors_;
+    std::map<std::uint64_t, PendingAck> pending_acks_;
+    std::map<std::uint64_t, SeenRecord> seen_;
+    sim::EventId hello_event_;
+    bool running_ = false;
+    std::uint32_t next_seq_ = 0;
+    Stats stats_;
+};
+
+/// Per-node routers for a whole world.
+class GeoRoutingFleet {
+  public:
+    /// `position_for` builds each node's position provider (truth, CoCoA
+    /// estimate, odometry, ...).
+    GeoRoutingFleet(net::World& world, const GeoRouterConfig& config,
+                    const std::function<GeoRouter::PositionFn(net::NodeId)>& position_for);
+
+    GeoRouter& at(net::NodeId id) { return *routers_.at(id); }
+    std::size_t size() const { return routers_.size(); }
+    void start_all();
+    GeoRouter::Stats total_stats() const;
+
+  private:
+    std::vector<std::unique_ptr<GeoRouter>> routers_;
+};
+
+}  // namespace cocoa::georouting

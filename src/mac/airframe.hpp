@@ -1,0 +1,19 @@
+#pragma once
+
+#include "geom/vec2.hpp"
+#include "net/packet.hpp"
+#include "sim/time.hpp"
+
+namespace cocoa::mac {
+
+/// One frame in flight on the shared medium. Immutable once created;
+/// per-receiver outcomes (collision corruption) live in the receivers.
+struct AirFrame {
+    net::Packet packet;
+    net::NodeId sender = net::kInvalidId;
+    geom::Vec2 sender_position;  ///< at transmission start
+    sim::TimePoint start;
+    sim::TimePoint end;
+};
+
+}  // namespace cocoa::mac

@@ -1,0 +1,59 @@
+#include "mac/medium.hpp"
+
+#include <algorithm>
+
+#include "mac/radio.hpp"
+
+namespace cocoa::mac {
+
+Medium::Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig config)
+    : sim_(sim),
+      channel_(channel),
+      config_(config),
+      rssi_rng_(sim.rng().stream("medium.rssi")) {}
+
+void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
+
+void Medium::sweep_expired() {
+    const sim::TimePoint now = sim_.now();
+    std::erase_if(active_, [now](const auto& f) { return f->end <= now; });
+}
+
+void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
+                                sim::Duration airtime) {
+    sweep_expired();
+    auto frame = std::make_shared<const AirFrame>(AirFrame{
+        packet, sender.id(), sender.position(), sim_.now(), sim_.now() + airtime});
+    active_.push_back(frame);
+    ++stats_.frames_sent;
+
+    for (Radio* r : radios_) {
+        if (r == &sender) continue;
+        const double dist = geom::distance(r->position(), frame->sender_position);
+        const double rssi = channel_.sample_rssi_dbm(dist, rssi_rng_);
+        if (!channel_.sensed(rssi)) continue;
+        // Carrier sensing and receiver lock-on take a CCA delay; radio state
+        // is re-checked at that point (the radio may have slept meanwhile).
+        sim_.schedule_in(config_.cca_delay, [this, r, frame, rssi] {
+            if (!r->awake()) {
+                if (channel_.decodable(rssi)) ++stats_.missed_asleep;
+                return;
+            }
+            r->on_frame_start(frame, rssi, channel_.decodable(rssi));
+        });
+    }
+}
+
+sim::TimePoint Medium::sensed_until_for(const Radio& listener) const {
+    sim::TimePoint until = sim_.now();
+    for (const auto& frame : active_) {
+        if (frame->end <= sim_.now() || frame->sender == listener.id()) continue;
+        const double dist = geom::distance(listener.position(), frame->sender_position);
+        if (channel_.sensed(channel_.mean_rssi_dbm(dist))) {
+            until = std::max(until, frame->end);
+        }
+    }
+    return until;
+}
+
+}  // namespace cocoa::mac

@@ -1,0 +1,73 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "mac/airframe.hpp"
+#include "phy/channel.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace cocoa::mac {
+
+class Radio;
+
+struct MediumConfig {
+    /// An interfering frame within this margin (dB) of the locked frame's
+    /// power corrupts the reception; weaker interference is captured over.
+    double capture_margin_db = 10.0;
+    /// Clear-channel-assessment latency: a transmission is only sensed (and
+    /// receivable) this long after it starts. Two stations whose backoffs
+    /// expire within this window both transmit — the DCF vulnerability slot
+    /// that makes collisions physical.
+    sim::Duration cca_delay = sim::Duration::micros(15);
+};
+
+/// The shared wireless medium: propagates every transmission to all attached
+/// radios using the channel model, sampling per-link RSSI and applying
+/// wake/sleep, sensitivity, collision and capture rules.
+class Medium {
+  public:
+    struct Stats {
+        std::uint64_t frames_sent = 0;
+        /// Frames a sleeping radio would have decoded had it been awake.
+        std::uint64_t missed_asleep = 0;
+    };
+
+    Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig config = {});
+
+    Medium(const Medium&) = delete;
+    Medium& operator=(const Medium&) = delete;
+
+    /// Registers a radio; the pointer must outlive the medium's use.
+    void attach(Radio& radio);
+
+    /// Starts propagating `packet` from `sender` for `airtime`. Called by
+    /// Radio::begin_tx only.
+    void begin_transmission(Radio& sender, const net::Packet& packet,
+                            sim::Duration airtime);
+
+    /// Latest end time of any in-flight frame whose *mean* power is above the
+    /// carrier-sense threshold at `listener`; used to rebuild carrier-sense
+    /// state after a radio wakes mid-frame.
+    sim::TimePoint sensed_until_for(const Radio& listener) const;
+
+    const phy::Channel& channel() const { return channel_; }
+    double capture_margin_db() const { return config_.capture_margin_db; }
+    const Stats& stats() const { return stats_; }
+    sim::Simulator& simulator() { return sim_; }
+
+  private:
+    void sweep_expired();
+
+    sim::Simulator& sim_;
+    phy::Channel channel_;
+    MediumConfig config_;
+    std::vector<Radio*> radios_;
+    std::vector<std::shared_ptr<const AirFrame>> active_;
+    sim::RandomStream rssi_rng_;
+    Stats stats_;
+};
+
+}  // namespace cocoa::mac

@@ -1,0 +1,175 @@
+#include "mac/radio.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cocoa::mac {
+
+Radio::Radio(sim::Simulator& sim, Medium& medium, net::NodeId id, PositionProvider position,
+             const energy::PowerProfile& profile, sim::RandomStream backoff_rng,
+             MacConfig config)
+    : sim_(sim),
+      medium_(medium),
+      id_(id),
+      position_(std::move(position)),
+      config_(config),
+      meter_(profile, sim.now(), energy::RadioState::Idle),
+      backoff_rng_(std::move(backoff_rng)) {
+    if (!position_) {
+        throw std::invalid_argument("Radio: position provider required");
+    }
+    if (config_.bitrate_bps <= 0.0 || config_.cw_min < 0) {
+        throw std::invalid_argument("Radio: bad MAC configuration");
+    }
+    medium_.attach(*this);
+}
+
+void Radio::set_state(energy::RadioState next) {
+    meter_.change_state(sim_.now(), next);
+    state_ = next;
+}
+
+sim::Duration Radio::airtime(const net::Packet& packet) const {
+    const double payload_s =
+        static_cast<double>(packet.wire_bytes()) * 8.0 / config_.bitrate_bps;
+    return config_.plcp_preamble + sim::Duration::seconds(payload_s);
+}
+
+void Radio::send(net::Packet packet) {
+    if (!awake()) {
+        throw std::logic_error("Radio::send while asleep (coordination bug)");
+    }
+    packet.src = id_;
+    queue_.push_back(std::move(packet));
+    try_start_csma();
+}
+
+void Radio::try_start_csma() {
+    if (csma_pending_ || queue_.empty() || state_ == energy::RadioState::Tx || !awake()) {
+        return;
+    }
+    csma_pending_ = true;
+    schedule_attempt();
+}
+
+void Radio::schedule_attempt() {
+    const sim::TimePoint idle_at = std::max(sim_.now(), sensed_until_);
+    const sim::Duration backoff =
+        config_.slot * backoff_rng_.uniform_int(0, config_.cw_min);
+    attempt_event_ =
+        sim_.schedule_at(idle_at + config_.difs + backoff, [this] { attempt_tx(); });
+}
+
+void Radio::attempt_tx() {
+    attempt_event_ = sim::EventId{};
+    if (!awake()) {
+        // Went to sleep while deferring; wake() restarts CSMA.
+        csma_pending_ = false;
+        return;
+    }
+    if (channel_busy() || lock_.has_value()) {
+        schedule_attempt();
+        return;
+    }
+    begin_tx();
+}
+
+void Radio::begin_tx() {
+    net::Packet packet = std::move(queue_.front());
+    queue_.pop_front();
+    const sim::Duration on_air = airtime(packet);
+    set_state(energy::RadioState::Tx);
+    medium_.begin_transmission(*this, packet, on_air);
+    sim_.schedule_in(on_air, [this] { end_tx(); });
+}
+
+void Radio::end_tx() {
+    if (state_ == energy::RadioState::Off) return;  // died mid-transmission
+    ++stats_.tx_frames;
+    set_state(energy::RadioState::Idle);
+    csma_pending_ = false;
+    try_start_csma();
+}
+
+void Radio::on_frame_start(const std::shared_ptr<const AirFrame>& frame, double rssi_dbm,
+                           bool decodable) {
+    sensed_until_ = std::max(sensed_until_, frame->end);
+    if (state_ == energy::RadioState::Tx) return;  // half duplex: deaf while sending
+
+    if (lock_.has_value()) {
+        // Overlap with the frame being received: the new frame corrupts it
+        // unless it is weak enough to be captured over.
+        if (rssi_dbm >= lock_->rssi_dbm - medium_.capture_margin_db()) {
+            lock_->corrupted = true;
+        }
+        return;
+    }
+    if (!decodable) return;
+
+    lock_ = RxLock{frame, rssi_dbm, false};
+    set_state(energy::RadioState::Rx);
+    sim_.schedule_at(frame->end, [this, frame] { on_frame_end(frame); });
+}
+
+void Radio::on_frame_end(const std::shared_ptr<const AirFrame>& frame) {
+    if (!lock_.has_value() || lock_->frame != frame) return;  // aborted by sleep
+    const RxLock lock = *std::exchange(lock_, std::nullopt);
+    set_state(energy::RadioState::Idle);
+    if (lock.corrupted) {
+        ++stats_.rx_corrupted;
+    } else {
+        ++stats_.rx_delivered;
+        if (handler_) {
+            handler_(frame->packet, net::RxInfo{lock.rssi_dbm, sim_.now()});
+        }
+    }
+    try_start_csma();
+}
+
+void Radio::sleep() {
+    if (state_ == energy::RadioState::Sleep || state_ == energy::RadioState::Off) {
+        return;
+    }
+    if (state_ == energy::RadioState::Tx) {
+        throw std::logic_error("Radio::sleep during transmission");
+    }
+    if (lock_.has_value()) {
+        lock_.reset();
+        ++stats_.rx_aborted;
+    }
+    if (attempt_event_.valid()) {
+        sim_.cancel(attempt_event_);
+        attempt_event_ = sim::EventId{};
+    }
+    csma_pending_ = false;
+    set_state(energy::RadioState::Sleep);
+}
+
+void Radio::wake() {
+    if (awake() || state_ == energy::RadioState::Off) return;
+    set_state(energy::RadioState::Idle);
+    sensed_until_ = medium_.sensed_until_for(*this);
+    try_start_csma();
+}
+
+void Radio::power_off() {
+    if (state_ == energy::RadioState::Off) return;
+    if (state_ == energy::RadioState::Tx) {
+        // The frame dies with the radio; receivers simply stop decoding it
+        // (modelled as-is: the in-flight frame still completes on the
+        // medium, an acceptable simplification for failure injection).
+    }
+    if (lock_.has_value()) {
+        lock_.reset();
+        ++stats_.rx_aborted;
+    }
+    if (attempt_event_.valid()) {
+        sim_.cancel(attempt_event_);
+        attempt_event_ = sim::EventId{};
+    }
+    csma_pending_ = false;
+    queue_.clear();
+    set_state(energy::RadioState::Off);
+}
+
+}  // namespace cocoa::mac

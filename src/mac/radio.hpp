@@ -1,0 +1,132 @@
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <optional>
+
+#include "energy/energy.hpp"
+#include "mac/airframe.hpp"
+#include "mac/medium.hpp"
+#include "net/packet.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+
+namespace cocoa::mac {
+
+/// 802.11b DCF timing for broadcast frames at 2 Mbps (the paper's setup).
+struct MacConfig {
+    sim::Duration slot = sim::Duration::micros(20);
+    sim::Duration difs = sim::Duration::micros(50);
+    sim::Duration plcp_preamble = sim::Duration::micros(192);
+    int cw_min = 31;               ///< backoff drawn uniformly from [0, cw_min]
+    double bitrate_bps = 2e6;
+};
+
+/// A node's 802.11 radio: CSMA/CA broadcast transmitter, receiver with
+/// collision/capture handling, and power-state machine wired to an
+/// EnergyMeter. Broadcast frames are fire-and-forget (no RTS/CTS, no ACK),
+/// exactly like 802.11 broadcast.
+class Radio {
+  public:
+    using PositionProvider = std::function<geom::Vec2()>;
+    using ReceiveHandler = std::function<void(const net::Packet&, const net::RxInfo&)>;
+
+    struct Stats {
+        std::uint64_t tx_frames = 0;
+        std::uint64_t rx_delivered = 0;
+        std::uint64_t rx_corrupted = 0;   ///< lost to collisions
+        std::uint64_t rx_aborted = 0;     ///< reception cut short by sleep()
+    };
+
+    /// Creates and attaches the radio to `medium`. `position` supplies the
+    /// node's (true) position for propagation.
+    Radio(sim::Simulator& sim, Medium& medium, net::NodeId id, PositionProvider position,
+          const energy::PowerProfile& profile, sim::RandomStream backoff_rng,
+          MacConfig config = {});
+
+    Radio(const Radio&) = delete;
+    Radio& operator=(const Radio&) = delete;
+
+    net::NodeId id() const { return id_; }
+    geom::Vec2 position() const { return position_(); }
+    Medium& medium() { return medium_; }
+    const Medium& medium() const { return medium_; }
+    energy::RadioState state() const { return state_; }
+    bool awake() const { return energy::is_awake(state_); }
+
+    void set_receive_handler(ReceiveHandler handler) { handler_ = std::move(handler); }
+
+    /// Queues a broadcast packet for CSMA transmission. Throws
+    /// std::logic_error if the radio is asleep/off (callers coordinate sleep
+    /// with traffic — that is CoCoA's whole point).
+    void send(net::Packet packet);
+
+    /// Time on air for a packet of this size (PLCP preamble + payload bits).
+    sim::Duration airtime(const net::Packet& packet) const;
+
+    /// Powers down to sleep. Pending CSMA attempts pause (resume on wake);
+    /// an in-progress reception is aborted. Throws std::logic_error if
+    /// called mid-transmission.
+    void sleep();
+
+    /// Powers back up to idle and rebuilds carrier-sense state. No-op when
+    /// the radio is off.
+    void wake();
+
+    /// Permanently powers the radio off (robot failure / battery death):
+    /// like sleep, but wake() no longer revives it. Used by failure-injection
+    /// experiments.
+    void power_off();
+    bool is_off() const { return state_ == energy::RadioState::Off; }
+
+    const energy::EnergyMeter& meter() const { return meter_; }
+    /// Closes energy accounting through the current simulation time.
+    void settle_energy() { meter_.settle(sim_.now()); }
+
+    const Stats& stats() const { return stats_; }
+    std::size_t tx_queue_depth() const { return queue_.size(); }
+
+    // --- called by Medium ---------------------------------------------------
+
+    /// A frame whose (sampled) power reaches the carrier-sense threshold has
+    /// started; `decodable` means it also reaches the receive sensitivity.
+    void on_frame_start(const std::shared_ptr<const AirFrame>& frame, double rssi_dbm,
+                        bool decodable);
+
+  private:
+    void set_state(energy::RadioState next);
+    bool channel_busy() const { return sim_.now() < sensed_until_; }
+    void try_start_csma();
+    void schedule_attempt();
+    void attempt_tx();
+    void begin_tx();
+    void end_tx();
+    void on_frame_end(const std::shared_ptr<const AirFrame>& frame);
+
+    struct RxLock {
+        std::shared_ptr<const AirFrame> frame;
+        double rssi_dbm = 0.0;
+        bool corrupted = false;
+    };
+
+    sim::Simulator& sim_;
+    Medium& medium_;
+    net::NodeId id_;
+    PositionProvider position_;
+    MacConfig config_;
+    energy::RadioState state_ = energy::RadioState::Idle;
+    energy::EnergyMeter meter_;
+    sim::RandomStream backoff_rng_;
+    ReceiveHandler handler_;
+
+    std::deque<net::Packet> queue_;
+    bool csma_pending_ = false;
+    sim::EventId attempt_event_;
+    sim::TimePoint sensed_until_;
+    std::optional<RxLock> lock_;
+    Stats stats_;
+};
+
+}  // namespace cocoa::mac

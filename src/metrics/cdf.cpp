@@ -1,0 +1,31 @@
+#include "metrics/cdf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cocoa::metrics {
+
+Cdf::Cdf(std::vector<double> samples) : sorted_(std::move(samples)) {
+    std::sort(sorted_.begin(), sorted_.end());
+}
+
+double Cdf::at(double x) const {
+    if (sorted_.empty()) return 0.0;
+    const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+    return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double Cdf::quantile(double q) const {
+    if (q <= 0.0 || q > 1.0) {
+        throw std::invalid_argument("Cdf::quantile: q must be in (0, 1]");
+    }
+    if (sorted_.empty()) {
+        throw std::invalid_argument("Cdf::quantile: empty CDF");
+    }
+    const auto n = static_cast<double>(sorted_.size());
+    const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
+    return sorted_[std::min(idx, sorted_.size() - 1)];
+}
+
+}  // namespace cocoa::metrics

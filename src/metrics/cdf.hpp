@@ -1,0 +1,34 @@
+#pragma once
+
+#include <vector>
+
+namespace cocoa::metrics {
+
+/// An empirical cumulative distribution function over a set of samples —
+/// e.g. the localization-error CDFs of Figure 8.
+class Cdf {
+  public:
+    /// Builds the ECDF of `samples` (copied and sorted). Empty input allowed.
+    explicit Cdf(std::vector<double> samples);
+
+    bool empty() const { return sorted_.empty(); }
+    std::size_t size() const { return sorted_.size(); }
+
+    /// Fraction of samples <= x, in [0, 1]. Returns 0 for empty CDFs.
+    double at(double x) const;
+
+    /// Smallest sample value v such that at(v) >= q, for q in (0, 1].
+    /// Throws std::invalid_argument for q outside (0, 1] or an empty CDF.
+    double quantile(double q) const;
+
+    double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+    double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+    /// The sorted samples (x-axis of the ECDF plot).
+    const std::vector<double>& sorted_samples() const { return sorted_; }
+
+  private:
+    std::vector<double> sorted_;
+};
+
+}  // namespace cocoa::metrics

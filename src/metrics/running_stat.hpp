@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstddef>
+#include <limits>
+
+namespace cocoa::metrics {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+/// Numerically stable; O(1) memory regardless of sample count.
+class RunningStat {
+  public:
+    void add(double x);
+
+    std::size_t count() const { return n_; }
+    bool empty() const { return n_ == 0; }
+
+    /// Mean of all samples; 0 when empty.
+    double mean() const { return n_ ? mean_ : 0.0; }
+    /// Unbiased sample variance; 0 with fewer than two samples.
+    double variance() const;
+    double stddev() const;
+    /// Smallest sample; +inf when empty.
+    double min() const { return min_; }
+    /// Largest sample; -inf when empty.
+    double max() const { return max_; }
+    double sum() const { return n_ ? mean_ * static_cast<double>(n_) : 0.0; }
+
+    /// Merges another accumulator into this one (parallel Welford merge).
+    void merge(const RunningStat& other);
+
+    void reset() { *this = RunningStat{}; }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+}  // namespace cocoa::metrics

@@ -1,0 +1,36 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cocoa::metrics {
+
+/// A fixed-width text table used by every bench binary to print the rows and
+/// series the paper reports in its figures.
+class Table {
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Appends a row; must have exactly as many cells as there are headers,
+    /// otherwise throws std::invalid_argument.
+    void add_row(std::vector<std::string> cells);
+
+    std::size_t rows() const { return rows_.size(); }
+    std::size_t columns() const { return headers_.size(); }
+
+    /// Renders with column alignment and a header separator.
+    void print(std::ostream& os) const;
+
+    /// Renders as CSV (no quoting of separators; callers use plain cells).
+    void print_csv(std::ostream& os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `precision` digits after the decimal point.
+std::string fmt(double value, int precision = 2);
+
+}  // namespace cocoa::metrics

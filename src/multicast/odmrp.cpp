@@ -1,0 +1,341 @@
+#include "multicast/odmrp.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+#include "geom/motion.hpp"
+
+namespace cocoa::multicast {
+
+namespace {
+constexpr double kInfiniteLifetime = std::numeric_limits<double>::infinity();
+}
+
+MulticastNode::MulticastNode(net::Node& node, const MulticastConfig& config)
+    : node_(node),
+      config_(config),
+      jitter_rng_(node.simulator().rng().stream("multicast.jitter", node.id())) {
+    node_.host().register_handler(
+        net::Port::McastControl,
+        [this](const net::Packet& p, const net::RxInfo& i) { on_control(p, i); });
+    node_.host().register_handler(
+        net::Port::McastData,
+        [this](const net::Packet& p, const net::RxInfo& i) { on_data(p, i); });
+}
+
+void MulticastNode::safe_send(net::Packet packet) {
+    if (!node_.radio().awake()) {
+        ++stats_.dropped_asleep;
+        return;
+    }
+    node_.radio().send(std::move(packet));
+}
+
+void MulticastNode::join(net::GroupId group) { member_groups_[group] = true; }
+
+void MulticastNode::leave(net::GroupId group) { member_groups_.erase(group); }
+
+void MulticastNode::start_source(net::GroupId group) {
+    if (sources_.contains(group)) return;
+    sources_[group];  // default state
+    do_refresh(group);
+}
+
+void MulticastNode::stop_source(net::GroupId group) {
+    auto it = sources_.find(group);
+    if (it == sources_.end()) return;
+    node_.simulator().cancel(it->second.refresh_event);
+    sources_.erase(it);
+}
+
+void MulticastNode::refresh_now(net::GroupId group) {
+    if (!sources_.contains(group)) {
+        throw std::logic_error("MulticastNode::refresh_now: not a source for group");
+    }
+    do_refresh(group);
+}
+
+void MulticastNode::schedule_refresh(net::GroupId group) {
+    auto it = sources_.find(group);
+    if (it == sources_.end() || !config_.auto_refresh) return;
+    it->second.refresh_event =
+        node_.simulator().schedule_in(config_.refresh_interval, [this, group] {
+            do_refresh(group);
+        });
+}
+
+void MulticastNode::do_refresh(net::GroupId group) {
+    auto it = sources_.find(group);
+    if (it == sources_.end()) return;
+    // Cancel any timer refresh that refresh_now() is pre-empting.
+    node_.simulator().cancel(it->second.refresh_event);
+
+    net::JoinQueryPayload query;
+    query.group = group;
+    query.source = node_.id();
+    query.seq = it->second.next_query_seq++;
+    query.prev_hop = node_.id();
+    query.hop_count = 0;
+    query.sender_motion = node_.mobility().motion_state();
+    query.path_lifetime_s = kInfiniteLifetime;
+
+    net::Packet packet;
+    packet.port = net::Port::McastControl;
+    packet.payload_bytes = config_.query_bytes;
+    packet.payload = query;
+    safe_send(std::move(packet));
+    ++stats_.queries_sent;
+
+    schedule_refresh(group);
+}
+
+double MulticastNode::predicted_link_lifetime(const geom::MotionState& sender) const {
+    double range = config_.lifetime_range_m;
+    if (range <= 0.0) {
+        range = node_.radio().medium().channel().max_range_m();
+    }
+    return geom::link_lifetime(sender, node_.mobility().motion_state(), range);
+}
+
+void MulticastNode::on_control(const net::Packet& packet, const net::RxInfo& info) {
+    if (const auto* query = std::get_if<net::JoinQueryPayload>(&packet.payload)) {
+        handle_query(*query, info);
+    } else if (const auto* reply = std::get_if<net::JoinReplyPayload>(&packet.payload)) {
+        handle_reply(*reply);
+    }
+}
+
+void MulticastNode::handle_query(const net::JoinQueryPayload& query,
+                                 const net::RxInfo& /*info*/) {
+    if (query.source == node_.id()) return;  // echo of our own flood
+
+    const QueryKey key{query.group, query.source};
+    QueryRound& round = rounds_[key];
+
+    if (round.best_upstream != net::kInvalidId && query.seq < round.seq) return;  // stale
+    const bool new_round = query.seq > round.seq || round.best_upstream == net::kInvalidId;
+    if (new_round && query.seq >= round.seq) {
+        node_.simulator().cancel(round.decision_event);
+        round = QueryRound{};
+        round.seq = query.seq;
+        if (config_.variant == Variant::Mrmm && !config_.query_aggregation.is_zero()) {
+            round.decision_event = node_.simulator().schedule_in(
+                config_.query_aggregation, [this, key] { decide_upstream(key); });
+        }
+    } else if (query.seq != round.seq || round.rebroadcast_done) {
+        // A late copy of the round we already acted on.
+        return;
+    }
+
+    // Candidate upstream: the node that (re)broadcast this copy.
+    const double link_life = predicted_link_lifetime(query.sender_motion);
+    const double path_life = std::min(query.path_lifetime_s, link_life);
+    const std::uint8_t hops = static_cast<std::uint8_t>(query.hop_count + 1);
+
+    bool better = false;
+    if (round.best_upstream == net::kInvalidId) {
+        better = true;
+    } else if (config_.variant == Variant::Mrmm) {
+        better = path_life > round.best_path_lifetime ||
+                 (path_life == round.best_path_lifetime && hops < round.best_hops);
+    }
+    if (better) {
+        round.best_upstream = query.prev_hop;
+        round.best_hops = hops;
+        round.best_lifetime = link_life;
+        round.best_path_lifetime = path_life;
+    }
+
+    // Classic ODMRP (or aggregation disabled): act on the first copy.
+    if (config_.variant == Variant::Odmrp || config_.query_aggregation.is_zero()) {
+        decide_upstream(key);
+    }
+}
+
+void MulticastNode::decide_upstream(QueryKey key) {
+    QueryRound& round = rounds_[key];
+    if (round.best_upstream == net::kInvalidId || round.rebroadcast_done) return;
+    round.rebroadcast_done = true;
+
+    // Members answer the query with a JOIN REPLY that recruits the chosen
+    // upstream into the forwarding group.
+    if (is_member(key.group)) {
+        send_reply(key.group, key.source, round.seq, round.best_upstream);
+    }
+
+    // Everyone floods the query onward (bounded by max_hops).
+    if (round.best_hops < config_.max_hops) {
+        net::JoinQueryPayload onward;
+        onward.group = key.group;
+        onward.source = key.source;
+        onward.seq = round.seq;
+        onward.prev_hop = node_.id();
+        onward.hop_count = round.best_hops;
+        onward.path_lifetime_s = round.best_path_lifetime;
+
+        net::Packet packet;
+        packet.port = net::Port::McastControl;
+        packet.payload_bytes = config_.query_bytes;
+
+        const sim::Duration jitter = sim::Duration::nanos(
+            jitter_rng_.uniform_int(0, config_.reply_jitter_max.to_nanos()));
+        node_.simulator().schedule_in(jitter, [this, packet, onward]() mutable {
+            // Motion snapshot taken at transmit time, not decision time.
+            onward.sender_motion = node_.mobility().motion_state();
+            packet.payload = onward;
+            safe_send(std::move(packet));
+            ++stats_.queries_sent;
+        });
+    }
+}
+
+void MulticastNode::send_reply(net::GroupId group, net::NodeId source, std::uint32_t seq,
+                               net::NodeId next_hop) {
+    const QueryKey key{group, source};
+    if (const auto it = replied_seq_.find(key);
+        it != replied_seq_.end() && it->second >= seq) {
+        return;  // already answered this round
+    }
+    replied_seq_[key] = seq;
+
+    net::JoinReplyPayload reply;
+    reply.group = group;
+    reply.source = source;
+    reply.seq = seq;
+    reply.sender = node_.id();
+    reply.next_hop = next_hop;
+
+    net::Packet packet;
+    packet.port = net::Port::McastControl;
+    packet.payload_bytes = config_.reply_bytes;
+    packet.payload = reply;
+
+    const sim::Duration jitter = sim::Duration::nanos(
+        jitter_rng_.uniform_int(0, config_.reply_jitter_max.to_nanos()));
+    node_.simulator().schedule_in(jitter, [this, packet]() mutable {
+        safe_send(std::move(packet));
+        ++stats_.replies_sent;
+    });
+}
+
+void MulticastNode::handle_reply(const net::JoinReplyPayload& reply) {
+    if (reply.next_hop != node_.id()) return;
+
+    // We are recruited: hold forwarding-group state for this group.
+    forwarder_until_[reply.group] =
+        node_.simulator().now() + config_.fg_timeout;
+
+    if (reply.source == node_.id()) return;  // mesh reached the source
+
+    // Propagate the recruitment toward the source along our own upstream.
+    const QueryKey key{reply.group, reply.source};
+    const auto it = rounds_.find(key);
+    if (it == rounds_.end() || it->second.best_upstream == net::kInvalidId) return;
+    send_reply(reply.group, reply.source, it->second.seq, it->second.best_upstream);
+}
+
+bool MulticastNode::is_forwarder(net::GroupId group) const {
+    const auto it = forwarder_until_.find(group);
+    return it != forwarder_until_.end() && node_.simulator().now() < it->second;
+}
+
+void MulticastNode::send_data(net::GroupId group,
+                              std::shared_ptr<const net::Packet> inner) {
+    auto it = sources_.find(group);
+    if (it == sources_.end()) {
+        throw std::logic_error("MulticastNode::send_data: not a source for group");
+    }
+    if (!inner) {
+        throw std::invalid_argument("MulticastNode::send_data: null inner packet");
+    }
+
+    net::McastDataPayload data;
+    data.group = group;
+    data.source = node_.id();
+    data.seq = it->second.next_data_seq++;
+    data.prev_hop = node_.id();
+    data.inner = std::move(inner);
+
+    net::Packet packet;
+    packet.port = net::Port::McastData;
+    packet.payload_bytes = config_.data_header_bytes + data.inner->payload_bytes;
+    packet.payload = std::move(data);
+    safe_send(std::move(packet));
+    ++stats_.data_sent;
+}
+
+void MulticastNode::on_data(const net::Packet& packet, const net::RxInfo& info) {
+    const auto* data = std::get_if<net::McastDataPayload>(&packet.payload);
+    if (data == nullptr || data->source == node_.id()) return;
+
+    const QueryKey key{data->group, data->source};
+    auto& seen = data_seen_[key];
+    if (seen.contains(data->seq)) {
+        ++stats_.data_duplicates;
+        // MRMM redundancy suppression: if we are still waiting to echo this
+        // packet and enough neighbours already have, stay quiet.
+        const auto pf = pending_forwards_.find({key, data->seq});
+        if (pf != pending_forwards_.end()) {
+            pf->second.copies_heard += 1;
+            if (config_.variant == Variant::Mrmm && config_.data_suppression_copies > 0 &&
+                pf->second.copies_heard >= config_.data_suppression_copies) {
+                node_.simulator().cancel(pf->second.event);
+                pending_forwards_.erase(pf);
+                ++stats_.data_suppressed;
+            }
+        }
+        return;
+    }
+    seen.insert(data->seq);
+
+    if (is_member(data->group) && data->inner) {
+        ++stats_.data_delivered;
+        if (deliver_) deliver_(data->group, *data->inner, info);
+    }
+
+    if (!is_forwarder(data->group)) return;
+
+    // Forward along the mesh after a short jitter (cancellable for MRMM
+    // suppression).
+    net::McastDataPayload onward = *data;
+    onward.prev_hop = node_.id();
+    net::Packet fwd;
+    fwd.port = net::Port::McastData;
+    fwd.payload_bytes = packet.payload_bytes;
+    fwd.payload = std::move(onward);
+
+    const auto pf_key = std::make_pair(key, data->seq);
+    const sim::Duration jitter = sim::Duration::nanos(
+        jitter_rng_.uniform_int(0, config_.data_jitter_max.to_nanos()));
+    const sim::EventId event =
+        node_.simulator().schedule_in(jitter, [this, fwd, pf_key]() mutable {
+            pending_forwards_.erase(pf_key);
+            safe_send(std::move(fwd));
+            ++stats_.data_sent;
+        });
+    pending_forwards_[pf_key] = PendingForward{event, 0};
+}
+
+MulticastFleet::MulticastFleet(net::World& world, const MulticastConfig& config) {
+    nodes_.reserve(world.size());
+    for (const auto& node : world.nodes()) {
+        nodes_.push_back(std::make_unique<MulticastNode>(*node, config));
+    }
+}
+
+MulticastNode::Stats MulticastFleet::total_stats() const {
+    MulticastNode::Stats total;
+    for (const auto& n : nodes_) {
+        const auto& s = n->stats();
+        total.queries_sent += s.queries_sent;
+        total.replies_sent += s.replies_sent;
+        total.data_sent += s.data_sent;
+        total.data_suppressed += s.data_suppressed;
+        total.data_delivered += s.data_delivered;
+        total.data_duplicates += s.data_duplicates;
+        total.dropped_asleep += s.dropped_asleep;
+    }
+    return total;
+}
+
+}  // namespace cocoa::multicast

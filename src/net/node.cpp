@@ -1,0 +1,47 @@
+#include "net/node.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cocoa::net {
+
+void ProtocolHost::register_handler(Port port, Handler handler) {
+    auto& slot = handlers_.at(static_cast<std::size_t>(port));
+    if (slot) {
+        throw std::logic_error("ProtocolHost: duplicate handler for port");
+    }
+    slot = std::move(handler);
+}
+
+void ProtocolHost::dispatch(const Packet& packet, const RxInfo& info) const {
+    const auto& handler = handlers_.at(static_cast<std::size_t>(packet.port));
+    if (handler) handler(packet, info);
+}
+
+Node::Node(sim::Simulator& sim, mac::Medium& medium, NodeId id,
+           const mobility::WaypointConfig& mobility_config,
+           const energy::PowerProfile& power_profile, mac::MacConfig mac_config,
+           std::optional<geom::Vec2> start)
+    : sim_(sim),
+      id_(id),
+      mobility_(mobility_config, sim.rng().stream("mobility", id), start),
+      radio_(
+          sim, medium, id, [this] { return mobility_.position(); }, power_profile,
+          sim.rng().stream("mac.backoff", id), mac_config) {
+    radio_.set_receive_handler(
+        [this](const Packet& packet, const RxInfo& info) { host_.dispatch(packet, info); });
+}
+
+World::World(sim::Simulator& sim, const phy::Channel& channel, mac::MediumConfig config)
+    : sim_(sim), medium_(sim, channel, config) {}
+
+Node& World::add_node(const mobility::WaypointConfig& mobility_config,
+                      const energy::PowerProfile& power_profile, mac::MacConfig mac_config,
+                      std::optional<geom::Vec2> start) {
+    const NodeId id = static_cast<NodeId>(nodes_.size());
+    nodes_.push_back(std::make_unique<Node>(sim_, medium_, id, mobility_config,
+                                            power_profile, mac_config, start));
+    return *nodes_.back();
+}
+
+}  // namespace cocoa::net

@@ -1,0 +1,88 @@
+#pragma once
+
+#include <array>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "mac/medium.hpp"
+#include "mac/radio.hpp"
+#include "mobility/waypoint.hpp"
+#include "net/packet.hpp"
+#include "sim/simulator.hpp"
+
+namespace cocoa::net {
+
+/// Port-based demultiplexer: protocols register one handler per port, and
+/// the node's radio feeds every delivered packet through here.
+class ProtocolHost {
+  public:
+    using Handler = std::function<void(const Packet&, const RxInfo&)>;
+
+    /// Registers the handler for `port`; a second registration for the same
+    /// port throws std::logic_error (protocol wiring bug).
+    void register_handler(Port port, Handler handler);
+
+    void dispatch(const Packet& packet, const RxInfo& info) const;
+
+  private:
+    static constexpr std::size_t kNumPorts = 6;
+    std::array<Handler, kNumPorts> handlers_;
+};
+
+/// One mobile robot: waypoint mobility + 802.11 radio + protocol demux.
+/// Protocol logic (multicast, CoCoA agent) attaches from outside.
+class Node {
+  public:
+    Node(sim::Simulator& sim, mac::Medium& medium, NodeId id,
+         const mobility::WaypointConfig& mobility_config,
+         const energy::PowerProfile& power_profile, mac::MacConfig mac_config = {},
+         std::optional<geom::Vec2> start = std::nullopt);
+
+    Node(const Node&) = delete;
+    Node& operator=(const Node&) = delete;
+
+    NodeId id() const { return id_; }
+    mobility::WaypointMobility& mobility() { return mobility_; }
+    const mobility::WaypointMobility& mobility() const { return mobility_; }
+    mac::Radio& radio() { return radio_; }
+    const mac::Radio& radio() const { return radio_; }
+    ProtocolHost& host() { return host_; }
+    sim::Simulator& simulator() { return sim_; }
+
+  private:
+    sim::Simulator& sim_;
+    NodeId id_;
+    mobility::WaypointMobility mobility_;
+    ProtocolHost host_;
+    mac::Radio radio_;
+};
+
+/// Owns the medium and the team of nodes; the builder used by scenarios,
+/// examples and tests.
+class World {
+  public:
+    World(sim::Simulator& sim, const phy::Channel& channel, mac::MediumConfig config = {});
+
+    /// Adds a robot with a fresh id; node ids are dense starting from 0.
+    Node& add_node(const mobility::WaypointConfig& mobility_config,
+                   const energy::PowerProfile& power_profile,
+                   mac::MacConfig mac_config = {},
+                   std::optional<geom::Vec2> start = std::nullopt);
+
+    std::size_t size() const { return nodes_.size(); }
+    Node& node(NodeId id) { return *nodes_.at(id); }
+    const Node& node(NodeId id) const { return *nodes_.at(id); }
+    const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
+
+    mac::Medium& medium() { return medium_; }
+    sim::Simulator& simulator() { return sim_; }
+
+  private:
+    sim::Simulator& sim_;
+    mac::Medium medium_;
+    std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace cocoa::net

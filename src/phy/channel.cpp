@@ -1,0 +1,78 @@
+#include "phy/channel.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cocoa::phy {
+
+Channel::Channel(const ChannelConfig& config) : config_(config) {
+    if (config_.ref_distance_m <= 0.0 || config_.breakpoint_m <= config_.ref_distance_m) {
+        throw std::invalid_argument("Channel: need 0 < ref_distance < breakpoint");
+    }
+    if (config_.sigma_ramp_end_m < config_.breakpoint_m) {
+        throw std::invalid_argument("Channel: sigma_ramp_end must be >= breakpoint");
+    }
+    if (config_.exponent_near <= 0.0 || config_.exponent_far <= 0.0) {
+        throw std::invalid_argument("Channel: path-loss exponents must be positive");
+    }
+    max_range_m_ = solve_range(config_.rx_sensitivity_dbm);
+    cs_range_m_ = solve_range(config_.carrier_sense_dbm);
+}
+
+double Channel::mean_rssi_dbm(double distance_m) const {
+    const double d = std::max(distance_m, config_.ref_distance_m);
+    const double at_ref = config_.tx_power_dbm - config_.ref_loss_db;
+    if (d <= config_.breakpoint_m) {
+        return at_ref -
+               10.0 * config_.exponent_near * std::log10(d / config_.ref_distance_m);
+    }
+    const double at_break =
+        at_ref -
+        10.0 * config_.exponent_near * std::log10(config_.breakpoint_m / config_.ref_distance_m);
+    return at_break - 10.0 * config_.exponent_far * std::log10(d / config_.breakpoint_m);
+}
+
+double Channel::shadowing_sigma_db(double distance_m) const {
+    if (distance_m <= config_.breakpoint_m) return config_.shadowing_sigma_near_db;
+    if (distance_m >= config_.sigma_ramp_end_m) return config_.shadowing_sigma_far_db;
+    const double f = (distance_m - config_.breakpoint_m) /
+                     (config_.sigma_ramp_end_m - config_.breakpoint_m);
+    return config_.shadowing_sigma_near_db +
+           f * (config_.shadowing_sigma_far_db - config_.shadowing_sigma_near_db);
+}
+
+double Channel::fade_mean_db(double distance_m) const {
+    if (distance_m <= config_.breakpoint_m) return 0.0;
+    if (distance_m >= config_.sigma_ramp_end_m) return config_.fade_mean_far_db;
+    const double f = (distance_m - config_.breakpoint_m) /
+                     (config_.sigma_ramp_end_m - config_.breakpoint_m);
+    return f * config_.fade_mean_far_db;
+}
+
+double Channel::sample_rssi_dbm(double distance_m, sim::RandomStream& rng) const {
+    double rssi = rng.gaussian(mean_rssi_dbm(distance_m), shadowing_sigma_db(distance_m));
+    const double fade = fade_mean_db(distance_m);
+    if (fade > 0.0) {
+        rssi -= rng.exponential(fade);  // deep fades only ever attenuate
+    }
+    return rssi;
+}
+
+double Channel::solve_range(double threshold_dbm) const {
+    // mean_rssi is strictly decreasing in distance; invert by bisection.
+    double lo = config_.ref_distance_m;
+    double hi = lo;
+    while (mean_rssi_dbm(hi) > threshold_dbm && hi < 1e7) hi *= 2.0;
+    for (int i = 0; i < 60; ++i) {
+        const double mid = 0.5 * (lo + hi);
+        if (mean_rssi_dbm(mid) > threshold_dbm) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return 0.5 * (lo + hi);
+}
+
+}  // namespace cocoa::phy

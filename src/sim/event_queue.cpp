@@ -1,0 +1,51 @@
+#include "sim/event_queue.hpp"
+
+#include <cassert>
+#include <utility>
+
+namespace cocoa::sim {
+
+EventId EventQueue::schedule(TimePoint t, Callback cb) {
+    const std::uint64_t seq = next_seq_++;
+    heap_.push(Entry{t, seq, std::move(cb)});
+    live_.insert(seq);
+    return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+    if (!id.valid()) return false;
+    // Removal from `live_` is the cancellation; the heap entry becomes a
+    // tombstone that drop_dead() skips.
+    return live_.erase(id.seq_) > 0;
+}
+
+void EventQueue::drop_dead() const {
+    while (!heap_.empty() && !live_.contains(heap_.top().seq)) {
+        heap_.pop();
+    }
+}
+
+TimePoint EventQueue::next_time() const {
+    drop_dead();
+    if (heap_.empty()) return TimePoint::max();
+    return heap_.top().time;
+}
+
+EventQueue::Fired EventQueue::pop() {
+    drop_dead();
+    assert(!heap_.empty() && "pop() on empty EventQueue");
+    // priority_queue::top() is const&; the callback must be moved out, which
+    // is safe because we pop immediately after.
+    Entry& top = const_cast<Entry&>(heap_.top());
+    Fired fired{top.time, std::move(top.callback)};
+    live_.erase(top.seq);
+    heap_.pop();
+    return fired;
+}
+
+void EventQueue::clear() {
+    while (!heap_.empty()) heap_.pop();
+    live_.clear();
+}
+
+}  // namespace cocoa::sim

@@ -1,0 +1,81 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cocoa::sim {
+
+/// Handle to a scheduled event; lets the owner cancel it before it fires.
+class EventId {
+  public:
+    constexpr EventId() = default;
+    constexpr bool valid() const { return seq_ != 0; }
+    constexpr bool operator==(const EventId&) const = default;
+
+  private:
+    friend class EventQueue;
+    constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
+    std::uint64_t seq_ = 0;  // 0 = invalid
+};
+
+/// A cancellable priority queue of timed callbacks.
+///
+/// Events at equal times fire in scheduling order (FIFO), making runs
+/// deterministic. Cancellation is lazy: cancelled entries are skipped on pop.
+class EventQueue {
+  public:
+    using Callback = std::function<void()>;
+
+    /// Schedules `cb` to fire at time `t`. Returns a handle for cancellation.
+    EventId schedule(TimePoint t, Callback cb);
+
+    /// Cancels a pending event; returns false if it already fired, was
+    /// already cancelled, or the id is invalid.
+    bool cancel(EventId id);
+
+    /// True if `id` refers to an event that has not yet fired or been cancelled.
+    bool pending(EventId id) const { return live_.contains(id.seq_); }
+
+    bool empty() const { return live_.empty(); }
+    std::size_t size() const { return live_.size(); }
+
+    /// Time of the earliest pending event; TimePoint::max() if empty.
+    TimePoint next_time() const;
+
+    /// Removes and returns the earliest pending event.
+    /// Precondition: !empty().
+    struct Fired {
+        TimePoint time;
+        Callback callback;
+    };
+    Fired pop();
+
+    /// Drops all pending events.
+    void clear();
+
+  private:
+    struct Entry {
+        TimePoint time;
+        std::uint64_t seq;
+        Callback callback;
+    };
+    struct Later {
+        bool operator()(const Entry& a, const Entry& b) const {
+            if (a.time != b.time) return a.time > b.time;
+            return a.seq > b.seq;
+        }
+    };
+
+    void drop_dead() const;
+
+    mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::unordered_set<std::uint64_t> live_;  ///< seqs scheduled but not fired/cancelled
+    std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace cocoa::sim

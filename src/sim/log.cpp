@@ -1,0 +1,36 @@
+#include "sim/log.hpp"
+
+#include <iomanip>
+#include <iostream>
+
+namespace cocoa::sim {
+
+Logger::Logger() : sink_(&std::clog) {}
+
+Logger& Logger::instance() {
+    static Logger logger;
+    return logger;
+}
+
+void Logger::write(LogLevel level, TimePoint when, std::string_view component,
+                   std::string_view message) {
+    if (!enabled(level) || sink_ == nullptr) return;
+    std::ostream& os = *sink_;
+    os << '[' << std::setw(9) << std::fixed << std::setprecision(3)
+       << when.to_seconds() << "s] " << to_string(level) << ' ' << component
+       << ": " << message << '\n';
+}
+
+const char* to_string(LogLevel level) {
+    switch (level) {
+        case LogLevel::Trace: return "TRACE";
+        case LogLevel::Debug: return "DEBUG";
+        case LogLevel::Info: return "INFO ";
+        case LogLevel::Warn: return "WARN ";
+        case LogLevel::Error: return "ERROR";
+        case LogLevel::Off: return "OFF  ";
+    }
+    return "?";
+}
+
+}  // namespace cocoa::sim

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <iosfwd>
+#include <sstream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace cocoa::sim {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// A minimal leveled logger that stamps messages with virtual time.
+///
+/// The simulator is single-threaded, so no synchronization is needed. The
+/// default sink is std::clog; tests can redirect to a captured stream.
+class Logger {
+  public:
+    /// Process-wide logger instance used by all components.
+    static Logger& instance();
+
+    void set_level(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    void set_sink(std::ostream* sink) { sink_ = sink; }
+
+    bool enabled(LogLevel level) const { return level >= level_ && level_ != LogLevel::Off; }
+
+    /// Writes one log line: "[ 12.345s] level component: message".
+    void write(LogLevel level, TimePoint when, std::string_view component,
+               std::string_view message);
+
+  private:
+    Logger();
+    LogLevel level_ = LogLevel::Warn;
+    std::ostream* sink_;
+};
+
+/// Convenience macro-free helper: log only when the level is enabled, with
+/// lazy message construction via a callable returning std::string.
+template <typename MessageFn>
+void log_if(LogLevel level, TimePoint when, std::string_view component, MessageFn&& fn) {
+    Logger& logger = Logger::instance();
+    if (logger.enabled(level)) {
+        logger.write(level, when, component, fn());
+    }
+}
+
+const char* to_string(LogLevel level);
+
+}  // namespace cocoa::sim

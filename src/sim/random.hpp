@@ -1,0 +1,72 @@
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <string_view>
+
+namespace cocoa::sim {
+
+/// A deterministic pseudo-random stream.
+///
+/// Every stochastic consumer in the simulator (per-node mobility, odometry
+/// noise, channel shadowing, MAC backoff, ...) owns its own stream, derived
+/// from a master seed plus a stable name. This keeps parameter sweeps
+/// variance-controlled: changing, say, the beacon period does not perturb the
+/// random numbers the mobility model draws.
+class RandomStream {
+  public:
+    explicit RandomStream(std::uint64_t seed) : engine_(seed) {}
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) {
+        return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    }
+
+    /// Uniform integer in [lo, hi] (inclusive).
+    std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+        return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    }
+
+    /// Zero-mean-unless-specified Gaussian.
+    double gaussian(double mean, double stddev) {
+        if (stddev <= 0.0) return mean;
+        return std::normal_distribution<double>(mean, stddev)(engine_);
+    }
+
+    /// Bernoulli trial with success probability p.
+    bool chance(double p) {
+        if (p <= 0.0) return false;
+        if (p >= 1.0) return true;
+        return std::bernoulli_distribution(p)(engine_);
+    }
+
+    /// Exponentially distributed value with the given mean.
+    double exponential(double mean) {
+        return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    }
+
+    std::mt19937_64& engine() { return engine_; }
+
+  private:
+    std::mt19937_64 engine_;
+};
+
+/// Derives independent named RandomStreams from a single master seed.
+class RngManager {
+  public:
+    explicit RngManager(std::uint64_t master_seed) : master_seed_(master_seed) {}
+
+    std::uint64_t master_seed() const { return master_seed_; }
+
+    /// A stream keyed by a stable name ("mobility", "phy.shadowing", ...).
+    RandomStream stream(std::string_view name) const;
+
+    /// A stream keyed by a name plus an index (typically a node id).
+    RandomStream stream(std::string_view name, std::uint64_t index) const;
+
+  private:
+    std::uint64_t master_seed_;
+};
+
+}  // namespace cocoa::sim

@@ -1,0 +1,42 @@
+#include "sim/simulator.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace cocoa::sim {
+
+EventId Simulator::schedule_at(TimePoint t, EventQueue::Callback cb) {
+    if (t < now_) {
+        throw std::logic_error("Simulator::schedule_at: time is in the past");
+    }
+    return queue_.schedule(t, std::move(cb));
+}
+
+EventId Simulator::schedule_in(Duration d, EventQueue::Callback cb) {
+    if (d.is_negative()) {
+        throw std::logic_error("Simulator::schedule_in: negative delay");
+    }
+    return queue_.schedule(now_ + d, std::move(cb));
+}
+
+void Simulator::run_until(TimePoint end) {
+    stop_requested_ = false;
+    while (!queue_.empty() && !stop_requested_) {
+        if (queue_.next_time() > end) break;
+        auto fired = queue_.pop();
+        now_ = fired.time;
+        ++executed_;
+        fired.callback();
+    }
+    if (!stop_requested_ && now_ < end && queue_.next_time() > end) {
+        // Advance the clock to the requested horizon even if no event lands
+        // exactly there, so successive run_until calls compose naturally.
+        now_ = end;
+    }
+}
+
+void Simulator::run() {
+    run_until(TimePoint::max());
+}
+
+}  // namespace cocoa::sim

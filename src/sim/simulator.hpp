@@ -1,0 +1,62 @@
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "sim/event_queue.hpp"
+#include "sim/random.hpp"
+#include "sim/time.hpp"
+
+namespace cocoa::sim {
+
+/// The discrete-event simulation engine.
+///
+/// Owns the clock, the event queue and the RNG manager. All model components
+/// hold a reference to the Simulator and interact with virtual time purely
+/// through schedule_at()/schedule_in()/now().
+class Simulator {
+  public:
+    explicit Simulator(std::uint64_t master_seed = 1) : rng_(master_seed) {}
+
+    Simulator(const Simulator&) = delete;
+    Simulator& operator=(const Simulator&) = delete;
+
+    /// Current virtual time.
+    TimePoint now() const { return now_; }
+
+    const RngManager& rng() const { return rng_; }
+
+    /// Schedules a callback at absolute virtual time `t`.
+    /// Scheduling in the past throws std::logic_error (it would silently
+    /// reorder causality); scheduling exactly at now() is allowed.
+    EventId schedule_at(TimePoint t, EventQueue::Callback cb);
+
+    /// Schedules a callback `d` after the current time. Negative d throws.
+    EventId schedule_in(Duration d, EventQueue::Callback cb);
+
+    bool cancel(EventId id) { return queue_.cancel(id); }
+    bool pending(EventId id) const { return queue_.pending(id); }
+
+    /// Runs until the queue is empty or `end` is reached, whichever is first.
+    /// On return, now() == min(end, time-of-last-event) and events scheduled
+    /// after `end` remain pending.
+    void run_until(TimePoint end);
+
+    /// Runs until the event queue drains completely.
+    void run();
+
+    /// Requests that the run loop stop after the current event.
+    void stop() { stop_requested_ = true; }
+
+    std::size_t pending_events() const { return queue_.size(); }
+    std::uint64_t executed_events() const { return executed_; }
+
+  private:
+    TimePoint now_ = TimePoint::origin();
+    EventQueue queue_;
+    RngManager rng_;
+    bool stop_requested_ = false;
+    std::uint64_t executed_ = 0;
+};
+
+}  // namespace cocoa::sim

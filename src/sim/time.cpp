@@ -1,0 +1,15 @@
+#include "sim/time.hpp"
+
+#include <ostream>
+
+namespace cocoa::sim {
+
+std::ostream& operator<<(std::ostream& os, Duration d) {
+    return os << d.to_seconds() << 's';
+}
+
+std::ostream& operator<<(std::ostream& os, TimePoint t) {
+    return os << '@' << t.to_seconds() << 's';
+}
+
+}  // namespace cocoa::sim

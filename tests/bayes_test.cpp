@@ -1,0 +1,229 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "core/bayes_grid.hpp"
+
+namespace cocoa::core {
+namespace {
+
+using cocoa::geom::Rect;
+using cocoa::geom::Vec2;
+
+GridConfig paper_grid() {
+    GridConfig g;
+    g.area = Rect::square(200.0);
+    g.cell_m = 2.0;
+    return g;
+}
+
+phy::DistancePdf make_pdf(double mean, double sigma) {
+    phy::DistancePdf pdf;
+    pdf.mean_m = mean;
+    pdf.sigma_m = sigma;
+    pdf.gaussian_fit_ok = true;
+    pdf.sample_count = 1000;
+    return pdf;
+}
+
+TEST(BayesGrid, DimensionsFromCellSize) {
+    const BayesGrid g(paper_grid());
+    EXPECT_EQ(g.nx(), 100u);
+    EXPECT_EQ(g.ny(), 100u);
+    EXPECT_EQ(g.cell_count(), 10000u);
+    EXPECT_DOUBLE_EQ(g.cell_width(), 2.0);
+}
+
+TEST(BayesGrid, NonSquareArea) {
+    GridConfig cfg;
+    cfg.area = Rect::from_bounds(0.0, 0.0, 100.0, 50.0);
+    cfg.cell_m = 5.0;
+    const BayesGrid g(cfg);
+    EXPECT_EQ(g.nx(), 20u);
+    EXPECT_EQ(g.ny(), 10u);
+}
+
+TEST(BayesGrid, InvalidConfigThrows) {
+    GridConfig cfg = paper_grid();
+    cfg.cell_m = 0.0;
+    EXPECT_THROW(BayesGrid{cfg}, std::invalid_argument);
+    cfg = paper_grid();
+    cfg.floor_fraction = 1.0;
+    EXPECT_THROW(BayesGrid{cfg}, std::invalid_argument);
+    cfg = paper_grid();
+    cfg.floor_fraction = -0.1;
+    EXPECT_THROW(BayesGrid{cfg}, std::invalid_argument);
+}
+
+TEST(BayesGrid, UniformPriorProperties) {
+    const BayesGrid g(paper_grid());
+    EXPECT_NEAR(g.total_mass(), 1.0, 1e-9);
+    // Eq. (3) over the uniform prior gives the area centre.
+    const Vec2 mean = g.mean();
+    EXPECT_NEAR(mean.x, 100.0, 1e-9);
+    EXPECT_NEAR(mean.y, 100.0, 1e-9);
+    // Every cell has identical mass.
+    EXPECT_NEAR(g.mass_at(0, 0), 1.0 / 10000.0, 1e-15);
+    EXPECT_NEAR(g.mass_at(99, 99), 1.0 / 10000.0, 1e-15);
+}
+
+TEST(BayesGrid, CellCentersCoverArea) {
+    const BayesGrid g(paper_grid());
+    EXPECT_EQ(g.cell_center(0, 0), Vec2(1.0, 1.0));
+    EXPECT_EQ(g.cell_center(99, 99), Vec2(199.0, 199.0));
+    EXPECT_EQ(g.cell_center(49, 0), Vec2(99.0, 1.0));
+}
+
+TEST(BayesGrid, ConstraintNormalizes) {
+    BayesGrid g(paper_grid());
+    g.apply_constraint({100.0, 100.0}, make_pdf(20.0, 3.0));
+    EXPECT_NEAR(g.total_mass(), 1.0, 1e-9);
+}
+
+TEST(BayesGrid, ConstraintConcentratesOnRing) {
+    BayesGrid g(paper_grid());
+    const Vec2 anchor{100.0, 100.0};
+    g.apply_constraint(anchor, make_pdf(20.0, 3.0));
+    // A cell on the ring (distance 20 from the anchor) must beat one far off.
+    const double on_ring = g.mass_at(60, 50);   // center (121, 101): d ~ 21
+    const double off_ring = g.mass_at(80, 50);  // center (161, 101): d ~ 61
+    EXPECT_GT(on_ring, 10.0 * off_ring);
+}
+
+TEST(BayesGrid, RingConstraintKeepsMeanNearAnchor) {
+    // A single ring constraint is rotationally symmetric: the posterior mean
+    // falls near the anchor itself (the ring's centroid).
+    BayesGrid g(paper_grid());
+    const Vec2 anchor{100.0, 100.0};
+    g.apply_constraint(anchor, make_pdf(25.0, 3.0));
+    EXPECT_NEAR(g.mean().x, anchor.x, 1.0);
+    EXPECT_NEAR(g.mean().y, anchor.y, 1.0);
+    // But the spread is large: a ring is not a point estimate.
+    EXPECT_GT(g.spread(), 15.0);
+}
+
+TEST(BayesGrid, ThreeAnchorsTriangulate) {
+    // Eqs. (1)-(3): three ring constraints from well-placed anchors intersect
+    // at the true position.
+    BayesGrid g(paper_grid());
+    const Vec2 truth{80.0, 120.0};
+    const Vec2 anchors[] = {{60.0, 100.0}, {110.0, 130.0}, {85.0, 90.0}};
+    for (const Vec2& a : anchors) {
+        g.apply_constraint(a, make_pdf(geom::distance(a, truth), 2.0));
+    }
+    EXPECT_NEAR(g.mean().x, truth.x, 2.5);
+    EXPECT_NEAR(g.mean().y, truth.y, 2.5);
+    // The constraint floor leaves a little mass everywhere, so the spread
+    // cannot collapse to the ring-intersection width alone.
+    EXPECT_LT(g.spread(), 15.0);
+    // MAP agrees with the mean here.
+    EXPECT_NEAR(g.map_estimate().x, truth.x, 4.0);
+    EXPECT_NEAR(g.map_estimate().y, truth.y, 4.0);
+}
+
+TEST(BayesGrid, MoreBeaconsTightenPosterior) {
+    const Vec2 truth{80.0, 120.0};
+    const Vec2 anchors[] = {{60.0, 100.0}, {110.0, 130.0}, {85.0, 90.0},
+                            {50.0, 140.0}, {120.0, 100.0}};
+    BayesGrid g3(paper_grid());
+    BayesGrid g5(paper_grid());
+    int i = 0;
+    for (const Vec2& a : anchors) {
+        const auto pdf = make_pdf(geom::distance(a, truth), 3.0);
+        if (i < 3) g3.apply_constraint(a, pdf);
+        g5.apply_constraint(a, pdf);
+        ++i;
+    }
+    EXPECT_LT(g5.spread(), g3.spread());
+}
+
+TEST(BayesGrid, SequentialUpdatesCommute) {
+    // Bayes: the posterior is order-independent.
+    const Vec2 a1{60.0, 100.0};
+    const Vec2 a2{110.0, 130.0};
+    BayesGrid fwd(paper_grid());
+    fwd.apply_constraint(a1, make_pdf(30.0, 4.0));
+    fwd.apply_constraint(a2, make_pdf(40.0, 4.0));
+    BayesGrid rev(paper_grid());
+    rev.apply_constraint(a2, make_pdf(40.0, 4.0));
+    rev.apply_constraint(a1, make_pdf(30.0, 4.0));
+    EXPECT_NEAR(fwd.mean().x, rev.mean().x, 1e-9);
+    EXPECT_NEAR(fwd.mean().y, rev.mean().y, 1e-9);
+}
+
+TEST(BayesGrid, ResetRestoresUniform) {
+    BayesGrid g(paper_grid());
+    g.apply_constraint({100.0, 100.0}, make_pdf(20.0, 3.0));
+    g.reset_uniform();
+    EXPECT_NEAR(g.mass_at(0, 0), 1.0 / 10000.0, 1e-15);
+    EXPECT_NEAR(g.total_mass(), 1.0, 1e-9);
+}
+
+TEST(BayesGrid, ConflictingConstraintsStayProper) {
+    // Two rings that cannot both hold (anchors 100 m apart, both claiming
+    // distance 5 m): the floor keeps the posterior proper.
+    BayesGrid g(paper_grid());
+    g.apply_constraint({50.0, 100.0}, make_pdf(5.0, 1.0));
+    g.apply_constraint({150.0, 100.0}, make_pdf(5.0, 1.0));
+    EXPECT_NEAR(g.total_mass(), 1.0, 1e-9);
+    const Vec2 mean = g.mean();
+    EXPECT_TRUE(paper_grid().area.contains(mean));
+}
+
+TEST(BayesGrid, ZeroSigmaConstraintThrows) {
+    BayesGrid g(paper_grid());
+    EXPECT_THROW(g.apply_constraint({0.0, 0.0}, make_pdf(10.0, 0.0)),
+                 std::invalid_argument);
+}
+
+TEST(BayesGrid, AnchorOutsideAreaStillWorks) {
+    // Beacons can come from robots slightly outside the blind robot's grid
+    // model (Eq. 1 only constrains (x, y) inside the deployment area).
+    BayesGrid g(paper_grid());
+    g.apply_constraint({-20.0, 100.0}, make_pdf(30.0, 3.0));
+    EXPECT_NEAR(g.total_mass(), 1.0, 1e-9);
+    // Mass concentrates near the area edge closest to the ring.
+    EXPECT_LT(g.mean().x, 60.0);
+}
+
+TEST(BayesGrid, MeanAlwaysInsideArea) {
+    BayesGrid g(paper_grid());
+    for (int i = 0; i < 5; ++i) {
+        g.apply_constraint({200.0 * (i % 2 ? 1.0 : 0.0), 40.0 * i},
+                           make_pdf(10.0 + 20.0 * i, 2.0 + i));
+        EXPECT_TRUE(paper_grid().area.contains(g.mean()));
+    }
+}
+
+// Property sweep (Eq. 2 invariants): for a range of anchor geometries and PDF
+// widths, the posterior stays normalized, its mean stays in the area, and a
+// correct constraint never pushes the estimate further from the truth than
+// the prior's worst case.
+class GridPropertySweep
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GridPropertySweep, PosteriorInvariants) {
+    const auto [anchor_x, sigma] = GetParam();
+    const Vec2 truth{120.0, 80.0};
+    const Vec2 anchor{anchor_x, 60.0};
+    BayesGrid g(paper_grid());
+    g.apply_constraint(anchor, make_pdf(geom::distance(anchor, truth), sigma));
+    EXPECT_NEAR(g.total_mass(), 1.0, 1e-9);
+    EXPECT_TRUE(paper_grid().area.contains(g.mean()));
+    EXPECT_GT(g.spread(), 0.0);
+    EXPECT_LE(g.spread(), 120.0);
+    // The ring passes through the truth: density near the truth must exceed
+    // the uniform level.
+    const auto ix = static_cast<std::size_t>(truth.x / 2.0);
+    const auto iy = static_cast<std::size_t>(truth.y / 2.0);
+    EXPECT_GT(g.mass_at(ix, iy), 0.5 / 10000.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AnchorsAndWidths, GridPropertySweep,
+    ::testing::Combine(::testing::Values(20.0, 60.0, 100.0, 140.0, 180.0),
+                       ::testing::Values(1.0, 3.0, 8.0, 20.0)));
+
+}  // namespace
+}  // namespace cocoa::core

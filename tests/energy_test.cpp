@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "energy/energy.hpp"
+
+namespace cocoa::energy {
+namespace {
+
+using cocoa::sim::Duration;
+using cocoa::sim::TimePoint;
+
+TEST(PowerProfile, PaperNumbers) {
+    // The paper quotes ~900 mW idle vs 50 mW sleep as the basis of CoCoA's
+    // savings; these are the defaults.
+    const PowerProfile p = PowerProfile::wavelan();
+    EXPECT_DOUBLE_EQ(p.power_mw(RadioState::Idle), 900.0);
+    EXPECT_DOUBLE_EQ(p.power_mw(RadioState::Sleep), 50.0);
+    EXPECT_GT(p.power_mw(RadioState::Tx), p.power_mw(RadioState::Rx));
+    EXPECT_GE(p.power_mw(RadioState::Rx), p.power_mw(RadioState::Idle));
+    EXPECT_DOUBLE_EQ(p.power_mw(RadioState::Off), 0.0);
+}
+
+TEST(RadioState, AwakeClassification) {
+    EXPECT_TRUE(is_awake(RadioState::Idle));
+    EXPECT_TRUE(is_awake(RadioState::Rx));
+    EXPECT_TRUE(is_awake(RadioState::Tx));
+    EXPECT_FALSE(is_awake(RadioState::Sleep));
+    EXPECT_FALSE(is_awake(RadioState::Off));
+}
+
+TEST(RadioState, Names) {
+    EXPECT_STREQ(to_string(RadioState::Idle), "idle");
+    EXPECT_STREQ(to_string(RadioState::Sleep), "sleep");
+    EXPECT_STREQ(to_string(RadioState::Tx), "tx");
+}
+
+TEST(EnergyMeter, IdleAccrual) {
+    EnergyMeter m(PowerProfile::wavelan(), TimePoint::origin());
+    m.settle(TimePoint::from_seconds(10.0));
+    EXPECT_DOUBLE_EQ(m.state_mj(RadioState::Idle), 9000.0);  // 900 mW * 10 s
+    EXPECT_DOUBLE_EQ(m.total_mj(), 9000.0);
+    EXPECT_EQ(m.time_in(RadioState::Idle), Duration::seconds(10.0));
+}
+
+TEST(EnergyMeter, StateChangesSplitAccrual) {
+    EnergyMeter m(PowerProfile::wavelan(), TimePoint::origin());
+    m.change_state(TimePoint::from_seconds(2.0), RadioState::Tx);   // 2 s idle
+    m.change_state(TimePoint::from_seconds(3.0), RadioState::Idle); // 1 s tx
+    m.settle(TimePoint::from_seconds(5.0));                         // 2 s idle
+    EXPECT_DOUBLE_EQ(m.state_mj(RadioState::Idle), 4.0 * 900.0);
+    EXPECT_DOUBLE_EQ(m.state_mj(RadioState::Tx), 1.0 * 1400.0);
+    EXPECT_EQ(m.time_in(RadioState::Tx), Duration::seconds(1.0));
+}
+
+TEST(EnergyMeter, SleepSavesEnergy) {
+    EnergyMeter awake(PowerProfile::wavelan(), TimePoint::origin());
+    awake.settle(TimePoint::from_seconds(100.0));
+
+    EnergyMeter sleeper(PowerProfile::wavelan(), TimePoint::origin());
+    sleeper.change_state(TimePoint::from_seconds(3.0), RadioState::Sleep);
+    sleeper.change_state(TimePoint::from_seconds(100.0), RadioState::Idle);
+    sleeper.settle(TimePoint::from_seconds(100.0));
+
+    EXPECT_LT(sleeper.total_mj(), awake.total_mj() / 5.0);
+}
+
+TEST(EnergyMeter, TransitionCostChargedOnPowerBoundary) {
+    PowerProfile p = PowerProfile::wavelan();
+    p.transition_mj = 7.0;
+    EnergyMeter m(p, TimePoint::origin());
+    m.change_state(TimePoint::from_seconds(1.0), RadioState::Sleep);  // down: +7
+    m.change_state(TimePoint::from_seconds(2.0), RadioState::Idle);   // up:   +7
+    m.change_state(TimePoint::from_seconds(3.0), RadioState::Tx);     // awake->awake: free
+    m.change_state(TimePoint::from_seconds(4.0), RadioState::Rx);     // free
+    EXPECT_DOUBLE_EQ(m.transition_mj(), 14.0);
+    EXPECT_EQ(m.transitions(), 4u);
+}
+
+TEST(EnergyMeter, SameStateChangeIsNoop) {
+    EnergyMeter m(PowerProfile::wavelan(), TimePoint::origin());
+    m.change_state(TimePoint::from_seconds(1.0), RadioState::Idle);
+    EXPECT_EQ(m.transitions(), 0u);
+    EXPECT_DOUBLE_EQ(m.transition_mj(), 0.0);
+}
+
+TEST(EnergyMeter, TimeBackwardsThrows) {
+    EnergyMeter m(PowerProfile::wavelan(), TimePoint::from_seconds(5.0));
+    EXPECT_THROW(m.change_state(TimePoint::from_seconds(4.0), RadioState::Tx),
+                 std::logic_error);
+    EXPECT_THROW(m.settle(TimePoint::from_seconds(1.0)), std::logic_error);
+}
+
+TEST(EnergyMeter, TotalIsSumOfParts) {
+    EnergyMeter m(PowerProfile::wavelan(), TimePoint::origin());
+    m.change_state(TimePoint::from_seconds(1.0), RadioState::Tx);
+    m.change_state(TimePoint::from_seconds(2.0), RadioState::Rx);
+    m.change_state(TimePoint::from_seconds(3.0), RadioState::Sleep);
+    m.settle(TimePoint::from_seconds(10.0));
+    const double parts = m.state_mj(RadioState::Idle) + m.state_mj(RadioState::Tx) +
+                         m.state_mj(RadioState::Rx) + m.state_mj(RadioState::Sleep) +
+                         m.state_mj(RadioState::Off) + m.transition_mj();
+    EXPECT_DOUBLE_EQ(m.total_mj(), parts);
+}
+
+TEST(EnergyMeter, SettleIsIdempotent) {
+    EnergyMeter m(PowerProfile::wavelan(), TimePoint::origin());
+    m.settle(TimePoint::from_seconds(5.0));
+    const double e1 = m.total_mj();
+    m.settle(TimePoint::from_seconds(5.0));
+    EXPECT_DOUBLE_EQ(m.total_mj(), e1);
+}
+
+TEST(EnergyMeter, StartStateRespected) {
+    EnergyMeter m(PowerProfile::wavelan(), TimePoint::origin(), RadioState::Sleep);
+    m.settle(TimePoint::from_seconds(10.0));
+    EXPECT_DOUBLE_EQ(m.state_mj(RadioState::Sleep), 500.0);
+    EXPECT_DOUBLE_EQ(m.state_mj(RadioState::Idle), 0.0);
+}
+
+TEST(EnergyMeter, IdleVsSleepRatioMatchesPaperClaim) {
+    // "significant energy savings are only possible if radios are put in
+    // sleep mode instead of idle mode (50mW versus 900mW)" — ratio 18x.
+    const PowerProfile p = PowerProfile::wavelan();
+    EXPECT_DOUBLE_EQ(p.idle_mw / p.sleep_mw, 18.0);
+}
+
+}  // namespace
+}  // namespace cocoa::energy

@@ -1,0 +1,146 @@
+#include <gtest/gtest.h>
+
+#include "core/scenario.hpp"
+
+namespace cocoa::core {
+namespace {
+
+using cocoa::sim::Duration;
+using cocoa::sim::TimePoint;
+
+ScenarioConfig base_config() {
+    ScenarioConfig c;
+    c.seed = 77;
+    c.num_robots = 16;
+    c.num_anchors = 8;
+    c.duration = Duration::minutes(10);
+    c.period = Duration::seconds(25.0);
+    return c;
+}
+
+TEST(Failure, RadioPowerOffIsTerminal) {
+    Scenario s(base_config());
+    s.run_until(TimePoint::from_seconds(5.0));
+    auto& radio = s.world().node(3).radio();
+    radio.power_off();
+    EXPECT_TRUE(radio.is_off());
+    radio.wake();  // must not revive
+    EXPECT_TRUE(radio.is_off());
+    radio.sleep();  // must not change state either
+    EXPECT_TRUE(radio.is_off());
+    EXPECT_NO_THROW(s.run_until(TimePoint::from_seconds(60.0)));
+}
+
+TEST(Failure, DeadAnchorStopsBeaconing) {
+    Scenario s(base_config());
+    s.run_until(TimePoint::from_seconds(30.0));
+    const auto sent_before = s.agent(2).stats().beacons_sent;
+    EXPECT_GT(sent_before, 0u);
+    s.world().node(2).radio().power_off();
+    s.run_until(TimePoint::from_seconds(120.0));
+    EXPECT_EQ(s.agent(2).stats().beacons_sent, sent_before);
+}
+
+TEST(Failure, TeamSurvivesAnchorLoss) {
+    // Losing a couple of anchors degrades but does not break localization.
+    ScenarioConfig c = base_config();
+    Scenario s(c);
+    s.run_until(TimePoint::from_seconds(60.0));
+    s.world().node(3).radio().power_off();
+    s.world().node(4).radio().power_off();
+    s.run();
+    const auto r = s.result();
+    const double late_err = r.avg_error.mean_in(TimePoint::from_seconds(120.0),
+                                                TimePoint::from_seconds(601.0));
+    EXPECT_LT(late_err, 25.0);
+    EXPECT_GT(r.agent_totals.fixes, 0u);
+}
+
+TEST(Failure, SyncRobotDeathTriggersFailover) {
+    ScenarioConfig c = base_config();
+    c.sync_backups = 2;
+    Scenario s(c);
+    s.run_until(TimePoint::from_seconds(30.0));
+    EXPECT_TRUE(s.agent(0).is_sync_robot());
+    s.world().node(0).radio().power_off();
+    s.run();
+    const auto r = s.result();
+    // A backup promoted itself...
+    EXPECT_GE(r.agent_totals.sync_takeovers, 1u);
+    EXPECT_TRUE(s.agent(1).is_sync_robot() || s.agent(2).is_sync_robot());
+    // ...and SYNCs kept flowing afterwards: robots other than the dead
+    // primary kept hearing them late in the run.
+    std::uint64_t late_syncs = 0;
+    for (std::size_t i = 1; i < s.agent_count(); ++i) {
+        late_syncs += s.agent(static_cast<net::NodeId>(i)).stats().syncs_received;
+    }
+    EXPECT_GT(late_syncs, 0u);
+    // Localization survived the gap.
+    const double late_err = r.avg_error.mean_in(TimePoint::from_seconds(400.0),
+                                                TimePoint::from_seconds(601.0));
+    EXPECT_LT(late_err, 25.0);
+}
+
+TEST(Failure, NoFailoverWhileSyncAlive) {
+    ScenarioConfig c = base_config();
+    c.sync_backups = 2;
+    const auto r = run_scenario(c);
+    EXPECT_EQ(r.agent_totals.sync_takeovers, 0u);
+}
+
+TEST(Failure, PartitionedRobotsKeepLastEstimate) {
+    // Anchors clustered in one corner of a large area: far-away blind robots
+    // hear no beacons for long stretches and coast on their previous
+    // estimate + odometry, exactly as §2.3 prescribes.
+    ScenarioConfig c = base_config();
+    c.area_side_m = 600.0;
+    c.num_robots = 12;
+    c.num_anchors = 4;
+    c.duration = Duration::minutes(5);
+    Scenario s(c);
+    s.run();
+    const auto r = s.result();
+    EXPECT_GT(r.agent_totals.windows_without_fix, 0u);
+    // Estimates remain finite and inside the modelled area.
+    for (std::size_t i = c.num_anchors; i < s.agent_count(); ++i) {
+        const auto est = s.agent(static_cast<net::NodeId>(i)).estimate();
+        EXPECT_TRUE(geom::Rect::square(c.area_side_m).contains(
+            geom::Rect::square(c.area_side_m).clamp(est)));
+        EXPECT_TRUE(std::isfinite(est.x));
+        EXPECT_TRUE(std::isfinite(est.y));
+    }
+}
+
+TEST(Failure, HeavyClockSkewDegradesGracefully) {
+    ScenarioConfig c = base_config();
+    c.clock_skew_sigma_s = 1.0;  // 10x the default; guard is only 1 s
+    const auto r = run_scenario(c);
+    // Some windows are inevitably missed, but the system neither crashes nor
+    // collapses to the no-localization baseline.
+    EXPECT_GT(r.agent_totals.fixes, 0u);
+    const double late_err = r.avg_error.mean_in(TimePoint::from_seconds(300.0),
+                                                TimePoint::from_seconds(601.0));
+    EXPECT_LT(late_err, 60.0);
+}
+
+TEST(Failure, AllAnchorsDeadDegradesToOdometryCoasting) {
+    ScenarioConfig c = base_config();
+    Scenario s(c);
+    s.run_until(TimePoint::from_seconds(60.0));
+    for (int i = 0; i < c.num_anchors; ++i) {
+        s.world().node(static_cast<net::NodeId>(i)).radio().power_off();
+    }
+    EXPECT_NO_THROW(s.run());
+    const auto r = s.result();
+    // Error grows after the loss (estimates go stale) but stays bounded by
+    // the area scale.
+    const double before = r.avg_error.mean_in(TimePoint::from_seconds(30.0),
+                                              TimePoint::from_seconds(60.0));
+    const double after = r.avg_error.mean_in(TimePoint::from_seconds(400.0),
+                                             TimePoint::from_seconds(601.0));
+    EXPECT_GT(after, before);
+    EXPECT_LT(after, 300.0);
+}
+
+}  // namespace
+}  // namespace cocoa::core

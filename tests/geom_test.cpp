@@ -1,0 +1,195 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+
+#include "geom/motion.hpp"
+#include "geom/rect.hpp"
+#include "geom/vec2.hpp"
+
+namespace cocoa::geom {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+TEST(Vec2, Arithmetic) {
+    const Vec2 a{1.0, 2.0};
+    const Vec2 b{3.0, -1.0};
+    EXPECT_EQ(a + b, Vec2(4.0, 1.0));
+    EXPECT_EQ(a - b, Vec2(-2.0, 3.0));
+    EXPECT_EQ(a * 2.0, Vec2(2.0, 4.0));
+    EXPECT_EQ(2.0 * a, Vec2(2.0, 4.0));
+    EXPECT_EQ(a / 2.0, Vec2(0.5, 1.0));
+    EXPECT_EQ(-a, Vec2(-1.0, -2.0));
+}
+
+TEST(Vec2, CompoundAssignment) {
+    Vec2 v{1.0, 1.0};
+    v += {2.0, 3.0};
+    EXPECT_EQ(v, Vec2(3.0, 4.0));
+    v -= {1.0, 1.0};
+    EXPECT_EQ(v, Vec2(2.0, 3.0));
+    v *= 2.0;
+    EXPECT_EQ(v, Vec2(4.0, 6.0));
+}
+
+TEST(Vec2, NormAndDistance) {
+    EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm(), 5.0);
+    EXPECT_DOUBLE_EQ(Vec2(3.0, 4.0).norm_sq(), 25.0);
+    EXPECT_DOUBLE_EQ(distance({0.0, 0.0}, {3.0, 4.0}), 5.0);
+    EXPECT_DOUBLE_EQ(distance_sq({1.0, 1.0}, {4.0, 5.0}), 25.0);
+}
+
+TEST(Vec2, Dot) {
+    EXPECT_DOUBLE_EQ(Vec2(1.0, 2.0).dot({3.0, 4.0}), 11.0);
+    EXPECT_DOUBLE_EQ(Vec2(1.0, 0.0).dot({0.0, 1.0}), 0.0);
+}
+
+TEST(Vec2, Normalized) {
+    const Vec2 n = Vec2(3.0, 4.0).normalized();
+    EXPECT_DOUBLE_EQ(n.norm(), 1.0);
+    EXPECT_DOUBLE_EQ(n.x, 0.6);
+    EXPECT_DOUBLE_EQ(n.y, 0.8);
+}
+
+TEST(Vec2, NormalizedZeroIsZero) {
+    const Vec2 n = Vec2{}.normalized();
+    EXPECT_EQ(n, Vec2());
+}
+
+TEST(Vec2, HeadingRoundTrip) {
+    for (const double h : {0.0, 0.5, -0.5, 1.5, 3.0, -3.0}) {
+        const Vec2 v = Vec2::from_heading(h);
+        EXPECT_NEAR(v.heading(), h, 1e-12);
+        EXPECT_NEAR(v.norm(), 1.0, 1e-12);
+    }
+}
+
+TEST(Vec2, Stream) {
+    std::ostringstream ss;
+    ss << Vec2{1.5, -2.0};
+    EXPECT_EQ(ss.str(), "(1.5, -2)");
+}
+
+TEST(WrapAngle, StaysInRange) {
+    for (double a = -25.0; a <= 25.0; a += 0.37) {
+        const double w = wrap_angle(a);
+        EXPECT_GT(w, -kPi - 1e-12);
+        EXPECT_LE(w, kPi + 1e-12);
+        // Same direction.
+        EXPECT_NEAR(std::cos(w), std::cos(a), 1e-9);
+        EXPECT_NEAR(std::sin(w), std::sin(a), 1e-9);
+    }
+}
+
+TEST(WrapAngle, ExactValues) {
+    EXPECT_DOUBLE_EQ(wrap_angle(0.0), 0.0);
+    EXPECT_NEAR(wrap_angle(2.0 * kPi), 0.0, 1e-12);
+    EXPECT_NEAR(wrap_angle(3.0 * kPi), kPi, 1e-12);
+}
+
+TEST(DegRad, RoundTrip) {
+    EXPECT_DOUBLE_EQ(deg_to_rad(180.0), kPi);
+    EXPECT_DOUBLE_EQ(rad_to_deg(kPi / 2.0), 90.0);
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(37.0)), 37.0, 1e-12);
+}
+
+TEST(Rect, BasicProperties) {
+    const Rect r = Rect::from_bounds(0.0, 0.0, 200.0, 100.0);
+    EXPECT_DOUBLE_EQ(r.width(), 200.0);
+    EXPECT_DOUBLE_EQ(r.height(), 100.0);
+    EXPECT_DOUBLE_EQ(r.area(), 20000.0);
+    EXPECT_EQ(r.center(), Vec2(100.0, 50.0));
+    EXPECT_NEAR(r.diagonal(), std::sqrt(200.0 * 200.0 + 100.0 * 100.0), 1e-12);
+}
+
+TEST(Rect, SquareMatchesPaperArea) {
+    // The paper's deployment area: 40 000 m^2.
+    const Rect r = Rect::square(200.0);
+    EXPECT_DOUBLE_EQ(r.area(), 40000.0);
+}
+
+TEST(Rect, Contains) {
+    const Rect r = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+    EXPECT_TRUE(r.contains({5.0, 5.0}));
+    EXPECT_TRUE(r.contains({0.0, 0.0}));
+    EXPECT_TRUE(r.contains({10.0, 10.0}));
+    EXPECT_FALSE(r.contains({10.1, 5.0}));
+    EXPECT_FALSE(r.contains({5.0, -0.1}));
+}
+
+TEST(Rect, Clamp) {
+    const Rect r = Rect::from_bounds(0.0, 0.0, 10.0, 10.0);
+    EXPECT_EQ(r.clamp({5.0, 5.0}), Vec2(5.0, 5.0));
+    EXPECT_EQ(r.clamp({-3.0, 5.0}), Vec2(0.0, 5.0));
+    EXPECT_EQ(r.clamp({12.0, 15.0}), Vec2(10.0, 10.0));
+}
+
+TEST(Rect, InvalidThrows) {
+    EXPECT_THROW(Rect::from_bounds(1.0, 0.0, 0.0, 10.0), std::invalid_argument);
+    EXPECT_THROW(Rect::from_bounds(0.0, 1.0, 10.0, 0.0), std::invalid_argument);
+}
+
+TEST(LinkLifetime, StaticNodesInRangeLiveForever) {
+    const double life = link_lifetime({0.0, 0.0}, {0.0, 0.0}, {10.0, 0.0}, {0.0, 0.0}, 50.0);
+    EXPECT_TRUE(std::isinf(life));
+}
+
+TEST(LinkLifetime, OutOfRangeIsZero) {
+    const double life = link_lifetime({0.0, 0.0}, {1.0, 0.0}, {100.0, 0.0}, {0.0, 0.0}, 50.0);
+    EXPECT_DOUBLE_EQ(life, 0.0);
+}
+
+TEST(LinkLifetime, HeadOnSeparation) {
+    // B moves away from A along +x at 2 m/s from 10 m apart; range 50 m.
+    // Separation reaches 50 m after (50 - 10) / 2 = 20 s.
+    const double life = link_lifetime({0.0, 0.0}, {0.0, 0.0}, {10.0, 0.0}, {2.0, 0.0}, 50.0);
+    EXPECT_NEAR(life, 20.0, 1e-9);
+}
+
+TEST(LinkLifetime, ApproachingThenSeparating) {
+    // B starts 40 m away moving toward A at 1 m/s, passes, then separates.
+    // Total time inside range: it exits at +50 m on the far side:
+    // crossing time = (40 + 50) / 1 = 90 s.
+    const double life = link_lifetime({0.0, 0.0}, {0.0, 0.0}, {40.0, 0.0}, {-1.0, 0.0}, 50.0);
+    EXPECT_NEAR(life, 90.0, 1e-9);
+}
+
+TEST(LinkLifetime, IdenticalVelocitiesNeverSeparate) {
+    const double life =
+        link_lifetime({0.0, 0.0}, {1.5, -0.5}, {10.0, 10.0}, {1.5, -0.5}, 50.0);
+    EXPECT_TRUE(std::isinf(life));
+}
+
+TEST(LinkLifetime, SymmetricInArguments) {
+    const Vec2 pa{0.0, 0.0}, va{1.0, 0.5}, pb{30.0, -20.0}, vb{-0.5, 1.0};
+    EXPECT_NEAR(link_lifetime(pa, va, pb, vb, 60.0), link_lifetime(pb, vb, pa, va, 60.0),
+                1e-9);
+}
+
+TEST(LinkLifetime, MotionStateHorizonCaps) {
+    MotionState a{{0.0, 0.0}, {0.0, 0.0}, 5.0};
+    MotionState b{{10.0, 0.0}, {2.0, 0.0}, 100.0};
+    // Raw lifetime would be 20 s, but A's plan is only valid for 5 s.
+    EXPECT_NEAR(link_lifetime(a, b, 50.0), 5.0, 1e-9);
+}
+
+TEST(LinkLifetime, ZeroHorizonMeansUncapped) {
+    MotionState a{{0.0, 0.0}, {0.0, 0.0}, 0.0};
+    MotionState b{{10.0, 0.0}, {2.0, 0.0}, 0.0};
+    EXPECT_NEAR(link_lifetime(a, b, 50.0), 20.0, 1e-9);
+}
+
+TEST(LinkLifetime, PerpendicularFlyby) {
+    // B passes A at a perpendicular offset of 30 m, speed 3 m/s, range 50 m.
+    // Chord half-length = sqrt(50^2 - 30^2) = 40 m; starting abreast of the
+    // closest point, exit after 40 / 3 s.
+    const double life =
+        link_lifetime({0.0, 0.0}, {0.0, 0.0}, {0.0, 30.0}, {3.0, 0.0}, 50.0);
+    EXPECT_NEAR(life, 40.0 / 3.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace cocoa::geom

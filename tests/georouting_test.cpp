@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "georouting/geo_router.hpp"
+#include "net/node.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace cocoa::georouting {
+namespace {
+
+using cocoa::energy::PowerProfile;
+using cocoa::geom::Vec2;
+using cocoa::sim::Duration;
+using cocoa::sim::Simulator;
+using cocoa::sim::TimePoint;
+
+/// Static topologies over a deterministic channel; every router advertises
+/// its true position unless a test substitutes estimates.
+class GeoFixture : public ::testing::Test {
+  protected:
+    GeoFixture() : sim_(31), world_(sim_, quiet_channel()) {}
+
+    static phy::Channel quiet_channel() {
+        phy::ChannelConfig c;
+        c.shadowing_sigma_near_db = 0.0;
+        c.shadowing_sigma_far_db = 0.0;
+        c.fade_mean_far_db = 0.0;
+        return phy::Channel{c};
+    }
+
+    void build(const std::vector<Vec2>& positions, GeoRouterConfig config = {}) {
+        mobility::WaypointConfig mc;
+        mc.area = geom::Rect::from_bounds(-500.0, -500.0, 2000.0, 2000.0);
+        mc.min_speed = 0.001;
+        mc.max_speed = 0.002;  // effectively static
+        for (const Vec2& p : positions) {
+            world_.add_node(mc, PowerProfile::wavelan(), {}, p);
+        }
+        fleet_.emplace(world_, config, [this](net::NodeId id) {
+            return [this, id] { return world_.node(id).mobility().position(); };
+        });
+        fleet_->start_all();
+        // Two hello rounds so neighbour tables are complete.
+        sim_.run_until(TimePoint::from_seconds(11.0));
+    }
+
+    Simulator sim_;
+    net::World world_;
+    std::optional<GeoRoutingFleet> fleet_;
+};
+
+TEST_F(GeoFixture, HellosBuildNeighborTables) {
+    build({{0.0, 0.0}, {100.0, 0.0}, {300.0, 0.0}});
+    EXPECT_EQ(fleet_->at(0).neighbor_count(), 1u);  // only node 1 in range
+    EXPECT_EQ(fleet_->at(1).neighbor_count(), 1u);  // node 2 out of range too
+    EXPECT_EQ(fleet_->at(2).neighbor_count(), 0u);
+}
+
+TEST_F(GeoFixture, DirectNeighborDelivery) {
+    build({{0.0, 0.0}, {100.0, 0.0}});
+    int got = 0;
+    fleet_->at(1).set_deliver_handler([&](const net::GeoDataPayload& d) {
+        EXPECT_EQ(d.origin, 0u);
+        EXPECT_EQ(d.app_tag, 77u);
+        ++got;
+    });
+    sim_.schedule_at(TimePoint::from_seconds(12.0), [&] {
+        EXPECT_TRUE(fleet_->at(0).send(1, {100.0, 0.0}, 64, 77));
+    });
+    sim_.run_until(TimePoint::from_seconds(15.0));
+    EXPECT_EQ(got, 1);
+}
+
+TEST_F(GeoFixture, GreedyChainDelivery) {
+    build({{0.0, 0.0}, {120.0, 0.0}, {240.0, 0.0}, {360.0, 0.0}, {480.0, 0.0}});
+    int got = 0;
+    fleet_->at(4).set_deliver_handler([&](const net::GeoDataPayload&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(12.0), [&] {
+        fleet_->at(0).send(4, {480.0, 0.0}, 64);
+    });
+    sim_.run_until(TimePoint::from_seconds(15.0));
+    EXPECT_EQ(got, 1);
+    const auto total = fleet_->total_stats();
+    EXPECT_EQ(total.forwarded_greedy, 4u);  // 4 hops
+    EXPECT_EQ(total.forwarded_face, 0u);
+}
+
+TEST_F(GeoFixture, FaceRoutingAroundVoid) {
+    // A "U" void: the straight line from source to destination crosses a gap
+    // with no nodes; greedy hits a local minimum at node 1 and face routing
+    // must walk around via the top.
+    build({
+        {0.0, 0.0},     // 0: source
+        {140.0, 0.0},   // 1: local minimum (no neighbour closer to dest)
+        {140.0, 140.0}, // 2: top-left of the detour
+        {280.0, 140.0}, // 3: top-right
+        {420.0, 140.0}, // 4: descends toward dest
+        {420.0, 0.0},   // 5: destination... 1 -> 5 is 280 m apart: void
+    });
+    int got = 0;
+    fleet_->at(5).set_deliver_handler([&](const net::GeoDataPayload&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(12.0), [&] {
+        fleet_->at(0).send(5, {420.0, 0.0}, 64);
+    });
+    sim_.run_until(TimePoint::from_seconds(15.0));
+    EXPECT_EQ(got, 1);
+    EXPECT_GT(fleet_->total_stats().forwarded_face, 0u);
+}
+
+TEST_F(GeoFixture, UnreachableDestinationDropsNotLoops) {
+    build({{0.0, 0.0}, {120.0, 0.0}, {1500.0, 1500.0}});
+    int got = 0;
+    fleet_->at(2).set_deliver_handler([&](const net::GeoDataPayload&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(12.0), [&] {
+        fleet_->at(0).send(2, {1500.0, 1500.0}, 64);
+    });
+    sim_.run_until(TimePoint::from_seconds(30.0));
+    EXPECT_EQ(got, 0);
+    // The packet dies in a bounded way: a drop, a TTL expiry, or the
+    // same-edge duplicate filter ending a face ping-pong.
+    const auto total = fleet_->total_stats();
+    EXPECT_GT(total.dropped_no_neighbor + total.dropped_ttl +
+                  total.duplicates_swallowed,
+              0u);
+}
+
+TEST_F(GeoFixture, TtlBoundsTraversal) {
+    GeoRouterConfig cfg;
+    cfg.ttl = 2;
+    build({{0.0, 0.0}, {120.0, 0.0}, {240.0, 0.0}, {360.0, 0.0}, {480.0, 0.0}}, cfg);
+    int got = 0;
+    fleet_->at(4).set_deliver_handler([&](const net::GeoDataPayload&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(12.0), [&] {
+        fleet_->at(0).send(4, {480.0, 0.0}, 64);
+    });
+    sim_.run_until(TimePoint::from_seconds(15.0));
+    EXPECT_EQ(got, 0);  // needs 4 hops, TTL allows 3 transmissions
+    EXPECT_EQ(fleet_->total_stats().dropped_ttl, 1u);
+}
+
+TEST_F(GeoFixture, NeighborExpiryAfterSilence) {
+    GeoRouterConfig cfg;
+    cfg.neighbor_timeout = Duration::seconds(12.0);
+    build({{0.0, 0.0}, {100.0, 0.0}}, cfg);
+    EXPECT_EQ(fleet_->at(0).neighbor_count(), 1u);
+    // Stop node 1's hellos; node 0 must forget it. (Expiry is lazy, checked
+    // on the next routing decision.)
+    fleet_->at(1).stop();
+    sim_.run_until(TimePoint::from_seconds(40.0));
+    fleet_->at(0).send(1, {100.0, 0.0}, 16);
+    EXPECT_EQ(fleet_->at(0).neighbor_count(), 0u);
+}
+
+TEST_F(GeoFixture, SendWithNoNeighborsFails) {
+    build({{0.0, 0.0}});
+    EXPECT_FALSE(fleet_->at(0).send(9, {100.0, 100.0}, 16));
+    EXPECT_EQ(fleet_->at(0).stats().dropped_no_neighbor, 1u);
+}
+
+TEST_F(GeoFixture, ArqBlacklistsDeadHopAndReroutes) {
+    // src greedily picks A (straight toward dst); A dies after the neighbour
+    // tables are built, so the per-hop ARQ exhausts its retries, blacklists
+    // A, and reroutes through B — the packet still arrives.
+    build({
+        {0.0, 0.0},    // 0: src
+        {100.0, 0.0},  // 1: A (preferred greedy hop)
+        {100.0, 60.0}, // 2: B (detour)
+        {200.0, 0.0},  // 3: dst
+    });
+    int got = 0;
+    fleet_->at(3).set_deliver_handler([&](const net::GeoDataPayload&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(11.5),
+                     [&] { world_.node(1).radio().power_off(); });
+    sim_.schedule_at(TimePoint::from_seconds(12.0), [&] {
+        fleet_->at(0).send(3, {200.0, 0.0}, 64);
+    });
+    sim_.run_until(TimePoint::from_seconds(20.0));
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(fleet_->at(0).stats().retransmits, 3u);
+    EXPECT_EQ(fleet_->at(0).stats().reroutes, 1u);
+    // A was evicted from src's neighbour table.
+    EXPECT_FALSE(fleet_->at(0).neighbors().contains(1));
+}
+
+TEST_F(GeoFixture, AckSuppressesRetransmission) {
+    build({{0.0, 0.0}, {100.0, 0.0}});
+    int got = 0;
+    fleet_->at(1).set_deliver_handler([&](const net::GeoDataPayload&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(12.0), [&] {
+        fleet_->at(0).send(1, {100.0, 0.0}, 64);
+    });
+    sim_.run_until(TimePoint::from_seconds(15.0));
+    EXPECT_EQ(got, 1);
+    EXPECT_EQ(fleet_->at(0).stats().retransmits, 0u);
+}
+
+TEST_F(GeoFixture, RequiresPositionProvider) {
+    mobility::WaypointConfig mc;
+    mc.area = geom::Rect::square(200.0);
+    net::Node& n = world_.add_node(mc, PowerProfile::wavelan());
+    EXPECT_THROW(GeoRouter(n, {}, nullptr), std::invalid_argument);
+}
+
+TEST_F(GeoFixture, PositionErrorToleratedWithinReason) {
+    // Routers advertise noisy positions (CoCoA-grade, ~5 m): greedy routing
+    // still delivers across the chain.
+    mobility::WaypointConfig mc;
+    mc.area = geom::Rect::from_bounds(-500.0, -500.0, 2000.0, 2000.0);
+    mc.min_speed = 0.001;
+    mc.max_speed = 0.002;
+    const std::vector<Vec2> positions = {
+        {0.0, 0.0}, {120.0, 0.0}, {240.0, 0.0}, {360.0, 0.0}, {480.0, 0.0}};
+    for (const Vec2& p : positions) {
+        world_.add_node(mc, PowerProfile::wavelan(), {}, p);
+    }
+    auto noise_rng =
+        std::make_shared<sim::RandomStream>(sim_.rng().stream("noise"));
+    fleet_.emplace(world_, GeoRouterConfig{}, [&](net::NodeId id) {
+        const Vec2 offset{noise_rng->gaussian(0.0, 5.0), noise_rng->gaussian(0.0, 5.0)};
+        return [this, id, offset] {
+            return world_.node(id).mobility().position() + offset;
+        };
+    });
+    fleet_->start_all();
+    sim_.run_until(TimePoint::from_seconds(11.0));
+    int got = 0;
+    fleet_->at(4).set_deliver_handler([&](const net::GeoDataPayload&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(12.0), [&] {
+        fleet_->at(0).send(4, {480.0, 0.0}, 64);
+    });
+    sim_.run_until(TimePoint::from_seconds(15.0));
+    EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace cocoa::georouting

@@ -1,0 +1,220 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+#include "metrics/cdf.hpp"
+#include "metrics/running_stat.hpp"
+#include "metrics/table.hpp"
+#include "metrics/time_series.hpp"
+
+namespace cocoa::metrics {
+namespace {
+
+using cocoa::sim::Duration;
+using cocoa::sim::TimePoint;
+
+TEST(RunningStat, EmptyDefaults) {
+    RunningStat s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(RunningStat, SingleSample) {
+    RunningStat s;
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 5.0);
+    EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(RunningStat, KnownMoments) {
+    RunningStat s;
+    for (const double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Population variance is 4.0; sample variance = 4.0 * 8 / 7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential) {
+    RunningStat a;
+    RunningStat b;
+    RunningStat all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i * 0.7) * 10.0;
+        (i % 2 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+    RunningStat a;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStat empty;
+    a.merge(empty);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+    empty.merge(a);
+    EXPECT_DOUBLE_EQ(empty.mean(), 2.0);
+}
+
+TEST(RunningStat, Reset) {
+    RunningStat s;
+    s.add(4.0);
+    s.reset();
+    EXPECT_TRUE(s.empty());
+}
+
+TEST(TimeSeries, PushAndStats) {
+    TimeSeries ts;
+    ts.push(TimePoint::from_seconds(1.0), 10.0);
+    ts.push(TimePoint::from_seconds(2.0), 20.0);
+    ts.push(TimePoint::from_seconds(3.0), 30.0);
+    EXPECT_EQ(ts.size(), 3u);
+    EXPECT_DOUBLE_EQ(ts.stats().mean(), 20.0);
+    EXPECT_DOUBLE_EQ(ts.stats().max(), 30.0);
+}
+
+TEST(TimeSeries, RejectsOutOfOrder) {
+    TimeSeries ts;
+    ts.push(TimePoint::from_seconds(2.0), 1.0);
+    EXPECT_THROW(ts.push(TimePoint::from_seconds(1.0), 2.0), std::invalid_argument);
+    // Equal timestamps are fine.
+    EXPECT_NO_THROW(ts.push(TimePoint::from_seconds(2.0), 3.0));
+}
+
+TEST(TimeSeries, ValueAtStepInterpolation) {
+    TimeSeries ts;
+    ts.push(TimePoint::from_seconds(10.0), 1.0);
+    ts.push(TimePoint::from_seconds(20.0), 2.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(TimePoint::from_seconds(5.0), -1.0), -1.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(TimePoint::from_seconds(10.0)), 1.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(TimePoint::from_seconds(15.0)), 1.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(TimePoint::from_seconds(20.0)), 2.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(TimePoint::from_seconds(99.0)), 2.0);
+}
+
+TEST(TimeSeries, DownsampleAverages) {
+    TimeSeries ts;
+    for (int i = 0; i < 10; ++i) {
+        ts.push(TimePoint::from_seconds(i), static_cast<double>(i));
+    }
+    const TimeSeries coarse = ts.downsample(Duration::seconds(5.0));
+    ASSERT_EQ(coarse.size(), 2u);
+    EXPECT_DOUBLE_EQ(coarse.samples()[0].value, 2.0);  // mean of 0..4
+    EXPECT_DOUBLE_EQ(coarse.samples()[1].value, 7.0);  // mean of 5..9
+}
+
+TEST(TimeSeries, DownsampleRejectsBadBucket) {
+    TimeSeries ts;
+    EXPECT_THROW(ts.downsample(Duration::zero()), std::invalid_argument);
+}
+
+TEST(TimeSeries, MeanInWindow) {
+    TimeSeries ts;
+    for (int i = 0; i < 10; ++i) {
+        ts.push(TimePoint::from_seconds(i), static_cast<double>(i));
+    }
+    EXPECT_DOUBLE_EQ(ts.mean_in(TimePoint::from_seconds(2.0), TimePoint::from_seconds(5.0)),
+                     3.0);  // samples 2, 3, 4
+    EXPECT_DOUBLE_EQ(ts.mean_in(TimePoint::from_seconds(90.0), TimePoint::from_seconds(99.0)),
+                     0.0);  // empty window
+}
+
+TEST(Cdf, EmptyBehaviour) {
+    const Cdf cdf{{}};
+    EXPECT_TRUE(cdf.empty());
+    EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
+    EXPECT_THROW(cdf.quantile(0.5), std::invalid_argument);
+}
+
+TEST(Cdf, FractionBelow) {
+    const Cdf cdf{{1.0, 2.0, 3.0, 4.0}};
+    EXPECT_DOUBLE_EQ(cdf.at(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.25);
+    EXPECT_DOUBLE_EQ(cdf.at(2.5), 0.5);
+    EXPECT_DOUBLE_EQ(cdf.at(4.0), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.at(99.0), 1.0);
+}
+
+TEST(Cdf, SortsInput) {
+    const Cdf cdf{{3.0, 1.0, 2.0}};
+    EXPECT_DOUBLE_EQ(cdf.min(), 1.0);
+    EXPECT_DOUBLE_EQ(cdf.max(), 3.0);
+    EXPECT_DOUBLE_EQ(cdf.sorted_samples()[1], 2.0);
+}
+
+TEST(Cdf, Quantiles) {
+    const Cdf cdf{{10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0}};
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.9), 90.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.05), 10.0);
+    EXPECT_THROW(cdf.quantile(0.0), std::invalid_argument);
+    EXPECT_THROW(cdf.quantile(1.1), std::invalid_argument);
+}
+
+TEST(Cdf, QuantileConsistentWithAt) {
+    const Cdf cdf{{5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0}};
+    for (double q = 0.1; q <= 1.0; q += 0.1) {
+        EXPECT_GE(cdf.at(cdf.quantile(q)), q - 1e-12);
+    }
+}
+
+TEST(Table, PrintsAlignedColumns) {
+    Table t({"a", "long_header"});
+    t.add_row({"1", "2"});
+    t.add_row({"100", "x"});
+    std::ostringstream os;
+    t.print(os);
+    const std::string out = os.str();
+    EXPECT_NE(out.find("long_header"), std::string::npos);
+    EXPECT_NE(out.find("---"), std::string::npos);
+    EXPECT_NE(out.find("100"), std::string::npos);
+}
+
+TEST(Table, CsvOutput) {
+    Table t({"x", "y"});
+    t.add_row({"1", "2"});
+    std::ostringstream os;
+    t.print_csv(os);
+    EXPECT_EQ(os.str(), "x,y\n1,2\n");
+}
+
+TEST(Table, RejectsBadRow) {
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, CountsRowsAndColumns) {
+    Table t({"a", "b", "c"});
+    t.add_row({"1", "2", "3"});
+    t.add_row({"4", "5", "6"});
+    EXPECT_EQ(t.rows(), 2u);
+    EXPECT_EQ(t.columns(), 3u);
+}
+
+TEST(Fmt, Precision) {
+    EXPECT_EQ(fmt(3.14159, 2), "3.14");
+    EXPECT_EQ(fmt(3.14159, 0), "3");
+    EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace cocoa::metrics

@@ -1,0 +1,350 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "multicast/odmrp.hpp"
+#include "net/node.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace cocoa::multicast {
+namespace {
+
+using cocoa::energy::PowerProfile;
+using cocoa::geom::Vec2;
+using cocoa::net::GroupId;
+using cocoa::net::Packet;
+using cocoa::net::Port;
+using cocoa::net::TestPayload;
+using cocoa::sim::Duration;
+using cocoa::sim::Simulator;
+using cocoa::sim::TimePoint;
+
+constexpr GroupId kGroup = 1;
+
+std::shared_ptr<const Packet> make_inner(std::uint64_t value) {
+    auto p = std::make_shared<Packet>();
+    p->port = Port::Test;
+    p->payload_bytes = 16;
+    p->payload = TestPayload{value};
+    return p;
+}
+
+/// A chain / grid of static robots with a multicast fleet on top. Uses a
+/// noise-free channel so hop connectivity is deterministic (~160 m range).
+class MulticastFixture : public ::testing::Test {
+  protected:
+    MulticastFixture() : sim_(17), world_(sim_, quiet_channel()) {}
+
+    static phy::Channel quiet_channel() {
+        phy::ChannelConfig c;
+        c.shadowing_sigma_near_db = 0.0;
+        c.shadowing_sigma_far_db = 0.0;
+        c.fade_mean_far_db = 0.0;
+        return phy::Channel{c};
+    }
+
+    /// Static nodes (speed ~0) at the given positions.
+    void build(const std::vector<Vec2>& positions, MulticastConfig config = {}) {
+        mobility::WaypointConfig mc;
+        mc.area = geom::Rect::from_bounds(0.0, 0.0, 2000.0, 2000.0);
+        mc.min_speed = 0.001;
+        mc.max_speed = 0.002;  // effectively static
+        for (const Vec2& p : positions) {
+            world_.add_node(mc, PowerProfile::wavelan(), {}, p);
+        }
+        fleet_.emplace(world_, config);
+    }
+
+    Simulator sim_;
+    net::World world_;
+    std::optional<MulticastFleet> fleet_;
+};
+
+TEST_F(MulticastFixture, SingleHopDelivery) {
+    build({{0.0, 0.0}, {50.0, 0.0}});
+    fleet_->at(1).join(kGroup);
+    std::vector<std::uint64_t> got;
+    fleet_->at(1).set_deliver_handler(
+        [&](GroupId g, const Packet& inner, const net::RxInfo&) {
+            EXPECT_EQ(g, kGroup);
+            got.push_back(std::get<TestPayload>(inner.payload).value);
+        });
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    sim_.schedule_at(TimePoint::from_seconds(1.0),
+                     [&] { fleet_->at(0).send_data(kGroup, make_inner(42)); });
+    sim_.run_until(TimePoint::from_seconds(5.0));
+    ASSERT_EQ(got.size(), 1u);
+    EXPECT_EQ(got[0], 42u);
+}
+
+TEST_F(MulticastFixture, MultiHopChainDelivery) {
+    // 120 m spacing: each hop reaches only its neighbours (range ~160 m).
+    build({{0.0, 0.0}, {120.0, 0.0}, {240.0, 0.0}, {360.0, 0.0}, {480.0, 0.0}});
+    int got = 0;
+    for (int i = 1; i <= 4; ++i) {
+        fleet_->at(i).join(kGroup);
+    }
+    fleet_->at(4).set_deliver_handler(
+        [&](GroupId, const Packet& inner, const net::RxInfo&) {
+            got += static_cast<int>(std::get<TestPayload>(inner.payload).value);
+        });
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    // Give the JOIN QUERY / JOIN REPLY handshake time to build the mesh.
+    sim_.schedule_at(TimePoint::from_seconds(2.0),
+                     [&] { fleet_->at(0).send_data(kGroup, make_inner(7)); });
+    sim_.run_until(TimePoint::from_seconds(10.0));
+    EXPECT_EQ(got, 7);
+    // Intermediate nodes were recruited as forwarders.
+    EXPECT_TRUE(fleet_->at(1).is_forwarder(kGroup) || fleet_->at(2).is_forwarder(kGroup));
+}
+
+TEST_F(MulticastFixture, AllMembersReceiveEachPacketOnce) {
+    build({{0.0, 0.0}, {100.0, 0.0}, {200.0, 0.0}, {100.0, 100.0}, {200.0, 100.0},
+           {0.0, 100.0}});
+    std::vector<int> counts(6, 0);
+    for (int i = 1; i < 6; ++i) {
+        fleet_->at(i).join(kGroup);
+        fleet_->at(i).set_deliver_handler(
+            [&counts, i](GroupId, const Packet&, const net::RxInfo&) { ++counts[i]; });
+    }
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    for (int k = 0; k < 3; ++k) {
+        sim_.schedule_at(TimePoint::from_seconds(2.0 + k),
+                         [&, k] { fleet_->at(0).send_data(kGroup, make_inner(k)); });
+    }
+    sim_.run_until(TimePoint::from_seconds(10.0));
+    for (int i = 1; i < 6; ++i) {
+        EXPECT_EQ(counts[i], 3) << "member " << i;
+    }
+}
+
+TEST_F(MulticastFixture, NonMemberDoesNotDeliver) {
+    build({{0.0, 0.0}, {50.0, 0.0}});
+    int got = 0;
+    fleet_->at(1).set_deliver_handler(
+        [&](GroupId, const Packet&, const net::RxInfo&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    sim_.schedule_at(TimePoint::from_seconds(1.0),
+                     [&] { fleet_->at(0).send_data(kGroup, make_inner(1)); });
+    sim_.run_until(TimePoint::from_seconds(5.0));
+    EXPECT_EQ(got, 0);
+    EXPECT_EQ(fleet_->at(1).stats().data_delivered, 0u);
+}
+
+TEST_F(MulticastFixture, LeaveStopsDelivery) {
+    build({{0.0, 0.0}, {50.0, 0.0}});
+    int got = 0;
+    fleet_->at(1).join(kGroup);
+    fleet_->at(1).set_deliver_handler(
+        [&](GroupId, const Packet&, const net::RxInfo&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    sim_.schedule_at(TimePoint::from_seconds(1.0),
+                     [&] { fleet_->at(0).send_data(kGroup, make_inner(1)); });
+    sim_.schedule_at(TimePoint::from_seconds(2.0), [&] { fleet_->at(1).leave(kGroup); });
+    sim_.schedule_at(TimePoint::from_seconds(3.0),
+                     [&] { fleet_->at(0).send_data(kGroup, make_inner(2)); });
+    sim_.run_until(TimePoint::from_seconds(6.0));
+    EXPECT_EQ(got, 1);
+}
+
+TEST_F(MulticastFixture, SendWithoutSourceThrows) {
+    build({{0.0, 0.0}});
+    EXPECT_THROW(fleet_->at(0).send_data(kGroup, make_inner(1)), std::logic_error);
+    EXPECT_THROW(fleet_->at(0).refresh_now(kGroup), std::logic_error);
+}
+
+TEST_F(MulticastFixture, NullInnerThrows) {
+    build({{0.0, 0.0}});
+    fleet_->at(0).start_source(kGroup);
+    sim_.run_until(TimePoint::from_seconds(1.0));
+    EXPECT_THROW(fleet_->at(0).send_data(kGroup, nullptr), std::invalid_argument);
+}
+
+TEST_F(MulticastFixture, StopSourceHaltsRefreshes) {
+    MulticastConfig cfg;
+    cfg.refresh_interval = Duration::seconds(1.0);
+    build({{0.0, 0.0}, {50.0, 0.0}}, cfg);
+    fleet_->at(1).join(kGroup);
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    sim_.schedule_at(TimePoint::from_seconds(3.0), [&] { fleet_->at(0).stop_source(kGroup); });
+    sim_.run_until(TimePoint::from_seconds(10.0));
+    const auto queries = fleet_->at(0).stats().queries_sent;
+    // ~3 refreshes before stop; definitely not ~10.
+    EXPECT_GE(queries, 2u);
+    EXPECT_LE(queries, 5u);
+}
+
+TEST_F(MulticastFixture, DuplicateDataSuppressedByMrmm) {
+    // Dense cluster: everyone hears everyone. With MRMM suppression the
+    // number of data transmissions stays far below the member count.
+    std::vector<Vec2> positions;
+    for (int i = 0; i < 8; ++i) {
+        positions.push_back({20.0 * static_cast<double>(i % 4),
+                             20.0 * static_cast<double>(i / 4)});
+    }
+    MulticastConfig cfg;
+    cfg.variant = Variant::Mrmm;
+    cfg.data_suppression_copies = 2;
+    build(positions, cfg);
+    for (int i = 1; i < 8; ++i) fleet_->at(i).join(kGroup);
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    sim_.schedule_at(TimePoint::from_seconds(2.0),
+                     [&] { fleet_->at(0).send_data(kGroup, make_inner(1)); });
+    sim_.run_until(TimePoint::from_seconds(6.0));
+    const auto total = fleet_->total_stats();
+    EXPECT_EQ(total.data_delivered, 7u);  // every member exactly once
+    // Forwarding efficiency: with suppression, transmissions stay low.
+    EXPECT_LE(total.data_sent, 4u);
+}
+
+TEST_F(MulticastFixture, MrmmSuppressesRedundantEcho) {
+    // Suppression mechanics (§2.3 "sparser mesh"): a forwarder that hears a
+    // copy of the data it is about to echo stays quiet. Chain S-F-M recruits
+    // F; a fourth node X (next to F) injects a duplicate copy of the data
+    // frame right after the original, inside F's forwarding jitter.
+    MulticastConfig cfg;
+    cfg.variant = Variant::Mrmm;
+    cfg.data_suppression_copies = 1;
+    // Wide forwarding jitter so the duplicate reliably lands inside it.
+    cfg.data_jitter_max = Duration::millis(200);
+    build({{0.0, 0.0}, {120.0, 0.0}, {240.0, 0.0}, {120.0, 20.0}}, cfg);
+    fleet_->at(2).join(kGroup);
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    sim_.schedule_at(TimePoint::from_seconds(2.0),
+                     [&] { fleet_->at(0).send_data(kGroup, make_inner(9)); });
+    // X's duplicate: same (group, source, seq) as the original data frame.
+    sim_.schedule_at(TimePoint::from_seconds(2.0) + Duration::micros(100), [&] {
+        Packet dup;
+        dup.port = Port::McastData;
+        dup.payload_bytes = 32;
+        dup.payload = net::McastDataPayload{kGroup, 0, 0, 3, make_inner(9)};
+        world_.node(3).radio().send(std::move(dup));
+    });
+    sim_.run_until(TimePoint::from_seconds(6.0));
+    EXPECT_TRUE(fleet_->at(1).is_forwarder(kGroup));
+    EXPECT_EQ(fleet_->at(1).stats().data_suppressed, 1u);
+    EXPECT_EQ(fleet_->at(1).stats().data_sent, 0u);
+    EXPECT_GE(fleet_->at(1).stats().data_duplicates, 1u);
+}
+
+TEST_F(MulticastFixture, MrmmPrefersLongLivedUpstream) {
+    // MRMM's mobility-aware pruning: a member choosing between a fast relay
+    // (about to leave range) and a static relay must recruit the static one,
+    // regardless of which JOIN QUERY copy arrived first.
+    mobility::WaypointConfig stat;
+    stat.area = geom::Rect::from_bounds(-500.0, -500.0, 2000.0, 2000.0);
+    stat.min_speed = 0.001;
+    stat.max_speed = 0.002;
+    mobility::WaypointConfig fast = stat;
+    fast.min_speed = 10.0;
+    fast.max_speed = 12.0;
+
+    world_.add_node(stat, PowerProfile::wavelan(), {}, Vec2{0.0, 0.0});      // 0: source
+    world_.add_node(fast, PowerProfile::wavelan(), {}, Vec2{120.0, -30.0});  // 1: fast relay
+    world_.add_node(stat, PowerProfile::wavelan(), {}, Vec2{120.0, 30.0});   // 2: static relay
+    world_.add_node(stat, PowerProfile::wavelan(), {}, Vec2{240.0, 0.0});    // 3: member
+    MulticastConfig cfg;
+    cfg.variant = Variant::Mrmm;
+    fleet_.emplace(world_, cfg);
+    fleet_->at(3).join(kGroup);
+
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    sim_.run_until(TimePoint::from_seconds(2.0));
+    EXPECT_TRUE(fleet_->at(2).is_forwarder(kGroup));
+    EXPECT_FALSE(fleet_->at(1).is_forwarder(kGroup));
+}
+
+TEST_F(MulticastFixture, ForwarderStateExpires) {
+    MulticastConfig cfg;
+    cfg.fg_timeout = Duration::seconds(2.0);
+    build({{0.0, 0.0}, {120.0, 0.0}, {240.0, 0.0}}, cfg);
+    fleet_->at(2).join(kGroup);
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    sim_.run_until(TimePoint::from_seconds(1.0));
+    EXPECT_TRUE(fleet_->at(1).is_forwarder(kGroup));
+    sim_.run_until(TimePoint::from_seconds(5.0));
+    EXPECT_FALSE(fleet_->at(1).is_forwarder(kGroup));
+}
+
+TEST_F(MulticastFixture, RefreshNowRebuildsExpiredMesh) {
+    MulticastConfig cfg;
+    cfg.fg_timeout = Duration::seconds(2.0);
+    cfg.auto_refresh = false;
+    build({{0.0, 0.0}, {120.0, 0.0}, {240.0, 0.0}}, cfg);
+    fleet_->at(2).join(kGroup);
+    int got = 0;
+    fleet_->at(2).set_deliver_handler(
+        [&](GroupId, const Packet&, const net::RxInfo&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    // Mesh expires by t=3; refresh and send again.
+    sim_.schedule_at(TimePoint::from_seconds(5.0), [&] { fleet_->at(0).refresh_now(kGroup); });
+    sim_.schedule_at(TimePoint::from_seconds(6.0),
+                     [&] { fleet_->at(0).send_data(kGroup, make_inner(1)); });
+    sim_.run_until(TimePoint::from_seconds(10.0));
+    EXPECT_EQ(got, 1);
+}
+
+TEST_F(MulticastFixture, QueriesRespectHopLimit) {
+    MulticastConfig cfg;
+    cfg.max_hops = 2;
+    build({{0.0, 0.0}, {120.0, 0.0}, {240.0, 0.0}, {360.0, 0.0}, {480.0, 0.0}}, cfg);
+    fleet_->at(4).join(kGroup);
+    int got = 0;
+    fleet_->at(4).set_deliver_handler(
+        [&](GroupId, const Packet&, const net::RxInfo&) { ++got; });
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    sim_.schedule_at(TimePoint::from_seconds(2.0),
+                     [&] { fleet_->at(0).send_data(kGroup, make_inner(1)); });
+    sim_.run_until(TimePoint::from_seconds(8.0));
+    // Node 4 is 4 hops away: the query never reaches it, so no mesh, no data.
+    EXPECT_EQ(got, 0);
+}
+
+TEST_F(MulticastFixture, SleepingNodeDropsScheduledSends) {
+    build({{0.0, 0.0}, {50.0, 0.0}, {100.0, 0.0}});
+    fleet_->at(1).join(kGroup);
+    fleet_->at(2).join(kGroup);
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    // Put node 1 to sleep right as data flows: its jittered forwards/replies
+    // must be dropped, not crash.
+    sim_.schedule_at(TimePoint::from_seconds(1.0), [&] {
+        fleet_->at(0).send_data(kGroup, make_inner(1));
+    });
+    sim_.schedule_at(TimePoint::from_seconds(1.0) + Duration::millis(1),
+                     [&] { world_.node(1).radio().sleep(); });
+    EXPECT_NO_THROW(sim_.run_until(TimePoint::from_seconds(5.0)));
+}
+
+TEST_F(MulticastFixture, FleetStatsAggregate) {
+    build({{0.0, 0.0}, {50.0, 0.0}});
+    fleet_->at(1).join(kGroup);
+    sim_.schedule_at(TimePoint::from_seconds(0.1),
+                     [&] { fleet_->at(0).start_source(kGroup); });
+    sim_.schedule_at(TimePoint::from_seconds(1.0),
+                     [&] { fleet_->at(0).send_data(kGroup, make_inner(1)); });
+    sim_.run_until(TimePoint::from_seconds(5.0));
+    const auto total = fleet_->total_stats();
+    EXPECT_GE(total.queries_sent, 1u);
+    EXPECT_GE(total.replies_sent, 1u);
+    EXPECT_EQ(total.data_delivered, 1u);
+    EXPECT_EQ(fleet_->size(), 2u);
+}
+
+}  // namespace
+}  // namespace cocoa::multicast

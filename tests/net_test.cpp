@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "net/node.hpp"
+#include "net/packet.hpp"
+#include "phy/channel.hpp"
+#include "sim/simulator.hpp"
+
+namespace cocoa::net {
+namespace {
+
+using cocoa::energy::PowerProfile;
+using cocoa::geom::Vec2;
+using cocoa::sim::Simulator;
+using cocoa::sim::TimePoint;
+
+TEST(Packet, WireSizeIncludesHeaders) {
+    Packet p;
+    p.payload_bytes = 24;
+    // 24 payload + 20 IP + 20 UDP (per the paper) + 24 MAC + 4 FCS.
+    EXPECT_EQ(p.wire_bytes(), 24u + 20u + 20u + 24u + 4u);
+}
+
+TEST(Packet, PaperHeaderSizes) {
+    // §2.3: "in addition to the IP and UDP headers (20 bytes each)".
+    EXPECT_EQ(kIpHeaderBytes, 20u);
+    EXPECT_EQ(kUdpHeaderBytes, 20u);
+}
+
+TEST(Packet, PayloadVariantRoundTrip) {
+    Packet p;
+    p.payload = BeaconPayload{7, {1.0, 2.0}, 3, 1};
+    const auto* b = std::get_if<BeaconPayload>(&p.payload);
+    ASSERT_NE(b, nullptr);
+    EXPECT_EQ(b->anchor_id, 7u);
+    EXPECT_EQ(b->anchor_position, Vec2(1.0, 2.0));
+    EXPECT_EQ(b->window_seq, 3u);
+    EXPECT_EQ(b->beacon_index, 1);
+    EXPECT_EQ(std::get_if<SyncPayload>(&p.payload), nullptr);
+}
+
+TEST(Packet, NestedMcastData) {
+    auto inner = std::make_shared<Packet>();
+    inner->payload = SyncPayload{100.0, 3.0, 5, TimePoint::from_seconds(500.0)};
+    Packet outer;
+    outer.payload = McastDataPayload{1, 0, 9, 0, inner};
+    const auto* d = std::get_if<McastDataPayload>(&outer.payload);
+    ASSERT_NE(d, nullptr);
+    const auto* s = std::get_if<SyncPayload>(&d->inner->payload);
+    ASSERT_NE(s, nullptr);
+    EXPECT_DOUBLE_EQ(s->period_s, 100.0);
+    EXPECT_EQ(s->seq, 5u);
+}
+
+TEST(ProtocolHost, DispatchesByPort) {
+    ProtocolHost host;
+    int beacons = 0;
+    int tests = 0;
+    host.register_handler(Port::Beacon, [&](const Packet&, const RxInfo&) { ++beacons; });
+    host.register_handler(Port::Test, [&](const Packet&, const RxInfo&) { ++tests; });
+    Packet p;
+    p.port = Port::Beacon;
+    host.dispatch(p, {});
+    p.port = Port::Test;
+    host.dispatch(p, {});
+    p.port = Port::McastData;  // no handler: silently dropped
+    host.dispatch(p, {});
+    EXPECT_EQ(beacons, 1);
+    EXPECT_EQ(tests, 1);
+}
+
+TEST(ProtocolHost, DuplicateRegistrationThrows) {
+    ProtocolHost host;
+    host.register_handler(Port::Beacon, [](const Packet&, const RxInfo&) {});
+    EXPECT_THROW(host.register_handler(Port::Beacon, [](const Packet&, const RxInfo&) {}),
+                 std::logic_error);
+}
+
+class WorldFixture : public ::testing::Test {
+  protected:
+    WorldFixture() : sim_(5), world_(sim_, phy::Channel{}) {}
+
+    mobility::WaypointConfig mobility_config() const {
+        mobility::WaypointConfig c;
+        c.area = geom::Rect::square(200.0);
+        return c;
+    }
+
+    Simulator sim_;
+    World world_;
+};
+
+TEST_F(WorldFixture, NodesGetDenseIds) {
+    for (int i = 0; i < 5; ++i) {
+        Node& n = world_.add_node(mobility_config(), PowerProfile::wavelan());
+        EXPECT_EQ(n.id(), static_cast<NodeId>(i));
+    }
+    EXPECT_EQ(world_.size(), 5u);
+    EXPECT_EQ(world_.node(3).id(), 3u);
+}
+
+TEST_F(WorldFixture, NodesStartAtDistinctPositions) {
+    Node& a = world_.add_node(mobility_config(), PowerProfile::wavelan());
+    Node& b = world_.add_node(mobility_config(), PowerProfile::wavelan());
+    EXPECT_NE(a.mobility().position(), b.mobility().position());
+}
+
+TEST_F(WorldFixture, ExplicitStartPositionRespected) {
+    Node& n = world_.add_node(mobility_config(), PowerProfile::wavelan(), {},
+                              Vec2{12.0, 34.0});
+    EXPECT_EQ(n.mobility().position(), Vec2(12.0, 34.0));
+    EXPECT_EQ(n.radio().position(), Vec2(12.0, 34.0));
+}
+
+TEST_F(WorldFixture, RadioTracksMobility) {
+    Node& n = world_.add_node(mobility_config(), PowerProfile::wavelan());
+    n.mobility().advance_to(TimePoint::from_seconds(50.0));
+    EXPECT_EQ(n.radio().position(), n.mobility().position());
+}
+
+TEST_F(WorldFixture, ReceivedPacketsFlowThroughHost) {
+    Node& a = world_.add_node(mobility_config(), PowerProfile::wavelan(), {},
+                              Vec2{0.0, 0.0});
+    Node& b = world_.add_node(mobility_config(), PowerProfile::wavelan(), {},
+                              Vec2{10.0, 0.0});
+    int got = 0;
+    b.host().register_handler(Port::Test, [&](const Packet& p, const RxInfo&) {
+        EXPECT_EQ(std::get<TestPayload>(p.payload).value, 5u);
+        EXPECT_EQ(p.src, a.id());
+        ++got;
+    });
+    sim_.schedule_at(TimePoint::from_seconds(1.0), [&] {
+        Packet p;
+        p.port = Port::Test;
+        p.payload_bytes = 8;
+        p.payload = TestPayload{5};
+        a.radio().send(std::move(p));
+    });
+    sim_.run();
+    EXPECT_EQ(got, 1);
+}
+
+}  // namespace
+}  // namespace cocoa::net

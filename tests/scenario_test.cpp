@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/scenario.hpp"
+#include "metrics/cdf.hpp"
+
+namespace cocoa::core {
+namespace {
+
+using cocoa::sim::Duration;
+using cocoa::sim::TimePoint;
+
+/// Down-scaled paper setup that runs in well under a second: 20 robots,
+/// 10 anchors, 5 simulated minutes.
+ScenarioConfig quick(LocalizationMode mode) {
+    ScenarioConfig c;
+    c.seed = 23;
+    c.num_robots = 20;
+    c.num_anchors = 10;
+    c.duration = Duration::minutes(5);
+    c.period = Duration::seconds(50.0);
+    c.mode = mode;
+    return c;
+}
+
+TEST(Scenario, SamplesErrorEverySecond) {
+    const auto r = run_scenario(quick(LocalizationMode::Combined));
+    EXPECT_EQ(r.avg_error.size(), 300u);
+    EXPECT_EQ(r.node_error.size(), 20u);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_TRUE(r.node_error[i].empty()) << "anchor " << i;       // anchors
+        EXPECT_EQ(r.node_error[10 + i].size(), 300u) << "blind " << i;
+    }
+}
+
+TEST(Scenario, DeterministicForSameSeed) {
+    const auto a = run_scenario(quick(LocalizationMode::Combined));
+    const auto b = run_scenario(quick(LocalizationMode::Combined));
+    ASSERT_EQ(a.avg_error.size(), b.avg_error.size());
+    for (std::size_t i = 0; i < a.avg_error.size(); ++i) {
+        EXPECT_DOUBLE_EQ(a.avg_error.samples()[i].value, b.avg_error.samples()[i].value);
+    }
+    EXPECT_DOUBLE_EQ(a.team_energy.total_mj(), b.team_energy.total_mj());
+    EXPECT_EQ(a.executed_events, b.executed_events);
+}
+
+TEST(Scenario, DifferentSeedsDiffer) {
+    auto cfg = quick(LocalizationMode::Combined);
+    const auto a = run_scenario(cfg);
+    cfg.seed = 24;
+    const auto b = run_scenario(cfg);
+    EXPECT_NE(a.avg_error.stats().mean(), b.avg_error.stats().mean());
+}
+
+TEST(Scenario, PaperOrderingCocoaBeatsRfOnlyBeatsOdometry) {
+    // The headline comparison of §4.3 (Fig. 7): CoCoA < RF-only, and both
+    // beat odometry-only by the end of the run.
+    const auto cocoa = run_scenario(quick(LocalizationMode::Combined));
+    const auto rf = run_scenario(quick(LocalizationMode::RfOnly));
+    const auto odo = run_scenario(quick(LocalizationMode::OdometryOnly));
+
+    const auto late = [](const ScenarioResult& r) {
+        return r.avg_error.mean_in(TimePoint::from_seconds(150.0),
+                                   TimePoint::from_seconds(301.0));
+    };
+    EXPECT_LT(late(cocoa), late(rf));
+    // Odometry drift at 5 min is already worse than CoCoA.
+    EXPECT_LT(late(cocoa), late(odo));
+}
+
+TEST(Scenario, SleepCoordinationSavesEnergy) {
+    // Fig. 9(b): without coordination the team burns several times more.
+    auto cfg = quick(LocalizationMode::Combined);
+    const auto coordinated = run_scenario(cfg);
+    cfg.sleep_coordination = false;
+    const auto uncoordinated = run_scenario(cfg);
+    EXPECT_GT(uncoordinated.team_energy.total_mj(),
+              2.0 * coordinated.team_energy.total_mj());
+    EXPECT_GT(coordinated.team_energy.sleep_mj, 0.0);
+    EXPECT_DOUBLE_EQ(uncoordinated.team_energy.sleep_mj, 0.0);
+}
+
+TEST(Scenario, LargerPeriodUsesLessEnergy) {
+    auto cfg = quick(LocalizationMode::Combined);
+    cfg.period = Duration::seconds(25.0);
+    const auto small_t = run_scenario(cfg);
+    cfg.period = Duration::seconds(100.0);
+    const auto large_t = run_scenario(cfg);
+    EXPECT_LT(large_t.team_energy.total_mj(), small_t.team_energy.total_mj());
+}
+
+TEST(Scenario, RfModesLocalizeWithoutInitialPosition) {
+    // §4.2: "RF localization does not require an initial position".
+    const auto r = run_scenario(quick(LocalizationMode::RfOnly));
+    // Error at the end is far below the initial distance-to-centre (~75 m).
+    EXPECT_LT(r.avg_error.mean_in(TimePoint::from_seconds(250.0),
+                                  TimePoint::from_seconds(301.0)),
+              40.0);
+    EXPECT_GT(r.agent_totals.fixes, 0u);
+}
+
+TEST(Scenario, ErrorsAtExtractsBlindRobots) {
+    const auto r = run_scenario(quick(LocalizationMode::Combined));
+    const auto errs = r.errors_at(TimePoint::from_seconds(200.0));
+    EXPECT_EQ(errs.size(), 10u);
+    const metrics::Cdf cdf(errs);
+    EXPECT_GT(cdf.quantile(1.0), 0.0);
+}
+
+TEST(Scenario, EnergyBreakdownAddsUp) {
+    const auto r = run_scenario(quick(LocalizationMode::Combined));
+    const auto& e = r.team_energy;
+    EXPECT_GT(e.tx_mj, 0.0);
+    EXPECT_GT(e.rx_mj, 0.0);
+    EXPECT_GT(e.idle_mj, 0.0);
+    EXPECT_GT(e.sleep_mj, 0.0);
+    EXPECT_GT(e.transitions_mj, 0.0);
+    EXPECT_NEAR(e.total_mj(),
+                e.tx_mj + e.rx_mj + e.idle_mj + e.sleep_mj + e.transitions_mj, 1e-9);
+    // Sanity scale: 20 radios for 300 s never exceeds always-idle-equivalent.
+    EXPECT_LT(e.total_mj(), 20.0 * 300.0 * 900.0 * 1.1);
+}
+
+TEST(Scenario, MidRunInspection) {
+    Scenario s(quick(LocalizationMode::Combined));
+    s.run_until(TimePoint::from_seconds(100.0));
+    const auto mid = s.result();
+    EXPECT_EQ(mid.avg_error.size(), 100u);
+    s.run();
+    const auto full = s.result();
+    EXPECT_EQ(full.avg_error.size(), 300u);
+}
+
+TEST(Scenario, CocoaErrorSawtoothsWithinPeriods) {
+    // Fig. 6/8 structure: error is lowest right after a transmit window and
+    // grows toward the period end.
+    auto cfg = quick(LocalizationMode::RfOnly);
+    cfg.sync = SyncMode::PerfectClock;
+    cfg.period = Duration::seconds(60.0);
+    cfg.duration = Duration::minutes(6);
+    const auto r = run_scenario(cfg);
+    metrics::RunningStat after_window;
+    metrics::RunningStat before_window;
+    for (int period = 1; period < 6; ++period) {
+        const double t0 = 60.0 * period;
+        after_window.add(r.avg_error.value_at(TimePoint::from_seconds(t0 + 6.0)));
+        before_window.add(r.avg_error.value_at(TimePoint::from_seconds(t0 + 59.0)));
+    }
+    EXPECT_LT(after_window.mean(), before_window.mean());
+}
+
+TEST(Scenario, FewerAnchorsWorseAccuracy) {
+    // Fig. 10's trend at small scale.
+    auto cfg = quick(LocalizationMode::Combined);
+    cfg.num_anchors = 10;
+    const auto many = run_scenario(cfg);
+    cfg.seed = 23;
+    cfg.num_anchors = 3;
+    const auto few = run_scenario(cfg);
+    EXPECT_LT(many.avg_error.stats().mean(), few.avg_error.stats().mean());
+}
+
+TEST(Scenario, MrmmAndPerfectClockBothLocalize) {
+    auto cfg = quick(LocalizationMode::Combined);
+    cfg.sync = SyncMode::Mrmm;
+    const auto mrmm = run_scenario(cfg);
+    cfg.sync = SyncMode::PerfectClock;
+    const auto perfect = run_scenario(cfg);
+    const auto late = [](const ScenarioResult& r) {
+        return r.avg_error.mean_in(TimePoint::from_seconds(150.0),
+                                   TimePoint::from_seconds(301.0));
+    };
+    // Coarse sync costs a little accuracy but stays in the same regime.
+    EXPECT_LT(late(mrmm), 3.0 * late(perfect) + 5.0);
+    EXPECT_GT(mrmm.agent_totals.syncs_received, 0u);
+}
+
+TEST(Scenario, PositionTraceRecordsAllRobots) {
+    Scenario s(quick(LocalizationMode::Combined));
+    s.enable_position_trace(Duration::seconds(10.0));
+    s.run_until(TimePoint::from_seconds(60.0));
+    // 6 snapshots x 20 robots.
+    EXPECT_EQ(s.position_trace().size(), 120u);
+    for (const auto& row : s.position_trace()) {
+        EXPECT_TRUE(geom::Rect::square(200.0).contains(row.truth));
+    }
+    std::ostringstream csv;
+    s.write_position_trace_csv(csv);
+    EXPECT_NE(csv.str().find("t_s,node,role"), std::string::npos);
+    EXPECT_NE(csv.str().find("anchor"), std::string::npos);
+    EXPECT_NE(csv.str().find("blind"), std::string::npos);
+}
+
+TEST(Scenario, PositionTraceRejectsBadInterval) {
+    Scenario s(quick(LocalizationMode::Combined));
+    EXPECT_THROW(s.enable_position_trace(Duration::zero()), std::invalid_argument);
+}
+
+TEST(Scenario, MissedSyncRobotsKeepSchedule) {
+    // Even with heavy clock skew, robots that keep missing SYNCs still fix
+    // eventually thanks to the wake guard.
+    auto cfg = quick(LocalizationMode::Combined);
+    cfg.clock_skew_sigma_s = 0.3;
+    const auto r = run_scenario(cfg);
+    EXPECT_GT(r.agent_totals.fixes, 0u);
+    EXPECT_LT(r.avg_error.mean_in(TimePoint::from_seconds(150.0),
+                                  TimePoint::from_seconds(301.0)),
+              60.0);
+}
+
+}  // namespace
+}  // namespace cocoa::core

@@ -1,0 +1,342 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/event_queue.hpp"
+#include "sim/log.hpp"
+#include "sim/random.hpp"
+#include "sim/simulator.hpp"
+#include "sim/time.hpp"
+
+namespace cocoa::sim {
+namespace {
+
+TEST(Duration, Conversions) {
+    EXPECT_EQ(Duration::seconds(1.5).to_nanos(), 1'500'000'000);
+    EXPECT_EQ(Duration::millis(2).to_nanos(), 2'000'000);
+    EXPECT_EQ(Duration::micros(3).to_nanos(), 3'000);
+    EXPECT_DOUBLE_EQ(Duration::seconds(2.5).to_seconds(), 2.5);
+    EXPECT_DOUBLE_EQ(Duration::millis(1500).to_seconds(), 1.5);
+    EXPECT_DOUBLE_EQ(Duration::minutes(30).to_seconds(), 1800.0);
+}
+
+TEST(Duration, Arithmetic) {
+    const Duration a = Duration::seconds(2.0);
+    const Duration b = Duration::seconds(0.5);
+    EXPECT_EQ((a + b).to_seconds(), 2.5);
+    EXPECT_EQ((a - b).to_seconds(), 1.5);
+    EXPECT_EQ((a * std::int64_t{3}).to_seconds(), 6.0);
+    EXPECT_EQ((a / std::int64_t{4}).to_seconds(), 0.5);
+    EXPECT_DOUBLE_EQ(a / b, 4.0);
+}
+
+TEST(Duration, Comparisons) {
+    EXPECT_LT(Duration::seconds(1.0), Duration::seconds(2.0));
+    EXPECT_EQ(Duration::seconds(1.0), Duration::millis(1000));
+    EXPECT_TRUE(Duration::zero().is_zero());
+    EXPECT_TRUE((Duration::zero() - Duration::millis(1)).is_negative());
+}
+
+TEST(Duration, RoundsToNearestNanosecond) {
+    EXPECT_EQ(Duration::seconds(1e-9).to_nanos(), 1);
+    EXPECT_EQ(Duration::seconds(1.4e-9).to_nanos(), 1);
+    EXPECT_EQ(Duration::seconds(1.6e-9).to_nanos(), 2);
+}
+
+TEST(TimePoint, Arithmetic) {
+    const TimePoint t0 = TimePoint::origin();
+    const TimePoint t1 = t0 + Duration::seconds(5.0);
+    EXPECT_DOUBLE_EQ(t1.to_seconds(), 5.0);
+    EXPECT_EQ(t1 - t0, Duration::seconds(5.0));
+    EXPECT_EQ(t1 - Duration::seconds(2.0), TimePoint::from_seconds(3.0));
+    EXPECT_LT(t0, t1);
+}
+
+TEST(TimeStream, Formats) {
+    std::ostringstream ss;
+    ss << Duration::seconds(1.5) << ' ' << TimePoint::from_seconds(2.0);
+    EXPECT_EQ(ss.str(), "1.5s @2s");
+}
+
+TEST(RandomStream, UniformBounds) {
+    RandomStream rng(42);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(2.0, 5.0);
+        EXPECT_GE(u, 2.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(RandomStream, UniformIntBounds) {
+    RandomStream rng(42);
+    bool saw_lo = false;
+    bool saw_hi = false;
+    for (int i = 0; i < 2000; ++i) {
+        const auto v = rng.uniform_int(0, 7);
+        EXPECT_GE(v, 0);
+        EXPECT_LE(v, 7);
+        saw_lo |= v == 0;
+        saw_hi |= v == 7;
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomStream, GaussianMoments) {
+    RandomStream rng(7);
+    double sum = 0.0;
+    double sum_sq = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+        const double g = rng.gaussian(10.0, 2.0);
+        sum += g;
+        sum_sq += g * g;
+    }
+    const double mean = sum / kN;
+    const double var = sum_sq / kN - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.1);
+    EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(RandomStream, ZeroSigmaGaussianIsMean) {
+    RandomStream rng(1);
+    EXPECT_DOUBLE_EQ(rng.gaussian(3.5, 0.0), 3.5);
+}
+
+TEST(RandomStream, ChanceExtremes) {
+    RandomStream rng(1);
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+}
+
+TEST(RngManager, SameNameSameStream) {
+    const RngManager mgr(123);
+    RandomStream a = mgr.stream("mobility");
+    RandomStream b = mgr.stream("mobility");
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_DOUBLE_EQ(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+    }
+}
+
+TEST(RngManager, DifferentNamesDiffer) {
+    const RngManager mgr(123);
+    RandomStream a = mgr.stream("mobility");
+    RandomStream b = mgr.stream("phy");
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(RngManager, IndexedStreamsDiffer) {
+    const RngManager mgr(9);
+    RandomStream a = mgr.stream("odometry", 1);
+    RandomStream b = mgr.stream("odometry", 2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i) {
+        if (a.uniform(0.0, 1.0) == b.uniform(0.0, 1.0)) ++equal;
+    }
+    EXPECT_LT(equal, 5);
+}
+
+TEST(RngManager, SeedChangesStreams) {
+    RandomStream a = RngManager(1).stream("x");
+    RandomStream b = RngManager(2).stream("x");
+    EXPECT_NE(a.uniform(0.0, 1.0), b.uniform(0.0, 1.0));
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(TimePoint::from_seconds(3.0), [&] { order.push_back(3); });
+    q.schedule(TimePoint::from_seconds(1.0), [&] { order.push_back(1); });
+    q.schedule(TimePoint::from_seconds(2.0), [&] { order.push_back(2); });
+    while (!q.empty()) q.pop().callback();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, FifoAtEqualTimes) {
+    EventQueue q;
+    std::vector<int> order;
+    const TimePoint t = TimePoint::from_seconds(1.0);
+    for (int i = 0; i < 5; ++i) {
+        q.schedule(t, [&order, i] { order.push_back(i); });
+    }
+    while (!q.empty()) q.pop().callback();
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(TimePoint::from_seconds(1.0), [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_TRUE(q.empty());
+    EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, DoubleCancelFails) {
+    EventQueue q;
+    const EventId id = q.schedule(TimePoint::from_seconds(1.0), [] {});
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireFails) {
+    EventQueue q;
+    const EventId id = q.schedule(TimePoint::from_seconds(1.0), [] {});
+    q.pop().callback();
+    EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdFails) {
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(EventId{}));
+}
+
+TEST(EventQueue, StaleCancelDoesNotCorruptCount) {
+    EventQueue q;
+    const EventId id = q.schedule(TimePoint::from_seconds(1.0), [] {});
+    q.schedule(TimePoint::from_seconds(2.0), [] {});
+    q.pop();  // fires id
+    EXPECT_FALSE(q.cancel(id));
+    EXPECT_EQ(q.size(), 1u);
+    q.pop();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+    EventQueue q;
+    const EventId id = q.schedule(TimePoint::from_seconds(1.0), [] {});
+    q.schedule(TimePoint::from_seconds(2.0), [] {});
+    q.cancel(id);
+    EXPECT_EQ(q.next_time(), TimePoint::from_seconds(2.0));
+}
+
+TEST(EventQueue, PendingReflectsLifecycle) {
+    EventQueue q;
+    const EventId id = q.schedule(TimePoint::from_seconds(1.0), [] {});
+    EXPECT_TRUE(q.pending(id));
+    q.cancel(id);
+    EXPECT_FALSE(q.pending(id));
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+    EventQueue q;
+    q.schedule(TimePoint::from_seconds(1.0), [] {});
+    q.schedule(TimePoint::from_seconds(2.0), [] {});
+    q.clear();
+    EXPECT_TRUE(q.empty());
+    EXPECT_EQ(q.next_time(), TimePoint::max());
+}
+
+TEST(Simulator, NowAdvancesWithEvents) {
+    Simulator sim;
+    std::vector<double> times;
+    sim.schedule_at(TimePoint::from_seconds(1.0), [&] { times.push_back(sim.now().to_seconds()); });
+    sim.schedule_at(TimePoint::from_seconds(2.5), [&] { times.push_back(sim.now().to_seconds()); });
+    sim.run();
+    EXPECT_EQ(times, (std::vector<double>{1.0, 2.5}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+    Simulator sim;
+    double fired_at = -1.0;
+    sim.schedule_at(TimePoint::from_seconds(1.0), [&] {
+        sim.schedule_in(Duration::seconds(2.0), [&] { fired_at = sim.now().to_seconds(); });
+    });
+    sim.run();
+    EXPECT_DOUBLE_EQ(fired_at, 3.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+    Simulator sim;
+    int count = 0;
+    sim.schedule_at(TimePoint::from_seconds(1.0), [&] { ++count; });
+    sim.schedule_at(TimePoint::from_seconds(5.0), [&] { ++count; });
+    sim.run_until(TimePoint::from_seconds(2.0));
+    EXPECT_EQ(count, 1);
+    EXPECT_DOUBLE_EQ(sim.now().to_seconds(), 2.0);
+    EXPECT_EQ(sim.pending_events(), 1u);
+    sim.run();
+    EXPECT_EQ(count, 2);
+}
+
+TEST(Simulator, EventAtHorizonFires) {
+    Simulator sim;
+    bool fired = false;
+    sim.schedule_at(TimePoint::from_seconds(2.0), [&] { fired = true; });
+    sim.run_until(TimePoint::from_seconds(2.0));
+    EXPECT_TRUE(fired);
+}
+
+TEST(Simulator, SchedulingInPastThrows) {
+    Simulator sim;
+    sim.schedule_at(TimePoint::from_seconds(5.0), [&] {
+        EXPECT_THROW(sim.schedule_at(TimePoint::from_seconds(1.0), [] {}), std::logic_error);
+        EXPECT_THROW(sim.schedule_in(Duration::zero() - Duration::millis(1), [] {}),
+                     std::logic_error);
+    });
+    sim.run();
+}
+
+TEST(Simulator, StopHaltsRun) {
+    Simulator sim;
+    int count = 0;
+    for (int i = 1; i <= 10; ++i) {
+        sim.schedule_at(TimePoint::from_seconds(i), [&] {
+            if (++count == 3) sim.stop();
+        });
+    }
+    sim.run();
+    EXPECT_EQ(count, 3);
+    EXPECT_EQ(sim.pending_events(), 7u);
+}
+
+TEST(Simulator, ExecutedEventsCounts) {
+    Simulator sim;
+    for (int i = 1; i <= 4; ++i) {
+        sim.schedule_at(TimePoint::from_seconds(i), [] {});
+    }
+    sim.run();
+    EXPECT_EQ(sim.executed_events(), 4u);
+}
+
+TEST(Simulator, CancelledEventDoesNotFire) {
+    Simulator sim;
+    bool fired = false;
+    const EventId id = sim.schedule_at(TimePoint::from_seconds(1.0), [&] { fired = true; });
+    EXPECT_TRUE(sim.cancel(id));
+    sim.run();
+    EXPECT_FALSE(fired);
+}
+
+TEST(Logger, RespectsLevel) {
+    Logger& logger = Logger::instance();
+    std::ostringstream sink;
+    logger.set_sink(&sink);
+    logger.set_level(LogLevel::Warn);
+    log_if(LogLevel::Debug, TimePoint::from_seconds(1.0), "test", [] { return "hidden"; });
+    log_if(LogLevel::Error, TimePoint::from_seconds(2.0), "test", [] { return "shown"; });
+    logger.set_sink(nullptr);
+    EXPECT_EQ(sink.str().find("hidden"), std::string::npos);
+    EXPECT_NE(sink.str().find("shown"), std::string::npos);
+    EXPECT_NE(sink.str().find("test"), std::string::npos);
+}
+
+TEST(Logger, OffSilencesEverything) {
+    Logger& logger = Logger::instance();
+    std::ostringstream sink;
+    logger.set_sink(&sink);
+    logger.set_level(LogLevel::Off);
+    log_if(LogLevel::Error, TimePoint::origin(), "x", [] { return "nope"; });
+    logger.set_sink(nullptr);
+    logger.set_level(LogLevel::Warn);
+    EXPECT_TRUE(sink.str().empty());
+}
+
+}  // namespace
+}  // namespace cocoa::sim

@@ -1,0 +1,88 @@
+// cocoa_calibrate — runs the offline calibration phase (§2.2) and writes the
+// PDF Table file that a deployment would install on every robot:
+//   cocoa_calibrate --tx-power 15 --samples 100 --out pdf_table.txt
+// Also prints the fitted bins and the Gaussian regime boundary.
+
+#include <fstream>
+#include <iostream>
+
+#include "cli/args.hpp"
+#include "metrics/table.hpp"
+#include "phy/channel.hpp"
+#include "phy/pdf_table.hpp"
+#include "sim/random.hpp"
+
+using namespace cocoa;
+
+int main(int argc, char** argv) {
+    double tx_power_dbm = 15.0;
+    double max_distance = 160.0;
+    double step = 0.25;
+    int samples = 100;
+    std::uint64_t seed = 7;
+    std::string out_path;
+    bool verbose = false;
+
+    cli::ArgParser parser("cocoa_calibrate",
+                          "offline RSSI-to-distance PDF Table calibration");
+    parser.add_option("tx-power", "transmit power in dBm (default 15)", &tx_power_dbm)
+        .add_option("max-distance", "sweep limit in metres (default 160)", &max_distance)
+        .add_option("step", "sweep step in metres (default 0.25)", &step)
+        .add_option("samples", "RSSI samples per distance (default 100)", &samples)
+        .add_option("seed", "measurement RNG seed (default 7)", &seed)
+        .add_option("out", "write the PDF Table to this file", &out_path)
+        .add_flag("verbose", "print every usable bin", &verbose);
+    if (!parser.parse(argc, argv, std::cout, std::cerr)) {
+        return parser.failed() ? 2 : 0;
+    }
+
+    phy::ChannelConfig channel_config;
+    channel_config.tx_power_dbm = tx_power_dbm;
+    phy::CalibrationConfig cal;
+    cal.max_distance_m = max_distance;
+    cal.distance_step_m = step;
+    cal.samples_per_distance = samples;
+
+    try {
+        const phy::Channel channel(channel_config);
+        const phy::PdfTable table = phy::PdfTable::calibrate(
+            channel, cal, sim::RngManager(seed).stream("calibration"));
+
+        std::cout << "channel: tx " << tx_power_dbm << " dBm, nominal range "
+                  << metrics::fmt(channel.max_range_m(), 1) << " m\n"
+                  << "table: " << table.bin_count() << " bins ("
+                  << table.usable_bin_count() << " usable), RSSI "
+                  << table.min_rssi_dbm() << ".." << table.max_rssi_dbm() << " dBm\n";
+        if (const auto boundary = table.weakest_gaussian_rssi()) {
+            const auto* pdf = table.lookup(*boundary);
+            std::cout << "Gaussian regime down to " << *boundary << " dBm (mean "
+                      << metrics::fmt(pdf->mean_m, 1) << " m)\n";
+        }
+
+        if (verbose) {
+            metrics::Table t({"rssi (dBm)", "mean (m)", "sigma (m)", "n", "gaussian"});
+            for (int rssi = table.max_rssi_dbm(); rssi >= table.min_rssi_dbm(); --rssi) {
+                const auto* pdf = table.lookup(rssi);
+                if (pdf == nullptr) continue;
+                t.add_row({std::to_string(rssi), metrics::fmt(pdf->mean_m),
+                           metrics::fmt(pdf->sigma_m), std::to_string(pdf->sample_count),
+                           pdf->gaussian_fit_ok ? "yes" : "no"});
+            }
+            t.print(std::cout);
+        }
+
+        if (!out_path.empty()) {
+            std::ofstream out(out_path);
+            if (!out) {
+                std::cerr << "cocoa_calibrate: cannot write " << out_path << "\n";
+                return 2;
+            }
+            table.save(out);
+            std::cout << "wrote " << out_path << "\n";
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "cocoa_calibrate: " << e.what() << "\n";
+        return 2;
+    }
+    return 0;
+}

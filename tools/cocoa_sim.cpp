@@ -1,0 +1,188 @@
+// cocoa_sim — command-line front end for the CoCoA simulator.
+//
+// Runs one scenario with the paper's defaults (overridable via flags),
+// prints a summary, and optionally dumps CSV series for plotting:
+//   cocoa_sim --robots 50 --anchors 25 --period 100 --vmax 2
+//             --mode cocoa --csv out/run1
+// writes out/run1_avg_error.csv and out/run1_summary.csv.
+
+#include <fstream>
+#include <iostream>
+
+#include "cli/args.hpp"
+#include "core/scenario.hpp"
+#include "metrics/table.hpp"
+
+using namespace cocoa;
+
+namespace {
+
+int fail(const std::string& message) {
+    std::cerr << "cocoa_sim: " << message << "\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    int robots = 50;
+    int anchors = 25;
+    std::uint64_t seed = 7;
+    double duration_s = 1800.0;
+    double period_s = 100.0;
+    double window_s = 3.0;
+    int beacons_k = 3;
+    double vmax = 2.0;
+    double area_m = 200.0;
+    std::string mode = "cocoa";
+    std::string sync = "mrmm";
+    std::string technique = "bayes";
+    bool no_sleep = false;
+    bool blind_beaconing = false;
+    bool quiet = false;
+    std::string csv_prefix;
+    double trace_interval_s = 0.0;
+
+    cli::ArgParser parser("cocoa_sim", "CoCoA mobile-robot localization simulator");
+    parser.add_option("robots", "team size (default 50)", &robots)
+        .add_option("anchors", "robots with localization devices (default 25)", &anchors)
+        .add_option("seed", "master RNG seed (default 7)", &seed)
+        .add_option("duration", "simulated seconds (default 1800)", &duration_s)
+        .add_option("period", "beacon period T in seconds (default 100)", &period_s)
+        .add_option("window", "transmit window t in seconds (default 3)", &window_s)
+        .add_option("k", "beacons per window (default 3)", &beacons_k)
+        .add_option("vmax", "maximum robot speed m/s (default 2)", &vmax)
+        .add_option("area", "deployment area side in metres (default 200)", &area_m)
+        .add_option("mode", "cocoa | rf | odo (default cocoa)", &mode)
+        .add_option("sync", "mrmm | perfect (default mrmm)", &sync)
+        .add_option("technique", "bayes | centroid | ls (default bayes)", &technique)
+        .add_flag("no-sleep", "disable sleep coordination (energy baseline)", &no_sleep)
+        .add_flag("blind-beaconing", "localized blind robots also beacon", &blind_beaconing)
+        .add_flag("quiet", "summary only, no time series", &quiet)
+        .add_option("csv", "prefix for CSV dumps (avg error + summary)", &csv_prefix)
+        .add_option("trace",
+                    "record true+estimated positions every N seconds into "
+                    "<csv>_trace.csv (requires --csv)",
+                    &trace_interval_s);
+    if (!parser.parse(argc, argv, std::cout, std::cerr)) {
+        return parser.failed() ? 2 : 0;
+    }
+
+    core::ScenarioConfig config;
+    config.seed = seed;
+    config.num_robots = robots;
+    config.num_anchors = anchors;
+    config.duration = sim::Duration::seconds(duration_s);
+    config.period = sim::Duration::seconds(period_s);
+    config.window = sim::Duration::seconds(window_s);
+    config.beacons_per_window = beacons_k;
+    config.max_speed = vmax;
+    config.area_side_m = area_m;
+    config.sleep_coordination = !no_sleep;
+    config.blind_beaconing = blind_beaconing;
+
+    if (mode == "cocoa") {
+        config.mode = core::LocalizationMode::Combined;
+    } else if (mode == "rf") {
+        config.mode = core::LocalizationMode::RfOnly;
+    } else if (mode == "odo") {
+        config.mode = core::LocalizationMode::OdometryOnly;
+    } else {
+        return fail("unknown --mode '" + mode + "' (cocoa | rf | odo)");
+    }
+    if (sync == "mrmm") {
+        config.sync = core::SyncMode::Mrmm;
+    } else if (sync == "perfect") {
+        config.sync = core::SyncMode::PerfectClock;
+    } else {
+        return fail("unknown --sync '" + sync + "' (mrmm | perfect)");
+    }
+    if (technique == "bayes") {
+        config.technique = core::RfTechnique::BayesianGrid;
+    } else if (technique == "centroid") {
+        config.technique = core::RfTechnique::WeightedCentroid;
+    } else if (technique == "ls") {
+        config.technique = core::RfTechnique::LeastSquares;
+    } else {
+        return fail("unknown --technique '" + technique + "' (bayes | centroid | ls)");
+    }
+
+    if (trace_interval_s > 0.0 && csv_prefix.empty()) {
+        return fail("--trace requires --csv <prefix>");
+    }
+
+    core::ScenarioResult result;
+    std::optional<core::Scenario> scenario;
+    try {
+        config.validate();
+        scenario.emplace(config);
+        if (trace_interval_s > 0.0) {
+            scenario->enable_position_trace(sim::Duration::seconds(trace_interval_s));
+        }
+        scenario->run();
+        result = scenario->result();
+    } catch (const std::exception& e) {
+        return fail(e.what());
+    }
+
+    metrics::Table summary({"metric", "value"});
+    summary.add_row({"avg localization error (m)",
+                     metrics::fmt(result.avg_error.stats().mean())});
+    summary.add_row({"max avg error (m)", metrics::fmt(result.avg_error.stats().max())});
+    summary.add_row({"fixes", std::to_string(result.agent_totals.fixes)});
+    summary.add_row({"windows without fix",
+                     std::to_string(result.agent_totals.windows_without_fix)});
+    summary.add_row({"beacons sent", std::to_string(result.agent_totals.beacons_sent)});
+    summary.add_row(
+        {"beacons received", std::to_string(result.agent_totals.beacons_received)});
+    summary.add_row({"SYNCs delivered",
+                     std::to_string(result.agent_totals.syncs_received)});
+    summary.add_row({"frames on air", std::to_string(result.medium_stats.frames_sent)});
+    summary.add_row({"team energy (kJ)",
+                     metrics::fmt(result.team_energy.total_mj() / 1e6)});
+    summary.add_row({"  tx (kJ)", metrics::fmt(result.team_energy.tx_mj / 1e6)});
+    summary.add_row({"  rx (kJ)", metrics::fmt(result.team_energy.rx_mj / 1e6)});
+    summary.add_row({"  idle (kJ)", metrics::fmt(result.team_energy.idle_mj / 1e6)});
+    summary.add_row({"  sleep (kJ)", metrics::fmt(result.team_energy.sleep_mj / 1e6)});
+    summary.add_row({"events executed", std::to_string(result.executed_events)});
+    summary.print(std::cout);
+
+    if (!quiet) {
+        std::cout << "\nerror over time (60 s buckets):\n";
+        metrics::Table series({"t (s)", "avg error (m)"});
+        const metrics::TimeSeries coarse =
+            result.avg_error.downsample(sim::Duration::seconds(60.0));
+        for (const auto& s : coarse.samples()) {
+            series.add_row(
+                {metrics::fmt(s.time.to_seconds(), 0), metrics::fmt(s.value)});
+        }
+        series.print(std::cout);
+    }
+
+    if (!csv_prefix.empty()) {
+        {
+            std::ofstream out(csv_prefix + "_avg_error.csv");
+            if (!out) return fail("cannot write " + csv_prefix + "_avg_error.csv");
+            metrics::Table csv({"t_s", "avg_error_m"});
+            for (const auto& s : result.avg_error.samples()) {
+                csv.add_row(
+                    {metrics::fmt(s.time.to_seconds(), 0), metrics::fmt(s.value, 4)});
+            }
+            csv.print_csv(out);
+        }
+        {
+            std::ofstream out(csv_prefix + "_summary.csv");
+            if (!out) return fail("cannot write " + csv_prefix + "_summary.csv");
+            summary.print_csv(out);
+        }
+        if (trace_interval_s > 0.0) {
+            std::ofstream out(csv_prefix + "_trace.csv");
+            if (!out) return fail("cannot write " + csv_prefix + "_trace.csv");
+            scenario->write_position_trace_csv(out);
+        }
+        std::cout << "\nwrote " << csv_prefix << "_avg_error.csv and "
+                  << csv_prefix << "_summary.csv"
+                  << (trace_interval_s > 0.0 ? " and the position trace" : "") << "\n";
+    }
+    return 0;
+}
