@@ -4,6 +4,7 @@
 //                    matches the paper's algorithm, bad beacons included),
 //   gaussian-only  : only Fig. 1(a)-regime bins are used,
 //   cutoff -80 dBm : hard RSSI cutoff at the paper's stated boundary.
+// All six (policy, T) cells run as one sweep on the replication engine.
 
 #include <iostream>
 
@@ -25,28 +26,29 @@ int main() {
         {"gaussian-only", false, -1e9},
         {"cutoff -80 dBm", true, -80.0},
     };
+    const double periods[] = {10.0, 100.0};
 
-    metrics::Table t({"policy", "T=10 avg err (m)", "T=100 avg err (m)",
-                      "windows w/o fix (T=100)"});
+    std::vector<core::ScenarioConfig> configs;
     for (const Policy& p : policies) {
-        std::string t10;
-        std::string t100;
-        std::string nofix;
-        for (const double T : {10.0, 100.0}) {
+        for (const double T : periods) {
             core::ScenarioConfig c = bench::paper_config();
             c.period = sim::Duration::seconds(T);
             c.use_non_gaussian_bins = p.use_non_gaussian;
             c.beacon_rssi_cutoff_dbm = p.cutoff_dbm;
-            const auto r = core::run_scenario(c);
-            const std::string err = metrics::fmt(r.avg_error.stats().mean());
-            if (T == 10.0) {
-                t10 = err;
-            } else {
-                t100 = err;
-                nofix = std::to_string(r.agent_totals.windows_without_fix);
-            }
+            configs.push_back(c);
         }
-        t.add_row({p.name, t10, t100, nofix});
+    }
+    const auto sets = bench::run_sweep(configs, 1);
+
+    metrics::Table t({"policy", "T=10 avg err (m)", "T=100 avg err (m)",
+                      "windows w/o fix (T=100)"});
+    std::size_t next = 0;
+    for (const Policy& p : policies) {
+        const exp::ReplicationSet& t10 = sets[next++];
+        const exp::ReplicationSet& t100 = sets[next++];
+        t.add_row({p.name, metrics::fmt(t10.avg_error.mean()),
+                   metrics::fmt(t100.avg_error.mean()),
+                   std::to_string(t100.last.agent_totals.windows_without_fix)});
     }
     t.print(std::cout);
 

@@ -1,5 +1,6 @@
 // Ablation: beacon redundancy k. The paper transmits k = 3 beacons per
 // transmit window "for increasing the reliability of beacon delivery".
+// The k axis runs as one sweep on the replication engine.
 
 #include <iostream>
 
@@ -11,13 +12,20 @@ int main() {
     bench::print_header("Ablation — beacons per window (k)",
                         "reliability/energy trade-off of beacon redundancy");
 
-    metrics::Table t({"k", "avg err (m)", "windows w/o fix", "beacons rx",
-                      "tx energy (J)", "team energy (kJ)"});
-    for (const int k : {1, 2, 3, 5}) {
+    const std::vector<int> ks = {1, 2, 3, 5};
+    std::vector<core::ScenarioConfig> configs;
+    for (const int k : ks) {
         core::ScenarioConfig c = bench::paper_config();
         c.beacons_per_window = k;
-        const auto r = core::run_scenario(c);
-        t.add_row({std::to_string(k), metrics::fmt(r.avg_error.stats().mean()),
+        configs.push_back(c);
+    }
+    const auto sets = bench::run_sweep(configs, 1);
+
+    metrics::Table t({"k", "avg err (m)", "windows w/o fix", "beacons rx",
+                      "tx energy (J)", "team energy (kJ)"});
+    for (std::size_t i = 0; i < ks.size(); ++i) {
+        const auto& r = sets[i].last;
+        t.add_row({std::to_string(ks[i]), metrics::fmt(sets[i].avg_error.mean()),
                    std::to_string(r.agent_totals.windows_without_fix),
                    std::to_string(r.agent_totals.beacons_received),
                    metrics::fmt(r.team_energy.tx_mj / 1e3),

@@ -1,7 +1,8 @@
 // Ablation: Bayesian grid resolution. The paper does not state its grid cell
-// size; this sweep shows accuracy and cost across resolutions.
+// size; this sweep shows accuracy and cost across resolutions. It runs on
+// the replication engine but pinned to one thread: the wall-time column is
+// the point of the ablation and must not be perturbed by sibling cells.
 
-#include <chrono>
 #include <iostream>
 
 #include "bench/common.hpp"
@@ -12,21 +13,27 @@ int main() {
     bench::print_header("Ablation — Bayesian grid resolution",
                         "CoCoA accuracy and run time vs grid cell size");
 
-    metrics::Table t({"cell (m)", "cells", "avg err (m)", "steady-state (m)",
-                      "wall time (s)"});
-    for (const double cell : {1.0, 2.0, 4.0, 8.0}) {
+    const std::vector<double> cells = {1.0, 2.0, 4.0, 8.0};
+    std::vector<core::ScenarioConfig> configs;
+    for (const double cell : cells) {
         core::ScenarioConfig c = bench::paper_config();
         c.cell_m = cell;
-        const auto t0 = std::chrono::steady_clock::now();
-        const auto r = core::run_scenario(c);
-        const auto t1 = std::chrono::steady_clock::now();
-        const auto cells = static_cast<long>(c.area_side_m / cell) *
-                           static_cast<long>(c.area_side_m / cell);
-        t.add_row({metrics::fmt(cell, 1), std::to_string(cells),
-                   metrics::fmt(r.avg_error.stats().mean()),
-                   metrics::fmt(r.avg_error.mean_in(sim::TimePoint::from_seconds(105),
-                                                    sim::TimePoint::from_seconds(1e9))),
-                   metrics::fmt(std::chrono::duration<double>(t1 - t0).count())});
+        configs.push_back(c);
+    }
+    exp::ReplicationOptions opt;
+    opt.n_reps = 1;
+    opt.n_threads = 1;  // honest wall times, see header comment
+    const auto sets = exp::run_sweep(configs, opt);
+
+    metrics::Table t({"cell (m)", "cells", "avg err (m)", "steady-state (m)",
+                      "wall time (s)"});
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const auto cell_count = static_cast<long>(configs[i].area_side_m / cells[i]) *
+                                static_cast<long>(configs[i].area_side_m / cells[i]);
+        t.add_row({metrics::fmt(cells[i], 1), std::to_string(cell_count),
+                   metrics::fmt(sets[i].avg_error.mean()),
+                   metrics::fmt(sets[i].steady_error.mean()),
+                   metrics::fmt(sets[i].total_wall_seconds)});
     }
     t.print(std::cout);
 

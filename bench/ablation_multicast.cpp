@@ -1,8 +1,10 @@
 // Ablation: the sync substrate. Compares classic ODMRP against MRMM (the
 // paper's choice, §2.3) as the carrier of CoCoA SYNC messages, measuring
 // forwarding efficiency and control overhead in the full mobile scenario.
+// The three variants run as one sweep on the replication engine.
 
 #include <iostream>
+#include <iterator>
 
 #include "bench/common.hpp"
 
@@ -23,20 +25,26 @@ int main() {
         {"MRMM (full)", multicast::Variant::Mrmm, 2},
     };
 
-    metrics::Table t({"variant", "SYNCs delivered", "data tx", "suppressed",
-                      "queries", "replies", "avg err (m)", "energy (kJ)"});
+    std::vector<core::ScenarioConfig> configs;
     for (const Variant& v : variants) {
         core::ScenarioConfig c = bench::paper_config();
         c.sync = core::SyncMode::Mrmm;
         c.multicast.variant = v.variant;
         c.multicast.data_suppression_copies = v.suppression;
-        const auto r = core::run_scenario(c);
-        t.add_row({v.name, std::to_string(r.agent_totals.syncs_received),
+        configs.push_back(c);
+    }
+    const auto sets = bench::run_sweep(configs, 1);
+
+    metrics::Table t({"variant", "SYNCs delivered", "data tx", "suppressed",
+                      "queries", "replies", "avg err (m)", "energy (kJ)"});
+    for (std::size_t i = 0; i < std::size(variants); ++i) {
+        const auto& r = sets[i].last;
+        t.add_row({variants[i].name, std::to_string(r.agent_totals.syncs_received),
                    std::to_string(r.multicast_stats.data_sent),
                    std::to_string(r.multicast_stats.data_suppressed),
                    std::to_string(r.multicast_stats.queries_sent),
                    std::to_string(r.multicast_stats.replies_sent),
-                   metrics::fmt(r.avg_error.stats().mean()),
+                   metrics::fmt(sets[i].avg_error.mean()),
                    metrics::fmt(r.team_energy.total_mj() / 1e6)});
     }
     t.print(std::cout);

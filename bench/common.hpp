@@ -5,10 +5,12 @@
 // corresponding figure reports, alongside the paper's claimed values where
 // the text states them.
 
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "core/scenario.hpp"
+#include "exp/replication.hpp"
 #include "metrics/table.hpp"
 
 namespace cocoa::bench {
@@ -80,36 +82,44 @@ inline void paper_note(const std::string& note) {
     std::cout << "\npaper reports: " << note << "\n";
 }
 
-/// Aggregates a scenario metric across several independent seeds.
-struct SeedAggregate {
-    metrics::RunningStat avg_error;         ///< whole-run average error per seed
-    metrics::RunningStat steady_error;      ///< post-first-period average per seed
-    metrics::RunningStat total_energy_kj;   ///< team energy per seed
-    core::ScenarioResult last;              ///< result of the final seed (for series)
+/// Worker threads the benches hand to the replication engine: every hardware
+/// thread unless COCOA_BENCH_THREADS says otherwise (1 forces the serial
+/// path; aggregate tables are byte-identical either way).
+inline int bench_threads() {
+    if (const char* env = std::getenv("COCOA_BENCH_THREADS")) {
+        const int n = std::atoi(env);
+        if (n > 0) return n;
+    }
+    return 0;  // engine default: hardware concurrency
+}
 
-    std::string avg_pm() const {
-        return metrics::fmt(avg_error.mean()) + " ± " + metrics::fmt(avg_error.stddev());
+/// Replications per point, overridable via COCOA_BENCH_REPS for quick runs.
+inline int bench_reps(int default_reps) {
+    if (const char* env = std::getenv("COCOA_BENCH_REPS")) {
+        const int n = std::atoi(env);
+        if (n > 0) return n;
     }
-    std::string steady_pm() const {
-        return metrics::fmt(steady_error.mean()) + " ± " +
-               metrics::fmt(steady_error.stddev());
-    }
-};
+    return default_reps;
+}
 
-/// Runs `config` under `seeds` distinct master seeds (config.seed, +1, ...).
-inline SeedAggregate run_seeds(core::ScenarioConfig config, int seeds) {
-    SeedAggregate agg;
-    const std::uint64_t base = config.seed;
-    for (int i = 0; i < seeds; ++i) {
-        config.seed = base + static_cast<std::uint64_t>(i);
-        agg.last = core::run_scenario(config);
-        agg.avg_error.add(agg.last.avg_error.stats().mean());
-        agg.steady_error.add(agg.last.avg_error.mean_in(
-            sim::TimePoint::origin() + config.period + sim::Duration::seconds(5.0),
-            sim::TimePoint::max()));
-        agg.total_energy_kj.add(agg.last.team_energy.total_mj() / 1e6);
-    }
-    return agg;
+/// Runs `reps` independent replications of `config` on the replication
+/// engine (per-replication seeds derived from config.seed; parallel over
+/// bench_threads()).
+inline exp::ReplicationSet run_seeds(const core::ScenarioConfig& config, int reps) {
+    exp::ReplicationOptions opt;
+    opt.n_reps = bench_reps(reps);
+    opt.n_threads = bench_threads();
+    return exp::run_replications(config, opt);
+}
+
+/// Runs a whole parameter sweep (one ReplicationSet per config) on a single
+/// shared thread pool, so points of the sweep overlap on the hardware.
+inline std::vector<exp::ReplicationSet> run_sweep(
+    const std::vector<core::ScenarioConfig>& configs, int reps) {
+    exp::ReplicationOptions opt;
+    opt.n_reps = bench_reps(reps);
+    opt.n_threads = bench_threads();
+    return exp::run_sweep(configs, opt);
 }
 
 }  // namespace cocoa::bench

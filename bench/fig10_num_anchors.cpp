@@ -1,6 +1,7 @@
 // Figure 10: impact of the number of robots equipped with localization
 // devices (anchors) on CoCoA's localization error: 5, 15, 25, 35 anchors of
-// 50 robots.
+// 50 robots. The anchor-count axis runs as one sweep on the replication
+// engine.
 
 #include <iostream>
 
@@ -12,17 +13,26 @@ int main() {
     bench::print_header("Figure 10 — impact of number of localization devices",
                         "CoCoA, T = 100 s; anchors in {5, 15, 25, 35} of 50 robots");
 
-    std::vector<std::string> names;
-    std::vector<metrics::TimeSeries> series;
-    metrics::Table table({"anchors", "steady err (m, 3 seeds)", "max avg err (m)",
-                          "fixes", "windows w/o fix"});
-    for (const int anchors : {5, 15, 25, 35}) {
+    const std::vector<int> anchor_counts = {5, 15, 25, 35};
+    std::vector<core::ScenarioConfig> configs;
+    for (const int anchors : anchor_counts) {
         core::ScenarioConfig c = bench::paper_config();
         c.num_anchors = anchors;
-        if (anchors == 5) bench::print_config(c);
-        const auto agg = bench::run_seeds(c, 3);
+        configs.push_back(c);
+    }
+    bench::print_config(configs.front());
+
+    const auto sets = bench::run_sweep(configs, 3);
+    const std::string reps = std::to_string(sets.front().records.size());
+
+    std::vector<std::string> names;
+    std::vector<metrics::TimeSeries> series;
+    metrics::Table table({"anchors", "steady err (m, " + reps + " reps)", "95% CI (m)",
+                          "max avg err (m)", "fixes", "windows w/o fix"});
+    for (std::size_t i = 0; i < anchor_counts.size(); ++i) {
+        const exp::ReplicationSet& agg = sets[i];
         const auto& r = agg.last;
-        names.push_back(std::to_string(anchors) + " anchors (m)");
+        names.push_back(std::to_string(anchor_counts[i]) + " anchors (m)");
         series.push_back(r.avg_error);
         // Skip the initial convergence transient when reporting the maximum,
         // as the paper's plots do.
@@ -32,8 +42,9 @@ int main() {
                 max_after = std::max(max_after, s.value);
             }
         }
-        table.add_row({std::to_string(anchors), agg.steady_pm(),
-                       metrics::fmt(max_after), std::to_string(r.agent_totals.fixes),
+        table.add_row({std::to_string(anchor_counts[i]), agg.steady_pm(),
+                       agg.steady_ci(), metrics::fmt(max_after),
+                       std::to_string(r.agent_totals.fixes),
                        std::to_string(r.agent_totals.windows_without_fix)});
     }
     table.print(std::cout);

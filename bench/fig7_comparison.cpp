@@ -1,6 +1,7 @@
 // Figure 7: localization error over time for T = 100 s under (i) odometry
 // only, (ii) RF localization only, and (iii) CoCoA (RF + odometry), at both
-// maximum speeds (0.5 and 2.0 m/s).
+// maximum speeds (0.5 and 2.0 m/s). All six (speed, mode) cells run as one
+// sweep on the replication engine.
 
 #include <iostream>
 
@@ -12,25 +13,39 @@ int main() {
     bench::print_header("Figure 7 — odometry vs RF-only vs CoCoA, T = 100 s",
                         "the paper's headline comparison (§4.3)");
 
-    for (const double vmax : {0.5, 2.0}) {
-        std::cout << "---- vmax = " << vmax << " m/s ----\n";
-        std::vector<std::string> names;
-        std::vector<metrics::TimeSeries> series;
-        metrics::Table summary(
-            {"mode", "avg err (m, 3 seeds)", "steady-state avg (m, 3 seeds)"});
-        const std::pair<core::LocalizationMode, const char*> modes[] = {
-            {core::LocalizationMode::OdometryOnly, "odometry"},
-            {core::LocalizationMode::RfOnly, "RF only"},
-            {core::LocalizationMode::Combined, "CoCoA"},
-        };
+    const std::pair<core::LocalizationMode, const char*> modes[] = {
+        {core::LocalizationMode::OdometryOnly, "odometry"},
+        {core::LocalizationMode::RfOnly, "RF only"},
+        {core::LocalizationMode::Combined, "CoCoA"},
+    };
+    const double speeds[] = {0.5, 2.0};
+
+    std::vector<core::ScenarioConfig> configs;
+    for (const double vmax : speeds) {
         for (const auto& [mode, name] : modes) {
             core::ScenarioConfig c = bench::paper_config();
             c.mode = mode;
             c.max_speed = vmax;
-            const auto agg = bench::run_seeds(c, 3);
+            configs.push_back(c);
+        }
+    }
+    const auto sets = bench::run_sweep(configs, 3);
+    const std::string reps = std::to_string(sets.front().records.size());
+
+    std::size_t next = 0;
+    for (const double vmax : speeds) {
+        std::cout << "---- vmax = " << vmax << " m/s ----\n";
+        std::vector<std::string> names;
+        std::vector<metrics::TimeSeries> series;
+        metrics::Table summary({"mode", "avg err (m, " + reps + " reps)",
+                                "steady-state avg (m, " + reps + " reps)",
+                                "95% CI (m)"});
+        for (const auto& mode_entry : modes) {
+            const char* name = mode_entry.second;
+            const exp::ReplicationSet& agg = sets[next++];
             names.push_back(std::string(name) + " (m)");
             series.push_back(agg.last.avg_error);
-            summary.add_row({name, agg.avg_pm(), agg.steady_pm()});
+            summary.add_row({name, agg.avg_pm(), agg.steady_pm(), agg.avg_ci()});
         }
         summary.print(std::cout);
         std::cout << "\n";

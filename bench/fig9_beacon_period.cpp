@@ -1,6 +1,9 @@
 // Figure 9: impact of the beacon period T on CoCoA.
 //  (a) localization error over time for T in {10, 50, 100, 300} s;
 //  (b) team energy consumption, with and without sleep coordination.
+//
+// All (T, coordination) cells and their replications run as one sweep on the
+// replication engine, so the whole figure fans out over the hardware.
 
 #include <iostream>
 
@@ -12,25 +15,36 @@ int main() {
     bench::print_header("Figure 9 — impact of beacon period T",
                         "(a) CoCoA error vs T; (b) team energy, coordination on/off");
 
-    std::vector<std::string> names;
-    std::vector<metrics::TimeSeries> series;
-    metrics::Table table({"T (s)", "avg err (m, 3 seeds)", "energy coord (kJ)",
-                          "energy no-coord (kJ)", "no-coord / coord"});
-    for (const double T : {10.0, 50.0, 100.0, 300.0}) {
+    const std::vector<double> periods = {10.0, 50.0, 100.0, 300.0};
+    // Two configs per T: sleep coordination on (even index) and off (odd).
+    std::vector<core::ScenarioConfig> configs;
+    for (const double T : periods) {
         core::ScenarioConfig c = bench::paper_config();
         c.period = sim::Duration::seconds(T);
-        if (T == 10.0) bench::print_config(c);
-
-        const auto coord = bench::run_seeds(c, 3);
+        configs.push_back(c);
         c.sleep_coordination = false;
-        const auto nocoord = bench::run_seeds(c, 3);
+        configs.push_back(c);
+    }
+    bench::print_config(configs.front());
 
-        names.push_back("T=" + metrics::fmt(T, 0) + "s (m)");
+    const auto sets = bench::run_sweep(configs, 3);
+    const std::string reps = std::to_string(sets.front().records.size());
+
+    std::vector<std::string> names;
+    std::vector<metrics::TimeSeries> series;
+    metrics::Table table({"T (s)", "avg err (m, " + reps + " reps)", "95% CI (m)",
+                          "energy coord (kJ)", "energy no-coord (kJ)",
+                          "no-coord / coord"});
+    for (std::size_t i = 0; i < periods.size(); ++i) {
+        const exp::ReplicationSet& coord = sets[2 * i];
+        const exp::ReplicationSet& nocoord = sets[2 * i + 1];
+        names.push_back("T=" + metrics::fmt(periods[i], 0) + "s (m)");
         series.push_back(coord.last.avg_error);
         const double e_coord = coord.total_energy_kj.mean();
         const double e_nocoord = nocoord.total_energy_kj.mean();
-        table.add_row({metrics::fmt(T, 0), coord.avg_pm(), metrics::fmt(e_coord),
-                       metrics::fmt(e_nocoord), metrics::fmt(e_nocoord / e_coord, 1)});
+        table.add_row({metrics::fmt(periods[i], 0), coord.avg_pm(), coord.avg_ci(),
+                       metrics::fmt(e_coord), metrics::fmt(e_nocoord),
+                       metrics::fmt(e_nocoord / e_coord, 1)});
     }
     table.print(std::cout);
     std::cout << "\n(a) error over time:\n";

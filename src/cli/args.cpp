@@ -35,6 +35,18 @@ ArgParser& ArgParser::add_option(const std::string& name, const std::string& des
     return add(name, description, target);
 }
 ArgParser& ArgParser::add_option(const std::string& name, const std::string& description,
+                                 int* target, int min_value, int max_value) {
+    if (min_value > max_value) {
+        throw std::invalid_argument("ArgParser: empty range for --" + name);
+    }
+    add(name, description, target);
+    Spec& spec = specs_.at(name);
+    spec.has_range = true;
+    spec.min_value = min_value;
+    spec.max_value = max_value;
+    return *this;
+}
+ArgParser& ArgParser::add_option(const std::string& name, const std::string& description,
                                  std::uint64_t* target) {
     return add(name, description, target);
 }
@@ -120,6 +132,16 @@ bool ArgParser::parse(int argc, const char* const* argv, std::ostream& out,
             err << program_ << ": bad value '" << value << "' for --" << arg << "\n";
             failed_ = true;
             return false;
+        }
+        if (it->second.has_range) {
+            const int v = *std::get<int*>(it->second.target);
+            if (v < it->second.min_value || v > it->second.max_value) {
+                err << program_ << ": --" << arg << " must be in ["
+                    << it->second.min_value << ", " << it->second.max_value << "], got "
+                    << v << "\n";
+                failed_ = true;
+                return false;
+            }
         }
     }
     return true;

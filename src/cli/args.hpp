@@ -24,6 +24,10 @@ class ArgParser {
                           double* target);
     ArgParser& add_option(const std::string& name, const std::string& description,
                           int* target);
+    /// Integer option constrained to [min_value, max_value]; out-of-range
+    /// values fail parse() with an error naming the allowed range.
+    ArgParser& add_option(const std::string& name, const std::string& description,
+                          int* target, int min_value, int max_value);
     ArgParser& add_option(const std::string& name, const std::string& description,
                           std::uint64_t* target);
     ArgParser& add_option(const std::string& name, const std::string& description,
@@ -44,6 +48,9 @@ class ArgParser {
     struct Spec {
         std::string description;
         Target target;
+        bool has_range = false;  ///< int targets only
+        int min_value = 0;
+        int max_value = 0;
     };
 
     ArgParser& add(const std::string& name, const std::string& description,

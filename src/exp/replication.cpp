@@ -1,0 +1,149 @@
+#include "exp/replication.hpp"
+
+#include <chrono>
+#include <exception>
+#include <stdexcept>
+#include <utility>
+
+#include "exp/thread_pool.hpp"
+#include "metrics/table.hpp"
+#include "sim/random.hpp"
+
+namespace cocoa::exp {
+
+std::string ReplicationSet::avg_pm() const {
+    return metrics::fmt(avg_error.mean()) + " ± " + metrics::fmt(avg_error.stddev());
+}
+
+std::string ReplicationSet::steady_pm() const {
+    return metrics::fmt(steady_error.mean()) + " ± " +
+           metrics::fmt(steady_error.stddev());
+}
+
+std::string ReplicationSet::avg_ci() const {
+    return metrics::fmt(avg_error.mean()) + " ± " +
+           metrics::fmt(metrics::ci95_halfwidth(avg_error));
+}
+
+std::string ReplicationSet::steady_ci() const {
+    return metrics::fmt(steady_error.mean()) + " ± " +
+           metrics::fmt(metrics::ci95_halfwidth(steady_error));
+}
+
+std::uint64_t replication_seed(std::uint64_t master_seed, int index) {
+    return sim::RngManager(master_seed)
+        .derive_seed("exp.replication", static_cast<std::uint64_t>(index));
+}
+
+ReplicationRecord run_single_replication(const core::ScenarioConfig& config,
+                                         int index, sim::Duration warmup_slack,
+                                         core::ScenarioResult* result_out) {
+    core::ScenarioConfig run_config = config;
+    run_config.seed = replication_seed(config.seed, index);
+
+    const auto t0 = std::chrono::steady_clock::now();
+    core::ScenarioResult result = core::run_scenario(run_config);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    ReplicationRecord record;
+    record.index = index;
+    record.seed = run_config.seed;
+    record.avg_error_m = result.avg_error.stats().mean();
+    record.steady_error_m = result.avg_error.mean_in(
+        sim::TimePoint::origin() + run_config.period + warmup_slack,
+        sim::TimePoint::max());
+    record.total_energy_kj = result.team_energy.total_mj() / 1e6;
+    record.executed_events = result.executed_events;
+    record.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    if (result_out != nullptr) *result_out = std::move(result);
+    return record;
+}
+
+std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& configs,
+                                      const ReplicationOptions& options) {
+    if (options.n_reps < 1) {
+        throw std::invalid_argument("run_sweep: n_reps must be >= 1");
+    }
+    if (configs.empty()) return {};
+
+    const std::size_t n_configs = configs.size();
+    const std::size_t n_reps = static_cast<std::size_t>(options.n_reps);
+    const std::size_t n_tasks = n_configs * n_reps;
+
+    // Per-task slots, written by exactly one worker each; aggregation reads
+    // them only after the pool drains, so no locking is needed beyond the
+    // pool's own queue.
+    std::vector<ReplicationRecord> records(n_tasks);
+    std::vector<core::ScenarioResult> results(n_tasks);
+    std::vector<std::exception_ptr> errors(n_tasks);
+
+    const bool keep_result_for = options.keep_results;
+    const auto run_task = [&](std::size_t task) {
+        const std::size_t ci = task / n_reps;
+        const int ri = static_cast<int>(task % n_reps);
+        try {
+            // The last replication's full result is always kept for series
+            // printing; the rest only when the caller asked for them.
+            const bool want_result = keep_result_for || ri + 1 == options.n_reps;
+            records[task] = run_single_replication(
+                configs[ci], ri, options.warmup_slack,
+                want_result ? &results[task] : nullptr);
+        } catch (...) {
+            errors[task] = std::current_exception();
+        }
+    };
+
+    const int n_threads =
+        std::min<int>(ThreadPool::resolve_threads(options.n_threads),
+                      static_cast<int>(n_tasks));
+    if (n_threads <= 1) {
+        for (std::size_t task = 0; task < n_tasks; ++task) run_task(task);
+    } else {
+        ThreadPool pool(n_threads);
+        for (std::size_t task = 0; task < n_tasks; ++task) {
+            pool.submit([&run_task, task] { run_task(task); });
+        }
+        pool.wait_idle();
+    }
+
+    // Fail on the first error in (config, replication) order — deterministic
+    // regardless of which worker hit it first.
+    for (std::size_t task = 0; task < n_tasks; ++task) {
+        if (errors[task]) std::rethrow_exception(errors[task]);
+    }
+
+    // Fold aggregates in replication order so the output bits never depend
+    // on completion order or thread count.
+    std::vector<ReplicationSet> sets(n_configs);
+    for (std::size_t ci = 0; ci < n_configs; ++ci) {
+        ReplicationSet& set = sets[ci];
+        set.config = configs[ci];
+        set.records.reserve(n_reps);
+        for (std::size_t ri = 0; ri < n_reps; ++ri) {
+            const std::size_t task = ci * n_reps + ri;
+            const ReplicationRecord& r = records[task];
+            set.records.push_back(r);
+            set.avg_error.add(r.avg_error_m);
+            set.steady_error.add(r.steady_error_m);
+            set.total_energy_kj.add(r.total_energy_kj);
+            set.total_wall_seconds += r.wall_seconds;
+        }
+        if (options.keep_results) {
+            set.results.assign(std::make_move_iterator(results.begin() +
+                                                       static_cast<long>(ci * n_reps)),
+                               std::make_move_iterator(results.begin() +
+                                                       static_cast<long>((ci + 1) * n_reps)));
+            set.last = set.results.back();
+        } else {
+            set.last = std::move(results[ci * n_reps + n_reps - 1]);
+        }
+    }
+    return sets;
+}
+
+ReplicationSet run_replications(const core::ScenarioConfig& config,
+                                const ReplicationOptions& options) {
+    return std::move(run_sweep({config}, options).front());
+}
+
+}  // namespace cocoa::exp

@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/scenario.hpp"
+#include "metrics/running_stat.hpp"
+
+namespace cocoa::exp {
+
+/// Controls how a batch of independent replications executes.
+struct ReplicationOptions {
+    int n_reps = 3;    ///< replications per configuration; must be >= 1
+    int n_threads = 0; ///< worker threads; <= 0 uses every hardware thread
+
+    /// Steady-state samples start at `config.period + warmup_slack`: the
+    /// first beacon round plus settling time. (Previously hardcoded as
+    /// "period + 5 s" in every bench call site.)
+    sim::Duration warmup_slack = sim::Duration::seconds(5.0);
+
+    /// Keep every replication's full ScenarioResult in `ReplicationSet::
+    /// results`. Off by default — full results hold per-node time series,
+    /// so a wide sweep would hoard memory; the last replication's result is
+    /// always retained for series printing.
+    bool keep_results = false;
+};
+
+/// Scalar outcome of one replication, extracted while the full result is in
+/// scope. Every field except `wall_seconds` is a deterministic function of
+/// (config, master seed, replication index) — independent of thread count,
+/// scheduling order, and which other replications ran.
+struct ReplicationRecord {
+    int index = 0;               ///< replication number within the set
+    std::uint64_t seed = 0;      ///< derived master seed this run used
+    double avg_error_m = 0.0;    ///< whole-run mean localization error
+    double steady_error_m = 0.0; ///< mean error after the warmup window
+    double total_energy_kj = 0.0;
+    std::uint64_t executed_events = 0;
+    double wall_seconds = 0.0;   ///< measured — NOT part of the determinism contract
+};
+
+/// Results of n_reps independent replications of one configuration:
+/// per-replication records plus aggregates folded in replication order
+/// (so aggregate bits never depend on completion order).
+struct ReplicationSet {
+    core::ScenarioConfig config;            ///< as supplied, master seed intact
+    std::vector<ReplicationRecord> records; ///< sorted by replication index
+
+    metrics::RunningStat avg_error;       ///< over records[i].avg_error_m
+    metrics::RunningStat steady_error;    ///< over records[i].steady_error_m
+    metrics::RunningStat total_energy_kj; ///< over records[i].total_energy_kj
+
+    /// Full result of the highest-index replication (for series printing).
+    core::ScenarioResult last;
+    /// All full results, index-aligned; filled only with keep_results.
+    std::vector<core::ScenarioResult> results;
+
+    double total_wall_seconds = 0.0; ///< sum of per-replication wall times
+
+    /// "mean ± stddev" / "mean ± 95% CI half-width" formatting helpers.
+    std::string avg_pm() const;
+    std::string steady_pm() const;
+    std::string avg_ci() const;
+    std::string steady_ci() const;
+};
+
+/// Master seed replication `index` of a set runs under: derived from the
+/// config's master seed and the index with the RngManager stream hash, so it
+/// is stable under thread count and n_reps, and variance-controlled (the
+/// same replication index re-uses the same seed across a parameter sweep).
+std::uint64_t replication_seed(std::uint64_t master_seed, int index);
+
+/// Runs replication `index` of `config` in the calling thread. When
+/// `result_out` is non-null the full ScenarioResult is moved into it.
+ReplicationRecord run_single_replication(
+    const core::ScenarioConfig& config, int index,
+    sim::Duration warmup_slack = sim::Duration::seconds(5.0),
+    core::ScenarioResult* result_out = nullptr);
+
+/// Fans `configs` x n_reps out over a fixed-size thread pool, one
+/// shared-nothing Simulator per replication. Results are byte-identical for
+/// any thread count; the first replication failure (in index order) is
+/// rethrown after the pool drains. Throws std::invalid_argument on
+/// n_reps < 1.
+std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& configs,
+                                      const ReplicationOptions& options = {});
+
+/// Single-configuration convenience wrapper around run_sweep().
+ReplicationSet run_replications(const core::ScenarioConfig& config,
+                                const ReplicationOptions& options = {});
+
+}  // namespace cocoa::exp

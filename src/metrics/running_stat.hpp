@@ -16,8 +16,11 @@ class RunningStat {
 
     /// Mean of all samples; 0 when empty.
     double mean() const { return n_ ? mean_ : 0.0; }
-    /// Unbiased sample variance; 0 with fewer than two samples.
+    /// Unbiased sample variance. With fewer than two samples the estimator
+    /// is undefined; this returns 0 (never NaN) so "±" columns and CI maths
+    /// stay printable — pinned by tests/exp_test.cpp.
     double variance() const;
+    /// sqrt(variance()); 0 (never NaN) with fewer than two samples.
     double stddev() const;
     /// Smallest sample; +inf when empty.
     double min() const { return min_; }
@@ -37,5 +40,11 @@ class RunningStat {
     double min_ = std::numeric_limits<double>::infinity();
     double max_ = -std::numeric_limits<double>::infinity();
 };
+
+/// Half-width of the two-sided 95% confidence interval on the mean:
+/// t_{0.975, n-1} * stddev / sqrt(n), using the Student-t quantile for
+/// n <= 31 samples and the normal 1.96 beyond. 0 with fewer than two
+/// samples (a single replication has no interval).
+double ci95_halfwidth(const RunningStat& s);
 
 }  // namespace cocoa::metrics

@@ -15,6 +15,7 @@ Logger& Logger::instance() {
 void Logger::write(LogLevel level, TimePoint when, std::string_view component,
                    std::string_view message) {
     if (!enabled(level) || sink_ == nullptr) return;
+    const std::scoped_lock lock(write_mu_);
     std::ostream& os = *sink_;
     os << '[' << std::setw(9) << std::fixed << std::setprecision(3)
        << when.to_seconds() << "s] " << to_string(level) << ' ' << component

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <iosfwd>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -12,8 +13,11 @@ enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
 
 /// A minimal leveled logger that stamps messages with virtual time.
 ///
-/// The simulator is single-threaded, so no synchronization is needed. The
-/// default sink is std::clog; tests can redirect to a captured stream.
+/// Each simulator is single-threaded, but the replication engine runs many
+/// simulators at once against this process-wide instance, so write() is
+/// serialized by a mutex. Configure (set_level / set_sink) before going
+/// parallel; reconfiguration is not synchronized against in-flight writes.
+/// The default sink is std::clog; tests can redirect to a captured stream.
 class Logger {
   public:
     /// Process-wide logger instance used by all components.
@@ -34,6 +38,7 @@ class Logger {
     Logger();
     LogLevel level_ = LogLevel::Warn;
     std::ostream* sink_;
+    std::mutex write_mu_;  ///< keeps lines from parallel replications whole
 };
 
 /// Convenience macro-free helper: log only when the level is enabled, with

@@ -31,10 +31,13 @@ RandomStream RngManager::stream(std::string_view name) const {
 }
 
 RandomStream RngManager::stream(std::string_view name, std::uint64_t index) const {
+    return RandomStream{derive_seed(name, index)};
+}
+
+std::uint64_t RngManager::derive_seed(std::string_view name, std::uint64_t index) const {
     constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
     std::uint64_t h = fnv1a(name, kOffsetBasis ^ master_seed_);
-    h = splitmix64(h ^ splitmix64(index + 0x51ed2701));
-    return RandomStream{h};
+    return splitmix64(h ^ splitmix64(index + 0x51ed2701));
 }
 
 }  // namespace cocoa::sim

@@ -65,6 +65,11 @@ class RngManager {
     /// A stream keyed by a name plus an index (typically a node id).
     RandomStream stream(std::string_view name, std::uint64_t index) const;
 
+    /// The raw 64-bit seed behind stream(name, index). Exposed so higher
+    /// layers (e.g. the replication engine) can derive child *master* seeds
+    /// with the same stable, platform-independent hash.
+    std::uint64_t derive_seed(std::string_view name, std::uint64_t index) const;
+
   private:
     std::uint64_t master_seed_;
 };

@@ -57,6 +57,32 @@ TEST(ArgParser, EqualsSyntax) {
     EXPECT_DOUBLE_EQ(d, 4.25);
 }
 
+TEST(ArgParser, RangedIntAcceptsBoundsAndRejectsOutside) {
+    int reps = 1;
+    ArgParser p("prog", "test");
+    p.add_option("reps", "", &reps, 1, 8);
+
+    EXPECT_TRUE(run(p, {"--reps", "1"}).ok);
+    EXPECT_EQ(reps, 1);
+    EXPECT_TRUE(run(p, {"--reps", "8"}).ok);
+    EXPECT_EQ(reps, 8);
+
+    const auto low = run(p, {"--reps", "0"});
+    EXPECT_FALSE(low.ok);
+    EXPECT_TRUE(low.failed);
+    EXPECT_NE(low.err.find("[1, 8]"), std::string::npos);
+
+    const auto high = run(p, {"--reps", "9"});
+    EXPECT_FALSE(high.ok);
+    EXPECT_TRUE(high.failed);
+}
+
+TEST(ArgParser, RangedIntRejectsEmptyRangeAtRegistration) {
+    int x = 0;
+    ArgParser p("prog", "test");
+    EXPECT_THROW(p.add_option("x", "", &x, 5, 4), std::invalid_argument);
+}
+
 TEST(ArgParser, DefaultsSurviveWhenUnset) {
     int i = 42;
     ArgParser p("prog", "test");

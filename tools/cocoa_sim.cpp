@@ -5,12 +5,18 @@
 //   cocoa_sim --robots 50 --anchors 25 --period 100 --vmax 2
 //             --mode cocoa --csv out/run1
 // writes out/run1_avg_error.csv and out/run1_summary.csv.
+//
+// With --reps N (N > 1) the scenario instead runs N independent
+// replications on the parallel replication engine (--threads workers) and
+// prints mean / stddev / 95% CI aggregates. Aggregates are byte-identical
+// for any --threads value.
 
 #include <fstream>
 #include <iostream>
 
 #include "cli/args.hpp"
 #include "core/scenario.hpp"
+#include "exp/replication.hpp"
 #include "metrics/table.hpp"
 
 using namespace cocoa;
@@ -42,6 +48,8 @@ int main(int argc, char** argv) {
     bool quiet = false;
     std::string csv_prefix;
     double trace_interval_s = 0.0;
+    int reps = 1;
+    int threads = 0;
 
     cli::ArgParser parser("cocoa_sim", "CoCoA mobile-robot localization simulator");
     parser.add_option("robots", "team size (default 50)", &robots)
@@ -63,7 +71,15 @@ int main(int argc, char** argv) {
         .add_option("trace",
                     "record true+estimated positions every N seconds into "
                     "<csv>_trace.csv (requires --csv)",
-                    &trace_interval_s);
+                    &trace_interval_s)
+        .add_option("reps",
+                    "independent replications; >1 runs the parallel engine "
+                    "and prints mean/CI aggregates (default 1)",
+                    &reps, 1, 1000000)
+        .add_option("threads",
+                    "worker threads for --reps; 0 = all hardware threads "
+                    "(default 0)",
+                    &threads, 0, 4096);
     if (!parser.parse(argc, argv, std::cout, std::cerr)) {
         return parser.failed() ? 2 : 0;
     }
@@ -109,6 +125,59 @@ int main(int argc, char** argv) {
 
     if (trace_interval_s > 0.0 && csv_prefix.empty()) {
         return fail("--trace requires --csv <prefix>");
+    }
+    if (trace_interval_s > 0.0 && reps > 1) {
+        return fail("--trace requires --reps 1 (one scenario to trace)");
+    }
+
+    if (reps > 1) {
+        exp::ReplicationOptions opt;
+        opt.n_reps = reps;
+        opt.n_threads = threads;
+        exp::ReplicationSet set;
+        try {
+            config.validate();
+            set = exp::run_replications(config, opt);
+        } catch (const std::exception& e) {
+            return fail(e.what());
+        }
+
+        if (!quiet) {
+            metrics::Table per_rep({"rep", "seed", "avg err (m)", "steady err (m)",
+                                    "energy (kJ)", "wall (s)"});
+            for (const exp::ReplicationRecord& r : set.records) {
+                per_rep.add_row({std::to_string(r.index), std::to_string(r.seed),
+                                 metrics::fmt(r.avg_error_m),
+                                 metrics::fmt(r.steady_error_m),
+                                 metrics::fmt(r.total_energy_kj),
+                                 metrics::fmt(r.wall_seconds)});
+            }
+            per_rep.print(std::cout);
+            std::cout << "\n";
+        }
+
+        metrics::Table aggregate(
+            {"metric", "mean", "stddev", "95% CI ±", "min", "max"});
+        const auto stat_row = [&aggregate](const std::string& name,
+                                           const metrics::RunningStat& s) {
+            aggregate.add_row({name, metrics::fmt(s.mean()), metrics::fmt(s.stddev()),
+                               metrics::fmt(metrics::ci95_halfwidth(s)),
+                               metrics::fmt(s.min()), metrics::fmt(s.max())});
+        };
+        stat_row("avg localization error (m)", set.avg_error);
+        stat_row("steady-state error (m)", set.steady_error);
+        stat_row("team energy (kJ)", set.total_energy_kj);
+        aggregate.print(std::cout);
+        std::cout << "\n" << reps << " replications, "
+                  << set.total_wall_seconds << " s of simulation work\n";
+
+        if (!csv_prefix.empty()) {
+            std::ofstream out(csv_prefix + "_aggregate.csv");
+            if (!out) return fail("cannot write " + csv_prefix + "_aggregate.csv");
+            aggregate.print_csv(out);
+            std::cout << "wrote " << csv_prefix << "_aggregate.csv\n";
+        }
+        return 0;
     }
 
     core::ScenarioResult result;
