@@ -12,8 +12,23 @@
 #include "core/scenario.hpp"
 #include "exp/replication.hpp"
 #include "metrics/table.hpp"
+#include "obs/profile.hpp"
 
 namespace cocoa::bench {
+
+/// Turns on the wall-clock profiler when COCOA_PROFILE is set, and prints
+/// the scope table once at exit. Called by run_seeds()/run_sweep(), so every
+/// bench supports COCOA_PROFILE=1 without its own wiring.
+inline void maybe_enable_profile() {
+    static const bool once = [] {
+        if (std::getenv("COCOA_PROFILE") != nullptr) {
+            obs::Profiler::set_enabled(true);
+            std::atexit([] { obs::Profiler::instance().report(std::cerr); });
+        }
+        return true;
+    }();
+    (void)once;
+}
 
 inline void print_header(const std::string& figure, const std::string& what) {
     std::cout << "==================================================================\n"
@@ -106,6 +121,7 @@ inline int bench_reps(int default_reps) {
 /// engine (per-replication seeds derived from config.seed; parallel over
 /// bench_threads()).
 inline exp::ReplicationSet run_seeds(const core::ScenarioConfig& config, int reps) {
+    maybe_enable_profile();
     exp::ReplicationOptions opt;
     opt.n_reps = bench_reps(reps);
     opt.n_threads = bench_threads();
@@ -116,6 +132,7 @@ inline exp::ReplicationSet run_seeds(const core::ScenarioConfig& config, int rep
 /// shared thread pool, so points of the sweep overlap on the hardware.
 inline std::vector<exp::ReplicationSet> run_sweep(
     const std::vector<core::ScenarioConfig>& configs, int reps) {
+    maybe_enable_profile();
     exp::ReplicationOptions opt;
     opt.n_reps = bench_reps(reps);
     opt.n_threads = bench_threads();

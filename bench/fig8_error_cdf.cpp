@@ -3,11 +3,19 @@
 // the middle of a beacon period (T/2 after the window), for T = 100 s.
 
 #include <iostream>
+#include <optional>
+#include <string>
 
 #include "bench/common.hpp"
 #include "metrics/cdf.hpp"
 
 using namespace cocoa;
+
+// A configuration that yields zero fixes has no quantiles; print "n/a"
+// instead of aborting the whole figure.
+static std::string fmt_quantile(const std::optional<double>& q) {
+    return q.has_value() ? metrics::fmt(*q) : "n/a";
+}
 
 int main() {
     bench::print_header("Figure 8 — CDF of localization error at three instants",
@@ -35,8 +43,8 @@ int main() {
     for (const Instant& inst : instants) {
         cdfs.emplace_back(r.errors_at(sim::TimePoint::from_seconds(inst.t)));
         std::cout << "t = " << inst.t << " s (" << inst.label
-                  << "): median = " << metrics::fmt(cdfs.back().quantile(0.5))
-                  << " m, p90 = " << metrics::fmt(cdfs.back().quantile(0.9))
+                  << "): median = " << fmt_quantile(cdfs.back().quantile(0.5))
+                  << " m, p90 = " << fmt_quantile(cdfs.back().quantile(0.9))
                   << " m, max = " << metrics::fmt(cdfs.back().max()) << " m\n";
     }
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
 
 namespace cocoa::core {
 
@@ -42,6 +43,17 @@ CocoaAgent::CocoaAgent(net::Node& node, const AgentConfig& config,
                 on_mcast_deliver(inner);
             });
     }
+
+    const std::string prefix = "node." + std::to_string(node_.id()) + ".";
+    obs::CounterRegistry& reg = node_.radio().medium().obs().counters;
+    reg.add(prefix + "agent.beacons_sent", &stats_.beacons_sent);
+    reg.add(prefix + "agent.blind_beacons_sent", &stats_.blind_beacons_sent);
+    reg.add(prefix + "agent.beacons_received", &stats_.beacons_received);
+    reg.add(prefix + "agent.fixes", &stats_.fixes);
+    reg.add(prefix + "agent.windows_without_fix", &stats_.windows_without_fix);
+    reg.add(prefix + "agent.syncs_received", &stats_.syncs_received);
+    reg.add(prefix + "agent.sync_takeovers", &stats_.sync_takeovers);
+    localizer_.register_counters(reg, prefix + "localizer.");
 }
 
 void CocoaAgent::start() {
@@ -195,6 +207,10 @@ void CocoaAgent::send_beacon(std::uint32_t seq, int index) {
     packet.payload = beacon;
     node_.radio().send(std::move(packet));
     ++stats_.beacons_sent;
+    node_.radio().medium().obs().trace.instant(
+        node_.simulator().now(), "cocoa", "beacon_tx",
+        static_cast<std::int64_t>(node_.id()),
+        {{"seq", static_cast<double>(seq)}, {"index", static_cast<double>(index)}});
 }
 
 void CocoaAgent::on_beacon(const net::Packet& packet, const net::RxInfo& info) {
@@ -204,6 +220,11 @@ void CocoaAgent::on_beacon(const net::Packet& packet, const net::RxInfo& info) {
     const auto* beacon = std::get_if<net::BeaconPayload>(&packet.payload);
     if (beacon == nullptr) return;
     ++stats_.beacons_received;
+    node_.radio().medium().obs().trace.instant(
+        node_.simulator().now(), "cocoa", "beacon_rx",
+        static_cast<std::int64_t>(node_.id()),
+        {{"from", static_cast<double>(beacon->anchor_id)},
+         {"rssi_dbm", info.rssi_dbm}});
 
     if (config_.mode == LocalizationMode::Ekf) {
         // Continuous fusion: every beacon range updates the filter at once.
@@ -237,6 +258,13 @@ void CocoaAgent::on_window_end(std::uint32_t seq) {
             ever_fixed_ = true;
             last_fix_spread_m_ = fix->posterior_spread_m;
             ++stats_.fixes;
+            node_.radio().medium().obs().trace.instant(
+                node_.simulator().now(), "cocoa", "fix",
+                static_cast<std::int64_t>(node_.id()),
+                {{"x", fix->position.x},
+                 {"y", fix->position.y},
+                 {"beacons", static_cast<double>(fix->beacons_used)},
+                 {"err_m", (fix->position - true_position()).norm()}});
             if (config_.mode == LocalizationMode::RfOnly) {
                 rf_position_ = fix->position;
             } else {
@@ -252,6 +280,9 @@ void CocoaAgent::on_window_end(std::uint32_t seq) {
             // "If certain robots do not receive any beacons, they continue
             // with their old estimated position" (§2.3).
             ++stats_.windows_without_fix;
+            node_.radio().medium().obs().trace.instant(
+                node_.simulator().now(), "cocoa", "no_fix",
+                static_cast<std::int64_t>(node_.id()));
         }
     }
 
@@ -280,6 +311,10 @@ void CocoaAgent::on_mcast_deliver(const net::Packet& inner) {
     const auto* sync = std::get_if<net::SyncPayload>(&inner.payload);
     if (sync == nullptr) return;
     ++stats_.syncs_received;
+    node_.radio().medium().obs().trace.instant(
+        node_.simulator().now(), "cocoa", "sync_rx",
+        static_cast<std::int64_t>(node_.id()),
+        {{"seq", static_cast<double>(sync->seq)}});
     sync_seq_ = sync->seq;
     last_sync_heard_ = node_.simulator().now();
     // Re-align the local clock and phase to the sync robot's time-line; the

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/profile.hpp"
+
 namespace cocoa::core {
 
 BayesGrid::BayesGrid(const GridConfig& config) : config_(config) {
@@ -42,6 +44,7 @@ void BayesGrid::reset_uniform() {
 
 void BayesGrid::apply_constraint(const geom::Vec2& anchor_position,
                                  const phy::DistancePdf& pdf) {
+    obs::ProfileScope profile("core.apply_constraint");
     if (pdf.sigma_m <= 0.0) {
         throw std::invalid_argument("BayesGrid: constraint PDF has no spread");
     }

@@ -4,10 +4,12 @@
 #include <limits>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "core/bayes_grid.hpp"
 #include "geom/vec2.hpp"
+#include "obs/counters.hpp"
 #include "phy/pdf_table.hpp"
 
 namespace cocoa::core {
@@ -79,6 +81,16 @@ class RfLocalizer {
         std::uint64_t beacons_non_gaussian = 0;  ///< skipped Fig. 1(b) bins
     };
     const Stats& stats() const { return stats_; }
+
+    /// Registers this localizer's counters under `prefix`
+    /// (e.g. "node.3.localizer.").
+    void register_counters(obs::CounterRegistry& registry,
+                           const std::string& prefix) const {
+        registry.add(prefix + "fixes", &stats_.fixes);
+        registry.add(prefix + "rejected_too_few", &stats_.rejected_too_few);
+        registry.add(prefix + "beacons_without_bin", &stats_.beacons_without_bin);
+        registry.add(prefix + "beacons_non_gaussian", &stats_.beacons_non_gaussian);
+    }
 
   private:
     /// One admitted observation after PDF-table filtering.

@@ -177,9 +177,15 @@ void Scenario::write_position_trace_csv(std::ostream& os) const {
     }
 }
 
+obs::Obs& Scenario::obs() { return world_->medium().obs(); }
+const obs::Obs& Scenario::obs() const { return world_->medium().obs(); }
+
 void Scenario::run() { run_until(sim::TimePoint::origin() + config_.duration); }
 
-void Scenario::run_until(sim::TimePoint t) { sim_.run_until(t); }
+void Scenario::run_until(sim::TimePoint t) {
+    obs::ProfileScope scope("scenario.run");
+    sim_.run_until(t);
+}
 
 ScenarioResult Scenario::result() const {
     ScenarioResult r;
@@ -217,6 +223,7 @@ ScenarioResult Scenario::result() const {
         r.localizer_totals.beacons_non_gaussian += ls.beacons_non_gaussian;
     }
     r.executed_events = sim_.executed_events();
+    r.counters = world_->medium().obs().counters.snapshot();
     return r;
 }
 

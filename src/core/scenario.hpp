@@ -1,14 +1,18 @@
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
 #include <memory>
 #include <optional>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "core/agent.hpp"
 #include "metrics/time_series.hpp"
 #include "multicast/odmrp.hpp"
 #include "net/node.hpp"
+#include "obs/obs.hpp"
 #include "phy/channel.hpp"
 #include "phy/pdf_table.hpp"
 
@@ -104,6 +108,10 @@ struct ScenarioResult {
     CocoaAgent::Stats agent_totals;
     RfLocalizer::Stats localizer_totals;
     std::uint64_t executed_events = 0;
+    /// Full counter-registry snapshot (sorted by name) taken at result()
+    /// time; replication aggregates fold these in index order so totals are
+    /// byte-identical regardless of thread count.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
 
     /// Error of every blind robot at time `t` (step-sampled).
     std::vector<double> errors_at(sim::TimePoint t) const;
@@ -130,6 +138,12 @@ class Scenario {
     bool is_anchor(net::NodeId id) const;
     const phy::PdfTable& pdf_table() const { return *table_; }
     std::shared_ptr<const phy::PdfTable> pdf_table_ptr() const { return table_; }
+
+    /// The observability context (counter registry + trace sink) shared by
+    /// every subsystem of this scenario. Open obs().trace before running to
+    /// record an event trace.
+    obs::Obs& obs();
+    const obs::Obs& obs() const;
 
     /// One recorded robot pose snapshot (true and estimated).
     struct PositionTraceRow {

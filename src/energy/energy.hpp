@@ -3,7 +3,9 @@
 #include <array>
 #include <cstddef>
 #include <cstdint>
+#include <string>
 
+#include "obs/counters.hpp"
 #include "sim/time.hpp"
 
 namespace cocoa::energy {
@@ -68,6 +70,12 @@ class EnergyMeter {
     double transition_mj() const { return transition_mj_; }
     sim::Duration time_in(RadioState s) const { return state_time_[index_of(s)]; }
     std::uint64_t transitions() const { return transitions_; }
+
+    /// Registers this meter's counters under `prefix` (e.g. "node.3.energy.").
+    void register_counters(obs::CounterRegistry& registry,
+                           const std::string& prefix) const {
+        registry.add(prefix + "transitions", &transitions_);
+    }
 
   private:
     void accrue(sim::TimePoint until);

@@ -7,6 +7,7 @@
 
 #include "exp/thread_pool.hpp"
 #include "metrics/table.hpp"
+#include "obs/profile.hpp"
 #include "sim/random.hpp"
 
 namespace cocoa::exp {
@@ -41,6 +42,7 @@ ReplicationRecord run_single_replication(const core::ScenarioConfig& config,
     core::ScenarioConfig run_config = config;
     run_config.seed = replication_seed(config.seed, index);
 
+    obs::ProfileScope profile("exp.replication");
     const auto t0 = std::chrono::steady_clock::now();
     core::ScenarioResult result = core::run_scenario(run_config);
     const auto t1 = std::chrono::steady_clock::now();
@@ -55,6 +57,7 @@ ReplicationRecord run_single_replication(const core::ScenarioConfig& config,
     record.total_energy_kj = result.team_energy.total_mj() / 1e6;
     record.executed_events = result.executed_events;
     record.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
+    record.counters = result.counters;
     if (result_out != nullptr) *result_out = std::move(result);
     return record;
 }
@@ -65,6 +68,7 @@ std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& c
         throw std::invalid_argument("run_sweep: n_reps must be >= 1");
     }
     if (configs.empty()) return {};
+    obs::ProfileScope profile("exp.sweep");
 
     const std::size_t n_configs = configs.size();
     const std::size_t n_reps = static_cast<std::size_t>(options.n_reps);
@@ -127,6 +131,9 @@ std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& c
             set.steady_error.add(r.steady_error_m);
             set.total_energy_kj.add(r.total_energy_kj);
             set.total_wall_seconds += r.wall_seconds;
+            for (const auto& [name, value] : r.counters) {
+                set.counter_totals[name] += value;
+            }
         }
         if (options.keep_results) {
             set.results.assign(std::make_move_iterator(results.begin() +

@@ -1,7 +1,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "core/scenario.hpp"
@@ -38,6 +40,8 @@ struct ReplicationRecord {
     double total_energy_kj = 0.0;
     std::uint64_t executed_events = 0;
     double wall_seconds = 0.0;   ///< measured — NOT part of the determinism contract
+    /// Counter-registry snapshot of this replication (sorted by name).
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
 };
 
 /// Results of n_reps independent replications of one configuration:
@@ -57,6 +61,10 @@ struct ReplicationSet {
     std::vector<core::ScenarioResult> results;
 
     double total_wall_seconds = 0.0; ///< sum of per-replication wall times
+
+    /// Registry counters summed over replications, folded in index order —
+    /// byte-identical for any thread count, like every other aggregate here.
+    std::map<std::string, std::uint64_t> counter_totals;
 
     /// "mean ± stddev" / "mean ± 95% CI half-width" formatting helpers.
     std::string avg_pm() const;

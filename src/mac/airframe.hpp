@@ -1,5 +1,8 @@
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "geom/vec2.hpp"
 #include "net/packet.hpp"
 #include "sim/time.hpp"
@@ -14,6 +17,11 @@ struct AirFrame {
     geom::Vec2 sender_position;  ///< at transmission start
     sim::TimePoint start;
     sim::TimePoint end;
+    /// Per-receiver carrier-sense verdict, indexed by medium attach order,
+    /// fixed at transmission start from the same sampled RSSI the live
+    /// receive path uses. Radios that wake mid-frame consult this instead of
+    /// re-deciding from the mean, so sensing is consistent either way.
+    std::vector<std::uint8_t> sensed_by;
 };
 
 }  // namespace cocoa::mac

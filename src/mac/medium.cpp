@@ -10,9 +10,19 @@ Medium::Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig co
     : sim_(sim),
       channel_(channel),
       config_(config),
-      rssi_rng_(sim.rng().stream("medium.rssi")) {}
+      rssi_rng_(sim.rng().stream("medium.rssi")) {
+    obs_.counters.add("medium.frames_sent", &stats_.frames_sent);
+    obs_.counters.add("medium.missed_asleep", &stats_.missed_asleep);
+}
 
 void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
+
+std::size_t Medium::index_of(const Radio& radio) const {
+    for (std::size_t i = 0; i < radios_.size(); ++i) {
+        if (radios_[i] == &radio) return i;
+    }
+    return radios_.size();  // never sensed: radio attached after the frame
+}
 
 void Medium::sweep_expired() {
     const sim::TimePoint now = sim_.now();
@@ -22,34 +32,53 @@ void Medium::sweep_expired() {
 void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
                                 sim::Duration airtime) {
     sweep_expired();
-    auto frame = std::make_shared<const AirFrame>(AirFrame{
-        packet, sender.id(), sender.position(), sim_.now(), sim_.now() + airtime});
+    const sim::TimePoint start = sim_.now();
+    const sim::TimePoint end = start + airtime;
+    const geom::Vec2 tx_pos = sender.position();
+
+    // Sample each receiver's RSSI in attach order (one draw per non-sender
+    // radio) and fix the carrier-sense verdicts on the frame, so a radio that
+    // wakes mid-flight reads the same answer the live path acted on.
+    std::vector<double> rssi(radios_.size(), 0.0);
+    std::vector<std::uint8_t> sensed(radios_.size(), 0);
+    for (std::size_t i = 0; i < radios_.size(); ++i) {
+        Radio* r = radios_[i];
+        if (r == &sender) continue;
+        const double dist = geom::distance(r->position(), tx_pos);
+        rssi[i] = channel_.sample_rssi_dbm(dist, rssi_rng_);
+        sensed[i] = channel_.sensed(rssi[i]) ? 1 : 0;
+    }
+
+    auto frame = std::make_shared<const AirFrame>(
+        AirFrame{packet, sender.id(), tx_pos, start, end, std::move(sensed)});
     active_.push_back(frame);
     ++stats_.frames_sent;
+    obs_.trace.complete(start, end, "mac", "frame",
+                        static_cast<std::int64_t>(sender.id()),
+                        {{"bytes", static_cast<double>(packet.wire_bytes())}});
 
-    for (Radio* r : radios_) {
-        if (r == &sender) continue;
-        const double dist = geom::distance(r->position(), frame->sender_position);
-        const double rssi = channel_.sample_rssi_dbm(dist, rssi_rng_);
-        if (!channel_.sensed(rssi)) continue;
+    for (std::size_t i = 0; i < radios_.size(); ++i) {
+        Radio* r = radios_[i];
+        if (r == &sender || frame->sensed_by[i] == 0) continue;
+        const double rssi_i = rssi[i];
         // Carrier sensing and receiver lock-on take a CCA delay; radio state
         // is re-checked at that point (the radio may have slept meanwhile).
-        sim_.schedule_in(config_.cca_delay, [this, r, frame, rssi] {
+        sim_.schedule_in(config_.cca_delay, [this, r, frame, rssi_i] {
             if (!r->awake()) {
-                if (channel_.decodable(rssi)) ++stats_.missed_asleep;
+                if (channel_.decodable(rssi_i)) ++stats_.missed_asleep;
                 return;
             }
-            r->on_frame_start(frame, rssi, channel_.decodable(rssi));
+            r->on_frame_start(frame, rssi_i, channel_.decodable(rssi_i));
         });
     }
 }
 
 sim::TimePoint Medium::sensed_until_for(const Radio& listener) const {
+    const std::size_t idx = index_of(listener);
     sim::TimePoint until = sim_.now();
     for (const auto& frame : active_) {
         if (frame->end <= sim_.now() || frame->sender == listener.id()) continue;
-        const double dist = geom::distance(listener.position(), frame->sender_position);
-        if (channel_.sensed(channel_.mean_rssi_dbm(dist))) {
+        if (idx < frame->sensed_by.size() && frame->sensed_by[idx] != 0) {
             until = std::max(until, frame->end);
         }
     }

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mac/airframe.hpp"
+#include "obs/obs.hpp"
 #include "phy/channel.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
@@ -27,6 +28,10 @@ struct MediumConfig {
 /// The shared wireless medium: propagates every transmission to all attached
 /// radios using the channel model, sampling per-link RSSI and applying
 /// wake/sleep, sensitivity, collision and capture rules.
+///
+/// Also owns the per-simulation observability context (counter registry +
+/// trace sink): every radio, agent and multicast node shares the medium, so
+/// they all register their counters and emit trace events through obs().
 class Medium {
   public:
     struct Stats {
@@ -48,9 +53,10 @@ class Medium {
     void begin_transmission(Radio& sender, const net::Packet& packet,
                             sim::Duration airtime);
 
-    /// Latest end time of any in-flight frame whose *mean* power is above the
-    /// carrier-sense threshold at `listener`; used to rebuild carrier-sense
-    /// state after a radio wakes mid-frame.
+    /// Latest end time of any in-flight frame whose *sampled* power reached
+    /// the carrier-sense threshold at `listener` (the verdict recorded on the
+    /// AirFrame at transmission start); used to rebuild carrier-sense state
+    /// after a radio wakes mid-frame, consistent with the live receive path.
     sim::TimePoint sensed_until_for(const Radio& listener) const;
 
     const phy::Channel& channel() const { return channel_; }
@@ -58,8 +64,12 @@ class Medium {
     const Stats& stats() const { return stats_; }
     sim::Simulator& simulator() { return sim_; }
 
+    obs::Obs& obs() { return obs_; }
+    const obs::Obs& obs() const { return obs_; }
+
   private:
     void sweep_expired();
+    std::size_t index_of(const Radio& radio) const;
 
     sim::Simulator& sim_;
     phy::Channel channel_;
@@ -68,6 +78,7 @@ class Medium {
     std::vector<std::shared_ptr<const AirFrame>> active_;
     sim::RandomStream rssi_rng_;
     Stats stats_;
+    obs::Obs obs_;
 };
 
 }  // namespace cocoa::mac

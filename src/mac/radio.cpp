@@ -1,6 +1,7 @@
 #include "mac/radio.hpp"
 
 #include <stdexcept>
+#include <string>
 #include <utility>
 
 namespace cocoa::mac {
@@ -22,6 +23,15 @@ Radio::Radio(sim::Simulator& sim, Medium& medium, net::NodeId id, PositionProvid
         throw std::invalid_argument("Radio: bad MAC configuration");
     }
     medium_.attach(*this);
+
+    const std::string prefix = "node." + std::to_string(id_) + ".";
+    obs::CounterRegistry& reg = medium_.obs().counters;
+    reg.add(prefix + "mac.tx_frames", &stats_.tx_frames);
+    reg.add(prefix + "mac.rx_delivered", &stats_.rx_delivered);
+    reg.add(prefix + "mac.rx_corrupted", &stats_.rx_corrupted);
+    reg.add(prefix + "mac.rx_captured", &stats_.rx_captured);
+    reg.add(prefix + "mac.rx_aborted", &stats_.rx_aborted);
+    meter_.register_counters(reg, prefix + "energy.");
 }
 
 void Radio::set_state(energy::RadioState next) {
@@ -97,16 +107,35 @@ void Radio::on_frame_start(const std::shared_ptr<const AirFrame>& frame, double 
     if (state_ == energy::RadioState::Tx) return;  // half duplex: deaf while sending
 
     if (lock_.has_value()) {
-        // Overlap with the frame being received: the new frame corrupts it
-        // unless it is weak enough to be captured over.
+        // Overlap with the frame being received. A frame stronger than the
+        // lock by the capture margin takes the receiver over (physical
+        // capture works both ways); one inside the margin corrupts the lock;
+        // anything weaker is captured over and ignored.
+        if (decodable && rssi_dbm >= lock_->rssi_dbm + medium_.capture_margin_db()) {
+            ++stats_.rx_corrupted;  // the abandoned frame is lost
+            ++stats_.rx_captured;
+            medium_.obs().trace.instant(sim_.now(), "mac", "rx_capture",
+                                        static_cast<std::int64_t>(id_),
+                                        {{"rssi_dbm", rssi_dbm},
+                                         {"old_rssi_dbm", lock_->rssi_dbm}});
+            lock_ = RxLock{frame, rssi_dbm, false};
+            sim_.schedule_at(frame->end, [this, frame] { on_frame_end(frame); });
+            return;  // the old frame's on_frame_end no-ops (lock moved on)
+        }
         if (rssi_dbm >= lock_->rssi_dbm - medium_.capture_margin_db()) {
             lock_->corrupted = true;
+            medium_.obs().trace.instant(sim_.now(), "mac", "rx_corrupt",
+                                        static_cast<std::int64_t>(id_),
+                                        {{"rssi_dbm", rssi_dbm}});
         }
         return;
     }
     if (!decodable) return;
 
     lock_ = RxLock{frame, rssi_dbm, false};
+    medium_.obs().trace.instant(sim_.now(), "mac", "rx_lock",
+                                static_cast<std::int64_t>(id_),
+                                {{"rssi_dbm", rssi_dbm}});
     set_state(energy::RadioState::Rx);
     sim_.schedule_at(frame->end, [this, frame] { on_frame_end(frame); });
 }
@@ -119,6 +148,10 @@ void Radio::on_frame_end(const std::shared_ptr<const AirFrame>& frame) {
         ++stats_.rx_corrupted;
     } else {
         ++stats_.rx_delivered;
+        medium_.obs().trace.instant(sim_.now(), "mac", "rx_deliver",
+                                    static_cast<std::int64_t>(id_),
+                                    {{"rssi_dbm", lock.rssi_dbm},
+                                     {"from", static_cast<double>(frame->sender)}});
         if (handler_) {
             handler_(frame->packet, net::RxInfo{lock.rssi_dbm, sim_.now()});
         }
@@ -136,6 +169,8 @@ void Radio::sleep() {
     if (lock_.has_value()) {
         lock_.reset();
         ++stats_.rx_aborted;
+        medium_.obs().trace.instant(sim_.now(), "mac", "rx_abort",
+                                    static_cast<std::int64_t>(id_));
     }
     if (attempt_event_.valid()) {
         sim_.cancel(attempt_event_);
@@ -143,12 +178,16 @@ void Radio::sleep() {
     }
     csma_pending_ = false;
     set_state(energy::RadioState::Sleep);
+    medium_.obs().trace.instant(sim_.now(), "mac", "sleep",
+                                static_cast<std::int64_t>(id_));
 }
 
 void Radio::wake() {
     if (awake() || state_ == energy::RadioState::Off) return;
     set_state(energy::RadioState::Idle);
     sensed_until_ = medium_.sensed_until_for(*this);
+    medium_.obs().trace.instant(sim_.now(), "mac", "wake",
+                                static_cast<std::int64_t>(id_));
     try_start_csma();
 }
 

@@ -37,6 +37,7 @@ class Radio {
         std::uint64_t tx_frames = 0;
         std::uint64_t rx_delivered = 0;
         std::uint64_t rx_corrupted = 0;   ///< lost to collisions
+        std::uint64_t rx_captured = 0;    ///< re-locks onto a stronger overlap
         std::uint64_t rx_aborted = 0;     ///< reception cut short by sleep()
     };
 

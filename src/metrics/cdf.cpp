@@ -16,13 +16,11 @@ double Cdf::at(double x) const {
     return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
 }
 
-double Cdf::quantile(double q) const {
+std::optional<double> Cdf::quantile(double q) const {
     if (q <= 0.0 || q > 1.0) {
         throw std::invalid_argument("Cdf::quantile: q must be in (0, 1]");
     }
-    if (sorted_.empty()) {
-        throw std::invalid_argument("Cdf::quantile: empty CDF");
-    }
+    if (sorted_.empty()) return std::nullopt;
     const auto n = static_cast<double>(sorted_.size());
     const auto idx = static_cast<std::size_t>(std::ceil(q * n)) - 1;
     return sorted_[std::min(idx, sorted_.size() - 1)];

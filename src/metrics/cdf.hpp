@@ -1,5 +1,6 @@
 #pragma once
 
+#include <optional>
 #include <vector>
 
 namespace cocoa::metrics {
@@ -18,8 +19,10 @@ class Cdf {
     double at(double x) const;
 
     /// Smallest sample value v such that at(v) >= q, for q in (0, 1].
-    /// Throws std::invalid_argument for q outside (0, 1] or an empty CDF.
-    double quantile(double q) const;
+    /// Returns std::nullopt on an empty CDF (a configuration that produced
+    /// zero fixes has no quantiles — callers print "n/a", they don't abort).
+    /// Throws std::invalid_argument for q outside (0, 1].
+    std::optional<double> quantile(double q) const;
 
     double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
     double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }

@@ -2,6 +2,7 @@
 
 #include <limits>
 #include <stdexcept>
+#include <string>
 
 #include "geom/motion.hpp"
 
@@ -21,6 +22,16 @@ MulticastNode::MulticastNode(net::Node& node, const MulticastConfig& config)
     node_.host().register_handler(
         net::Port::McastData,
         [this](const net::Packet& p, const net::RxInfo& i) { on_data(p, i); });
+
+    const std::string prefix = "node." + std::to_string(node_.id()) + ".mcast.";
+    obs::CounterRegistry& reg = node_.radio().medium().obs().counters;
+    reg.add(prefix + "queries_sent", &stats_.queries_sent);
+    reg.add(prefix + "replies_sent", &stats_.replies_sent);
+    reg.add(prefix + "data_sent", &stats_.data_sent);
+    reg.add(prefix + "data_suppressed", &stats_.data_suppressed);
+    reg.add(prefix + "data_delivered", &stats_.data_delivered);
+    reg.add(prefix + "data_duplicates", &stats_.data_duplicates);
+    reg.add(prefix + "dropped_asleep", &stats_.dropped_asleep);
 }
 
 void MulticastNode::safe_send(net::Packet packet) {

@@ -77,6 +77,7 @@ class World {
     const std::vector<std::unique_ptr<Node>>& nodes() const { return nodes_; }
 
     mac::Medium& medium() { return medium_; }
+    const mac::Medium& medium() const { return medium_; }
     sim::Simulator& simulator() { return sim_; }
 
   private:

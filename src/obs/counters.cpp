@@ -1,0 +1,56 @@
+#include "obs/counters.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+namespace cocoa::obs {
+
+void CounterRegistry::add(std::string name, const std::uint64_t* counter) {
+    if (counter == nullptr) {
+        throw std::invalid_argument("CounterRegistry: null counter for '" + name + "'");
+    }
+    const auto [it, inserted] = counters_.emplace(std::move(name), counter);
+    if (!inserted) {
+        throw std::invalid_argument("CounterRegistry: duplicate counter '" + it->first +
+                                    "'");
+    }
+}
+
+std::uint64_t CounterRegistry::value(const std::string& name) const {
+    return *counters_.at(name);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot() const {
+    std::vector<std::pair<std::string, std::uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto& [name, counter] : counters_) {
+        out.emplace_back(name, *counter);
+    }
+    return out;
+}
+
+std::map<std::string, std::uint64_t> aggregate_node_counters(
+    const std::vector<std::pair<std::string, std::uint64_t>>& snapshot) {
+    std::map<std::string, std::uint64_t> out;
+    for (const auto& [name, value] : snapshot) {
+        std::string key = name;
+        if (name.rfind("node.", 0) == 0) {
+            const std::size_t dot = name.find('.', 5);
+            // Only strip "node.<digits>." — anything else is a literal name.
+            if (dot != std::string::npos && dot > 5) {
+                bool numeric = true;
+                for (std::size_t i = 5; i < dot; ++i) {
+                    if (std::isdigit(static_cast<unsigned char>(name[i])) == 0) {
+                        numeric = false;
+                        break;
+                    }
+                }
+                if (numeric) key = name.substr(dot + 1);
+            }
+        }
+        out[key] += value;
+    }
+    return out;
+}
+
+}  // namespace cocoa::obs

@@ -1,0 +1,46 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace cocoa::obs {
+
+/// Central registry of every subsystem's event counters under hierarchical
+/// dotted names ("node.3.mac.rx_corrupted", "medium.frames_sent").
+///
+/// Subsystems keep counting plain std::uint64_t members in their hot paths —
+/// registration only records a name -> pointer mapping, so increments cost
+/// exactly what they did before the registry existed. One registry exists per
+/// simulation (owned by the mac::Medium, the one object every radio already
+/// shares); snapshots read the live values in name order, so any output
+/// derived from them is deterministic.
+class CounterRegistry {
+  public:
+    /// Registers `counter` under `name`. The pointee must outlive every
+    /// snapshot() call. Throws std::invalid_argument on a duplicate name or
+    /// a null pointer (both are wiring bugs).
+    void add(std::string name, const std::uint64_t* counter);
+
+    std::size_t size() const { return counters_.size(); }
+    bool contains(const std::string& name) const { return counters_.contains(name); }
+
+    /// Current value of one counter; throws std::out_of_range when unknown.
+    std::uint64_t value(const std::string& name) const;
+
+    /// All counters sorted by name, read at call time.
+    std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+
+  private:
+    std::map<std::string, const std::uint64_t*> counters_;
+};
+
+/// Collapses a snapshot across nodes: "node.<id>.mac.rx_corrupted" folds into
+/// "mac.rx_corrupted" (summed over ids); names without a "node.<id>." prefix
+/// pass through unchanged. Used for compact CLI tables.
+std::map<std::string, std::uint64_t> aggregate_node_counters(
+    const std::vector<std::pair<std::string, std::uint64_t>>& snapshot);
+
+}  // namespace cocoa::obs

@@ -1,0 +1,17 @@
+#pragma once
+
+#include "obs/counters.hpp"
+#include "obs/profile.hpp"
+#include "obs/trace.hpp"
+
+namespace cocoa::obs {
+
+/// The per-simulation observability context: one counter registry plus one
+/// trace sink. Owned by mac::Medium (the single object every radio, agent and
+/// multicast node in a scenario already shares) and reached from there.
+struct Obs {
+    CounterRegistry counters;
+    TraceSink trace;
+};
+
+}  // namespace cocoa::obs

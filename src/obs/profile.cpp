@@ -1,0 +1,62 @@
+#include "obs/profile.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+namespace cocoa::obs {
+
+std::atomic<bool> Profiler::enabled_{false};
+
+Profiler& Profiler::instance() {
+    static Profiler profiler;
+    return profiler;
+}
+
+void Profiler::record(const char* name, std::uint64_t ns) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (Entry& e : entries_) {
+        if (e.name == name) {
+            ++e.calls;
+            e.total_ns += ns;
+            return;
+        }
+    }
+    entries_.push_back(Entry{name, 1, ns});
+}
+
+std::vector<Profiler::Entry> Profiler::entries() const {
+    std::vector<Entry> out;
+    {
+        const std::lock_guard<std::mutex> lock(mutex_);
+        out = entries_;
+    }
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+        if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+        return a.name < b.name;
+    });
+    return out;
+}
+
+void Profiler::report(std::ostream& os) const {
+    const auto sorted = entries();
+    if (sorted.empty()) return;
+    os << "profile (wall clock):\n";
+    char buf[160];
+    for (const Entry& e : sorted) {
+        const double total_ms = static_cast<double>(e.total_ns) * 1e-6;
+        const double per_call_us =
+            static_cast<double>(e.total_ns) * 1e-3 / static_cast<double>(e.calls);
+        std::snprintf(buf, sizeof(buf), "  %-28s %10llu calls %12.3f ms total %10.3f us/call\n",
+                      e.name.c_str(), static_cast<unsigned long long>(e.calls), total_ms,
+                      per_call_us);
+        os << buf;
+    }
+}
+
+void Profiler::reset() {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+}  // namespace cocoa::obs

@@ -1,0 +1,79 @@
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace cocoa::obs {
+
+/// Process-wide wall-clock profiler for coarse hot spots (the event loop,
+/// BayesGrid::apply_constraint, replication fan-out). Off by default: a
+/// disabled ProfileScope costs one relaxed atomic load and nothing else, so
+/// scopes can live permanently in hot code. Wall-clock numbers are
+/// intentionally kept out of every deterministic aggregate — they only reach
+/// the user through report() (cocoa_sim --profile, COCOA_PROFILE=1 benches).
+class Profiler {
+  public:
+    struct Entry {
+        std::string name;
+        std::uint64_t calls = 0;
+        std::uint64_t total_ns = 0;
+    };
+
+    static Profiler& instance();
+
+    static bool enabled() { return enabled_.load(std::memory_order_relaxed); }
+    static void set_enabled(bool on) { enabled_.store(on, std::memory_order_relaxed); }
+
+    void record(const char* name, std::uint64_t ns);
+
+    /// All scopes sorted by total time descending.
+    std::vector<Entry> entries() const;
+
+    /// Human-readable table; no output when nothing was recorded.
+    void report(std::ostream& os) const;
+
+    void reset();
+
+  private:
+    Profiler() = default;
+
+    static std::atomic<bool> enabled_;
+
+    mutable std::mutex mutex_;
+    std::vector<Entry> entries_;  ///< linear scan: a handful of scopes exist
+};
+
+/// RAII timing scope. `name` must be a string literal (stored by pointer
+/// until record time).
+class ProfileScope {
+  public:
+    explicit ProfileScope(const char* name) {
+        if (Profiler::enabled()) {
+            name_ = name;
+            start_ = std::chrono::steady_clock::now();
+        }
+    }
+
+    ~ProfileScope() {
+        if (name_ != nullptr) {
+            const auto ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                std::chrono::steady_clock::now() - start_)
+                                .count();
+            Profiler::instance().record(name_, static_cast<std::uint64_t>(ns));
+        }
+    }
+
+    ProfileScope(const ProfileScope&) = delete;
+    ProfileScope& operator=(const ProfileScope&) = delete;
+
+  private:
+    const char* name_ = nullptr;
+    std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace cocoa::obs

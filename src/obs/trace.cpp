@@ -1,0 +1,118 @@
+#include "obs/trace.hpp"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace cocoa::obs {
+
+namespace {
+
+/// Fixed-precision decimal formatting keeps the trace byte-deterministic
+/// across platforms (ostream double formatting is locale/implementation
+/// sensitive; snprintf "%.*f" is not).
+void append_fixed(std::string& out, double value, int decimals) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    out += buf;
+}
+
+}  // namespace
+
+TraceSink::~TraceSink() { close(); }
+
+void TraceSink::open(std::ostream& os, Format format) {
+    if (out_ != nullptr) {
+        throw std::logic_error("TraceSink: already open");
+    }
+    out_ = &os;
+    format_ = format;
+    events_ = 0;
+    if (format_ == Format::ChromeTrace) {
+        *out_ << "[";
+    }
+}
+
+void TraceSink::open_file(const std::string& path, Format format) {
+    auto file = std::make_unique<std::ofstream>(path);
+    if (!*file) {
+        throw std::runtime_error("TraceSink: cannot write '" + path + "'");
+    }
+    open(*file, format);
+    file_ = std::move(file);
+}
+
+void TraceSink::close() {
+    if (out_ == nullptr) return;
+    if (format_ == Format::ChromeTrace) {
+        *out_ << "\n]\n";
+    }
+    out_->flush();
+    out_ = nullptr;
+    file_.reset();
+}
+
+void TraceSink::emit(sim::TimePoint start, sim::TimePoint end, char phase,
+                     const char* category, const char* name, std::int64_t node,
+                     std::initializer_list<Arg> args) {
+    std::string line;
+    line.reserve(160);
+    if (format_ == Format::ChromeTrace) {
+        // Chrome trace_event timestamps are microseconds.
+        line += events_ == 0 ? "\n{" : ",\n{";
+        line += "\"ph\":\"";
+        line += phase;
+        line += "\",\"ts\":";
+        append_fixed(line, static_cast<double>(start.to_nanos()) * 1e-3, 3);
+        if (phase == 'X') {
+            line += ",\"dur\":";
+            append_fixed(line, static_cast<double>((end - start).to_nanos()) * 1e-3, 3);
+        } else {
+            line += ",\"s\":\"t\"";  // instant scope: thread
+        }
+        line += ",\"pid\":0,\"tid\":";
+        line += std::to_string(node);
+        line += ",\"cat\":\"";
+        line += category;
+        line += "\",\"name\":\"";
+        line += name;
+        line += "\"";
+        if (args.size() > 0) {
+            line += ",\"args\":{";
+            bool first = true;
+            for (const Arg& a : args) {
+                if (!first) line += ",";
+                first = false;
+                line += "\"";
+                line += a.key;
+                line += "\":";
+                append_fixed(line, a.value, 6);
+            }
+            line += "}";
+        }
+        line += "}";
+    } else {
+        line += "{\"t_s\":";
+        append_fixed(line, start.to_seconds(), 9);
+        line += ",\"cat\":\"";
+        line += category;
+        line += "\",\"name\":\"";
+        line += name;
+        line += "\",\"node\":";
+        line += std::to_string(node);
+        if (phase == 'X') {
+            line += ",\"dur_s\":";
+            append_fixed(line, (end - start).to_seconds(), 9);
+        }
+        for (const Arg& a : args) {
+            line += ",\"";
+            line += a.key;
+            line += "\":";
+            append_fixed(line, a.value, 6);
+        }
+        line += "}\n";
+    }
+    *out_ << line;
+    ++events_;
+}
+
+}  // namespace cocoa::obs

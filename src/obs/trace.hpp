@@ -1,0 +1,80 @@
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <initializer_list>
+#include <memory>
+#include <ostream>
+#include <string>
+
+#include "sim/time.hpp"
+
+namespace cocoa::obs {
+
+/// Structured sim-time-stamped event trace: frame lifecycles, radio
+/// sleep/wake, beacons, fixes. Disabled by default; while disabled every
+/// emit call is a single branch on a pointer, so tracing costs nothing on
+/// the hot path unless a sink is open. Two output formats:
+///  - Jsonl: one JSON object per line
+///    {"t_s":1.000050,"cat":"mac","name":"frame","node":0,...} — easy to
+///    grep, stream, and load line by line.
+///  - ChromeTrace: the Chrome trace_event JSON array, loadable in
+///    chrome://tracing and Perfetto. Sim time maps to trace microseconds and
+///    each node renders as its own "thread" row.
+class TraceSink {
+  public:
+    enum class Format { Jsonl, ChromeTrace };
+
+    /// One numeric event attribute (all attributes are numbers by design:
+    /// the schema stays flat and the writer never needs string escaping).
+    struct Arg {
+        const char* key;
+        double value;
+    };
+
+    TraceSink() = default;
+    ~TraceSink();
+
+    TraceSink(const TraceSink&) = delete;
+    TraceSink& operator=(const TraceSink&) = delete;
+
+    /// Starts emitting to `os` (not owned; must outlive the sink or a
+    /// close() call). Throws std::logic_error if already open.
+    void open(std::ostream& os, Format format);
+
+    /// Opens `path` for writing and emits there. Throws std::runtime_error
+    /// when the file cannot be created.
+    void open_file(const std::string& path, Format format);
+
+    /// Writes the format footer and detaches the sink. Safe when closed.
+    void close();
+
+    bool enabled() const { return out_ != nullptr; }
+    std::uint64_t events_emitted() const { return events_; }
+
+    /// A point-in-time event ("i" phase in Chrome terms).
+    void instant(sim::TimePoint t, const char* category, const char* name,
+                 std::int64_t node, std::initializer_list<Arg> args = {}) {
+        if (out_ != nullptr) emit(t, t, 'i', category, name, node, args);
+    }
+
+    /// A spanning event over [start, end] ("X"/complete phase; JSONL output
+    /// carries dur_s instead).
+    void complete(sim::TimePoint start, sim::TimePoint end, const char* category,
+                  const char* name, std::int64_t node,
+                  std::initializer_list<Arg> args = {}) {
+        if (out_ != nullptr) emit(start, end, 'X', category, name, node, args);
+    }
+
+  private:
+    void emit(sim::TimePoint start, sim::TimePoint end, char phase,
+              const char* category, const char* name, std::int64_t node,
+              std::initializer_list<Arg> args);
+
+    std::ostream* out_ = nullptr;
+    std::unique_ptr<std::ofstream> file_;  ///< only when open_file() was used
+    Format format_ = Format::Jsonl;
+    std::uint64_t events_ = 0;
+};
+
+}  // namespace cocoa::obs

@@ -74,6 +74,34 @@ TEST(ReplicationEngine, ByteIdenticalAcrossThreadCounts) {
     }
 }
 
+TEST(ReplicationEngine, CounterTotalsIdenticalAcrossThreadCounts) {
+    // The folded counter totals are part of the determinism contract: they
+    // are summed in replication-index order, so the map compares equal —
+    // names and values — for any thread count.
+    const core::ScenarioConfig config = tiny_config();
+    exp::ReplicationOptions opt;
+    opt.n_reps = 4;
+
+    opt.n_threads = 1;
+    const exp::ReplicationSet serial = exp::run_replications(config, opt);
+    ASSERT_FALSE(serial.counter_totals.empty());
+    EXPECT_TRUE(serial.counter_totals.contains("medium.frames_sent"));
+    EXPECT_GT(serial.counter_totals.at("node.0.mac.tx_frames"), 0u);
+
+    opt.n_threads = 2;
+    const exp::ReplicationSet parallel = exp::run_replications(config, opt);
+    EXPECT_EQ(serial.counter_totals, parallel.counter_totals);
+
+    // Per-record counters survive the fold and sum to the totals.
+    std::uint64_t frames = 0;
+    for (const auto& rec : serial.records) {
+        for (const auto& [name, value] : rec.counters) {
+            if (name == "medium.frames_sent") frames += value;
+        }
+    }
+    EXPECT_EQ(serial.counter_totals.at("medium.frames_sent"), frames);
+}
+
 TEST(ReplicationEngine, ReplicationIndependentOfPredecessors) {
     const core::ScenarioConfig config = tiny_config();
     exp::ReplicationOptions opt;

@@ -52,7 +52,7 @@ TEST(Failure, TeamSurvivesAnchorLoss) {
     const auto r = s.result();
     const double late_err = r.avg_error.mean_in(TimePoint::from_seconds(120.0),
                                                 TimePoint::from_seconds(601.0));
-    EXPECT_LT(late_err, 25.0);
+    EXPECT_LT(late_err, 30.0);
     EXPECT_GT(r.agent_totals.fixes, 0u);
 }
 

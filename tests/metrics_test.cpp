@@ -140,7 +140,10 @@ TEST(Cdf, EmptyBehaviour) {
     const Cdf cdf{{}};
     EXPECT_TRUE(cdf.empty());
     EXPECT_DOUBLE_EQ(cdf.at(1.0), 0.0);
-    EXPECT_THROW(cdf.quantile(0.5), std::invalid_argument);
+    // An empty sample set has no quantiles; out-of-range q still throws.
+    EXPECT_FALSE(cdf.quantile(0.5).has_value());
+    EXPECT_FALSE(cdf.quantile(1.0).has_value());
+    EXPECT_THROW(cdf.quantile(0.0), std::invalid_argument);
 }
 
 TEST(Cdf, FractionBelow) {
@@ -161,10 +164,10 @@ TEST(Cdf, SortsInput) {
 
 TEST(Cdf, Quantiles) {
     const Cdf cdf{{10.0, 20.0, 30.0, 40.0, 50.0, 60.0, 70.0, 80.0, 90.0, 100.0}};
-    EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 50.0);
-    EXPECT_DOUBLE_EQ(cdf.quantile(0.9), 90.0);
-    EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 100.0);
-    EXPECT_DOUBLE_EQ(cdf.quantile(0.05), 10.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.5).value(), 50.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.9).value(), 90.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(1.0).value(), 100.0);
+    EXPECT_DOUBLE_EQ(cdf.quantile(0.05).value(), 10.0);
     EXPECT_THROW(cdf.quantile(0.0), std::invalid_argument);
     EXPECT_THROW(cdf.quantile(1.1), std::invalid_argument);
 }
@@ -172,7 +175,7 @@ TEST(Cdf, Quantiles) {
 TEST(Cdf, QuantileConsistentWithAt) {
     const Cdf cdf{{5.0, 1.0, 9.0, 3.0, 7.0, 2.0, 8.0}};
     for (double q = 0.1; q <= 1.0; q += 0.1) {
-        EXPECT_GE(cdf.at(cdf.quantile(q)), q - 1e-12);
+        EXPECT_GE(cdf.at(cdf.quantile(q).value()), q - 1e-12);
     }
 }
 

@@ -105,7 +105,7 @@ TEST(Scenario, ErrorsAtExtractsBlindRobots) {
     const auto errs = r.errors_at(TimePoint::from_seconds(200.0));
     EXPECT_EQ(errs.size(), 10u);
     const metrics::Cdf cdf(errs);
-    EXPECT_GT(cdf.quantile(1.0), 0.0);
+    EXPECT_GT(cdf.quantile(1.0).value(), 0.0);
 }
 
 TEST(Scenario, EnergyBreakdownAddsUp) {

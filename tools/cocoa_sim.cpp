@@ -13,11 +13,14 @@
 
 #include <fstream>
 #include <iostream>
+#include <utility>
+#include <vector>
 
 #include "cli/args.hpp"
 #include "core/scenario.hpp"
 #include "exp/replication.hpp"
 #include "metrics/table.hpp"
+#include "obs/obs.hpp"
 
 using namespace cocoa;
 
@@ -26,6 +29,17 @@ namespace {
 int fail(const std::string& message) {
     std::cerr << "cocoa_sim: " << message << "\n";
     return 2;
+}
+
+/// Counter table summed over nodes ("node.<id>.mac.*" folds into "mac.*"),
+/// printed for --counters. Deterministic: names sorted, values exact.
+void print_counters(const std::vector<std::pair<std::string, std::uint64_t>>& snapshot) {
+    metrics::Table table({"counter", "total"});
+    for (const auto& [name, value] : obs::aggregate_node_counters(snapshot)) {
+        table.add_row({name, std::to_string(value)});
+    }
+    std::cout << "\ncounters (summed over nodes):\n";
+    table.print(std::cout);
 }
 
 }  // namespace
@@ -47,7 +61,11 @@ int main(int argc, char** argv) {
     bool blind_beaconing = false;
     bool quiet = false;
     std::string csv_prefix;
-    double trace_interval_s = 0.0;
+    double pos_trace_interval_s = 0.0;
+    std::string trace_file;
+    std::string trace_format = "chrome";
+    bool show_counters = false;
+    bool profile = false;
     int reps = 1;
     int threads = 0;
 
@@ -68,10 +86,20 @@ int main(int argc, char** argv) {
         .add_flag("blind-beaconing", "localized blind robots also beacon", &blind_beaconing)
         .add_flag("quiet", "summary only, no time series", &quiet)
         .add_option("csv", "prefix for CSV dumps (avg error + summary)", &csv_prefix)
-        .add_option("trace",
+        .add_option("pos-trace",
                     "record true+estimated positions every N seconds into "
                     "<csv>_trace.csv (requires --csv)",
-                    &trace_interval_s)
+                    &pos_trace_interval_s)
+        .add_option("trace",
+                    "write a sim-time event trace to <file> (frame/beacon/fix "
+                    "events; Chrome about:tracing format by default)",
+                    &trace_file)
+        .add_option("trace-format", "chrome | jsonl (default chrome)", &trace_format)
+        .add_flag("counters",
+                  "print the counter registry summed over nodes (and over "
+                  "replications with --reps)",
+                  &show_counters)
+        .add_flag("profile", "print wall-clock profiling scopes to stderr", &profile)
         .add_option("reps",
                     "independent replications; >1 runs the parallel engine "
                     "and prints mean/CI aggregates (default 1)",
@@ -123,11 +151,23 @@ int main(int argc, char** argv) {
         return fail("unknown --technique '" + technique + "' (bayes | centroid | ls)");
     }
 
-    if (trace_interval_s > 0.0 && csv_prefix.empty()) {
-        return fail("--trace requires --csv <prefix>");
+    if (pos_trace_interval_s > 0.0 && csv_prefix.empty()) {
+        return fail("--pos-trace requires --csv <prefix>");
     }
-    if (trace_interval_s > 0.0 && reps > 1) {
+    if (pos_trace_interval_s > 0.0 && reps > 1) {
+        return fail("--pos-trace requires --reps 1 (one scenario to trace)");
+    }
+    if (!trace_file.empty() && reps > 1) {
         return fail("--trace requires --reps 1 (one scenario to trace)");
+    }
+    obs::TraceSink::Format event_trace_format = obs::TraceSink::Format::ChromeTrace;
+    if (trace_format == "jsonl") {
+        event_trace_format = obs::TraceSink::Format::Jsonl;
+    } else if (trace_format != "chrome") {
+        return fail("unknown --trace-format '" + trace_format + "' (chrome | jsonl)");
+    }
+    if (profile) {
+        obs::Profiler::set_enabled(true);
     }
 
     if (reps > 1) {
@@ -168,6 +208,12 @@ int main(int argc, char** argv) {
         stat_row("steady-state error (m)", set.steady_error);
         stat_row("team energy (kJ)", set.total_energy_kj);
         aggregate.print(std::cout);
+
+        if (show_counters) {
+            // counter_totals is folded in replication-index order, so this
+            // table is byte-identical for any --threads value.
+            print_counters({set.counter_totals.begin(), set.counter_totals.end()});
+        }
         std::cout << "\n" << reps << " replications, "
                   << set.total_wall_seconds << " s of simulation work\n";
 
@@ -177,6 +223,9 @@ int main(int argc, char** argv) {
             aggregate.print_csv(out);
             std::cout << "wrote " << csv_prefix << "_aggregate.csv\n";
         }
+        if (profile) {
+            obs::Profiler::instance().report(std::cerr);
+        }
         return 0;
     }
 
@@ -185,11 +234,21 @@ int main(int argc, char** argv) {
     try {
         config.validate();
         scenario.emplace(config);
-        if (trace_interval_s > 0.0) {
-            scenario->enable_position_trace(sim::Duration::seconds(trace_interval_s));
+        if (pos_trace_interval_s > 0.0) {
+            scenario->enable_position_trace(
+                sim::Duration::seconds(pos_trace_interval_s));
+        }
+        if (!trace_file.empty()) {
+            scenario->obs().trace.open_file(trace_file, event_trace_format);
         }
         scenario->run();
         result = scenario->result();
+        if (!trace_file.empty()) {
+            const std::uint64_t events = scenario->obs().trace.events_emitted();
+            scenario->obs().trace.close();
+            std::cout << "wrote " << events << " trace events to " << trace_file
+                      << "\n";
+        }
     } catch (const std::exception& e) {
         return fail(e.what());
     }
@@ -215,6 +274,10 @@ int main(int argc, char** argv) {
     summary.add_row({"  sleep (kJ)", metrics::fmt(result.team_energy.sleep_mj / 1e6)});
     summary.add_row({"events executed", std::to_string(result.executed_events)});
     summary.print(std::cout);
+
+    if (show_counters) {
+        print_counters(result.counters);
+    }
 
     if (!quiet) {
         std::cout << "\nerror over time (60 s buckets):\n";
@@ -244,14 +307,18 @@ int main(int argc, char** argv) {
             if (!out) return fail("cannot write " + csv_prefix + "_summary.csv");
             summary.print_csv(out);
         }
-        if (trace_interval_s > 0.0) {
+        if (pos_trace_interval_s > 0.0) {
             std::ofstream out(csv_prefix + "_trace.csv");
             if (!out) return fail("cannot write " + csv_prefix + "_trace.csv");
             scenario->write_position_trace_csv(out);
         }
         std::cout << "\nwrote " << csv_prefix << "_avg_error.csv and "
                   << csv_prefix << "_summary.csv"
-                  << (trace_interval_s > 0.0 ? " and the position trace" : "") << "\n";
+                  << (pos_trace_interval_s > 0.0 ? " and the position trace" : "")
+                  << "\n";
+    }
+    if (profile) {
+        obs::Profiler::instance().report(std::cerr);
     }
     return 0;
 }
