@@ -1,11 +1,26 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the simulator and
-// the localization core.
+// the localization core, plus one end-to-end fig7 scenario. The custom main
+// captures every result and writes the perf-regression artifact BENCH_3.json
+// (path override: COCOA_BENCH_JSON) via bench/perf_json.hpp.
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/perf_json.hpp"
 #include "core/bayes_grid.hpp"
 #include "core/rf_localizer.hpp"
+#include "core/scenario.hpp"
+#include "energy/energy.hpp"
 #include "geom/motion.hpp"
+#include "mac/medium.hpp"
+#include "mac/radio.hpp"
 #include "mobility/odometry.hpp"
 #include "mobility/waypoint.hpp"
 #include "phy/channel.hpp"
@@ -39,6 +54,9 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
 
+// The radial-kernel fast path and the sqrt+exp reference path, at three grid
+// resolutions (the range arg is the cell side in metres). The ratio between
+// the two is the kernel speedup the acceptance criteria track.
 void BM_GridApplyConstraint(benchmark::State& state) {
     core::GridConfig cfg;
     cfg.area = geom::Rect::square(200.0);
@@ -53,17 +71,76 @@ void BM_GridApplyConstraint(benchmark::State& state) {
 }
 BENCHMARK(BM_GridApplyConstraint)->Arg(1)->Arg(2)->Arg(4);
 
+void BM_GridApplyConstraintExact(benchmark::State& state) {
+    core::GridConfig cfg;
+    cfg.area = geom::Rect::square(200.0);
+    cfg.cell_m = static_cast<double>(state.range(0));
+    core::BayesGrid grid(cfg);
+    const phy::DistancePdf* pdf = shared_table().lookup(-65.0);
+    for (auto _ : state) {
+        grid.apply_constraint_exact({100.0, 100.0}, *pdf);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(grid.cell_count()));
+}
+BENCHMARK(BM_GridApplyConstraintExact)->Arg(1)->Arg(2)->Arg(4);
+
 void BM_GridMean(benchmark::State& state) {
     core::GridConfig cfg;
     cfg.area = geom::Rect::square(200.0);
     cfg.cell_m = 2.0;
     core::BayesGrid grid(cfg);
-    grid.apply_constraint({100.0, 100.0}, *shared_table().lookup(-65.0));
     for (auto _ : state) {
+        // Re-apply so every iteration recomputes the fused stats pass rather
+        // than serving the (then-valid) cache.
+        grid.apply_constraint({100.0, 100.0}, *shared_table().lookup(-65.0));
         benchmark::DoNotOptimize(grid.mean());
+        benchmark::DoNotOptimize(grid.spread());
     }
 }
 BENCHMARK(BM_GridMean);
+
+// Transmission fan-out through the medium at three network sizes, with
+// interference culling on (arg 1 == 1) or off. The area grows with the node
+// count at constant density, the way production deployments scale, so the
+// culled cost per transmission stays bounded while the unculled one grows
+// linearly.
+void BM_MediumFanout(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const bool culling = state.range(1) != 0;
+    const double side = 400.0 * std::sqrt(static_cast<double>(n));
+
+    sim::Simulator sim(7);
+    mac::MediumConfig mcfg;
+    mcfg.interference_culling = culling;
+    mac::Medium medium(sim, phy::Channel{}, mcfg);
+    sim::RandomStream place(42);
+    std::vector<std::unique_ptr<mac::Radio>> radios;
+    radios.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        const geom::Vec2 pos{place.uniform(0.0, side), place.uniform(0.0, side)};
+        radios.push_back(std::make_unique<mac::Radio>(
+            sim, medium, static_cast<net::NodeId>(i), [pos] { return pos; },
+            energy::PowerProfile::wavelan(),
+            sim.rng().stream("bench.backoff", static_cast<std::uint64_t>(i))));
+    }
+
+    net::Packet packet;
+    packet.payload_bytes = 24;
+    std::size_t sender = 0;
+    for (auto _ : state) {
+        medium.begin_transmission(*radios[sender], packet, sim::Duration::micros(100));
+        sender = (sender + 1) % radios.size();
+        // Drain the CCA/rx events and let the frame expire before the next tx.
+        sim.run_until(sim.now() + sim::Duration::millis(1));
+    }
+    state.SetItemsProcessed(state.iterations() * n);
+    state.counters["visited_per_tx"] =
+        static_cast<double>(medium.stats().radios_visited) /
+        static_cast<double>(medium.stats().frames_sent);
+}
+BENCHMARK(BM_MediumFanout)
+    ->ArgsProduct({{64, 256, 1024}, {0, 1}});
 
 void BM_PdfTableLookup(benchmark::State& state) {
     const phy::PdfTable& table = shared_table();
@@ -145,6 +222,80 @@ void BM_FullFix25Anchors(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFix25Anchors);
 
+/// google-benchmark <= 1.7 flags failed runs with `Run::error_occurred`;
+/// 1.8+ replaced it with the `Run::skipped` enum. Detect whichever member
+/// the headers we are built against provide (system install vs the CI
+/// FetchContent fallback).
+template <typename R>
+auto run_failed(const R& run, int) -> decltype(run.skipped != 0) {
+    return run.skipped != 0;
+}
+template <typename R>
+bool run_failed(const R& run, long) {
+    return run.error_occurred;
+}
+
+/// Forwards to the console reporter for the usual human-readable output
+/// while recording every run's ns/op for the JSON artifact.
+class CaptureReporter : public benchmark::ConsoleReporter {
+  public:
+    explicit CaptureReporter(bench::PerfJson& out) : out_(out) {}
+
+    void ReportRuns(const std::vector<Run>& runs) override {
+        for (const Run& run : runs) {
+            if (run_failed(run, 0)) continue;
+            out_.add_benchmark(run.benchmark_name(), run.GetAdjustedRealTime());
+        }
+        ConsoleReporter::ReportRuns(runs);
+    }
+
+  private:
+    bench::PerfJson& out_;
+};
+
+/// One full fig7 scenario (the paper's §4 configuration, CoCoA mode), timed
+/// wall-clock: the end-to-end number that the micro ns/op figures must
+/// ultimately move.
+double fig7_scenario_wall_seconds() {
+    core::ScenarioConfig cfg;
+    cfg.seed = 7;
+    cfg.num_robots = 50;
+    cfg.num_anchors = 25;
+    cfg.area_side_m = 200.0;
+    cfg.max_speed = 2.0;
+    cfg.duration = sim::Duration::minutes(30);
+    cfg.period = sim::Duration::seconds(100.0);
+    cfg.window = sim::Duration::seconds(3.0);
+    cfg.beacons_per_window = 3;
+    const auto t0 = std::chrono::steady_clock::now();
+    core::Scenario scenario(cfg);
+    scenario.run();
+    const auto t1 = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(t1 - t0).count();
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+    bench::PerfJson json;
+    CaptureReporter reporter(json);
+    benchmark::RunSpecifiedBenchmarks(&reporter);
+
+    std::cout << "\nrunning fig7 scenario (50 robots, 30 simulated minutes)...\n";
+    const double wall = fig7_scenario_wall_seconds();
+    std::cout << "fig7 scenario wall time: " << wall << " s\n";
+    json.add_scenario("fig7_cocoa_50robots_30min", wall);
+
+    const char* override_path = std::getenv("COCOA_BENCH_JSON");
+    const std::string path = override_path != nullptr ? override_path : "BENCH_3.json";
+    if (!json.write(path)) {
+        std::cerr << "failed to write " << path << "\n";
+        return 1;
+    }
+    std::cout << "wrote " << path << "\n";
+    benchmark::Shutdown();
+    return 0;
+}

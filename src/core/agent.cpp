@@ -90,6 +90,11 @@ void CocoaAgent::start() {
 
 void CocoaAgent::tick() {
     const auto increments = node_.mobility().advance_to(node_.simulator().now());
+    if (!increments.empty()) {
+        // The medium's culling hash keys off positions; a transmission later
+        // in this same timestamp must not reuse pre-movement cells.
+        node_.radio().medium().note_positions_moved();
+    }
     const bool runs_odometry = config_.mode != LocalizationMode::RfOnly &&
                                (config_.role == Role::Blind);
     if (runs_odometry) {

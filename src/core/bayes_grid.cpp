@@ -4,9 +4,14 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "metrics/sum.hpp"
 #include "obs/profile.hpp"
 
 namespace cocoa::core {
+
+namespace {
+constexpr std::size_t kKernelCacheCapacity = 16;
+}  // namespace
 
 BayesGrid::BayesGrid(const GridConfig& config) : config_(config) {
     if (config_.cell_m <= 0.0) {
@@ -33,13 +38,73 @@ geom::Vec2 BayesGrid::cell_center(std::size_t ix, std::size_t iy) const {
             config_.area.min.y + (static_cast<double>(iy) + 0.5) * cell_h_};
 }
 
-double BayesGrid::mass_at(std::size_t ix, std::size_t iy) const {
-    return cells_.at(iy * nx_ + ix);
-}
-
 void BayesGrid::reset_uniform() {
     const double uniform = 1.0 / static_cast<double>(cells_.size());
     std::fill(cells_.begin(), cells_.end(), uniform);
+    stats_valid_ = false;
+}
+
+const RadialKernel& BayesGrid::kernel_for(const phy::DistancePdf& pdf) {
+    ++kernel_cache_tick_;
+    for (KernelSlot& slot : kernel_cache_) {
+        if (slot.mean_m == pdf.mean_m && slot.sigma_m == pdf.sigma_m) {
+            slot.last_use = kernel_cache_tick_;
+            return *slot.kernel;
+        }
+    }
+    // Floor relative to the constraint's own peak, so the relative damping of
+    // off-ring cells is scale-free.
+    const double peak = 1.0 / (pdf.sigma_m * std::sqrt(2.0 * 3.14159265358979323846));
+    auto kernel =
+        std::make_unique<RadialKernel>(pdf.mean_m, pdf.sigma_m, config_.floor_fraction * peak);
+    KernelSlot* slot = nullptr;
+    if (kernel_cache_.size() < kKernelCacheCapacity) {
+        slot = &kernel_cache_.emplace_back();
+    } else {
+        slot = &*std::min_element(
+            kernel_cache_.begin(), kernel_cache_.end(),
+            [](const KernelSlot& a, const KernelSlot& b) { return a.last_use < b.last_use; });
+    }
+    slot->mean_m = pdf.mean_m;
+    slot->sigma_m = pdf.sigma_m;
+    slot->last_use = kernel_cache_tick_;
+    slot->kernel = std::move(kernel);
+    return *slot->kernel;
+}
+
+void BayesGrid::apply_kernel(const geom::Vec2& anchor_position, const RadialKernel& kernel) {
+    // Sweep in squared-distance space: q = dy² + dx², with dx² advanced by
+    // incremental deltas ((dx+w)² = dx² + 2w·dx + w², and the delta itself
+    // grows by 2w² per step) — two adds per cell instead of a distance.
+    metrics::KahanSum sum;
+    const double w = cell_w_;
+    const double dx0 = config_.area.min.x + 0.5 * cell_w_ - anchor_position.x;
+    const double y0 = config_.area.min.y + 0.5 * cell_h_ - anchor_position.y;
+    const double step_growth = 2.0 * w * w;
+    double* cell = cells_.data();
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+        const double dy = y0 + static_cast<double>(iy) * cell_h_;
+        const double qy = dy * dy;
+        double qx = dx0 * dx0;
+        double step = 2.0 * dx0 * w + w * w;
+        for (std::size_t ix = 0; ix < nx_; ++ix, ++cell) {
+            const double v = *cell * kernel.eval_q(qy + qx);
+            *cell = v;
+            sum.add(v);
+            qx += step;
+            step += step_growth;
+        }
+    }
+    const double total = sum.value();
+    if (total <= 0.0) {
+        // Defensive: cannot happen with a positive floor, but never leave the
+        // grid in a broken state.
+        reset_uniform();
+        return;
+    }
+    const double inv = 1.0 / total;
+    for (double& c : cells_) c *= inv;
+    stats_valid_ = false;
 }
 
 void BayesGrid::apply_constraint(const geom::Vec2& anchor_position,
@@ -48,38 +113,78 @@ void BayesGrid::apply_constraint(const geom::Vec2& anchor_position,
     if (pdf.sigma_m <= 0.0) {
         throw std::invalid_argument("BayesGrid: constraint PDF has no spread");
     }
-    // Floor relative to the constraint's own peak, so the relative damping of
-    // off-ring cells is scale-free.
+    apply_kernel(anchor_position, kernel_for(pdf));
+}
+
+void BayesGrid::apply_constraint_exact(const geom::Vec2& anchor_position,
+                                       const phy::DistancePdf& pdf) {
+    obs::ProfileScope profile("core.apply_constraint_exact");
+    if (pdf.sigma_m <= 0.0) {
+        throw std::invalid_argument("BayesGrid: constraint PDF has no spread");
+    }
     const double peak = 1.0 / (pdf.sigma_m * std::sqrt(2.0 * 3.14159265358979323846));
     const double floor = config_.floor_fraction * peak;
 
-    double sum = 0.0;
+    metrics::KahanSum sum;
     for (std::size_t iy = 0; iy < ny_; ++iy) {
         for (std::size_t ix = 0; ix < nx_; ++ix) {
             const double d = geom::distance(cell_center(ix, iy), anchor_position);
             double& cell = cells_[iy * nx_ + ix];
             cell *= pdf.density(d) + floor;
-            sum += cell;
+            sum.add(cell);
         }
     }
-    if (sum <= 0.0) {
-        // Defensive: cannot happen with a positive floor, but never leave the
-        // grid in a broken state.
+    const double total = sum.value();
+    if (total <= 0.0) {
         reset_uniform();
         return;
     }
-    const double inv = 1.0 / sum;
+    const double inv = 1.0 / total;
     for (double& cell : cells_) cell *= inv;
+    stats_valid_ = false;
+}
+
+void BayesGrid::compute_stats() const {
+    // One fused pass for mean and spread. Moments accumulate about the area
+    // centre — coordinates bounded by the half-extent — which keeps the
+    // E[x²] - E[x]² cancellation benign, and compensated sums keep the error
+    // independent of cell count.
+    const geom::Vec2 c0 = config_.area.center();
+    metrics::KahanSum mass, sx, sy, sxx, syy;
+    const double* cell = cells_.data();
+    for (std::size_t iy = 0; iy < ny_; ++iy) {
+        const double y = config_.area.min.y + (static_cast<double>(iy) + 0.5) * cell_h_ - c0.y;
+        for (std::size_t ix = 0; ix < nx_; ++ix, ++cell) {
+            const double x =
+                config_.area.min.x + (static_cast<double>(ix) + 0.5) * cell_w_ - c0.x;
+            const double c = *cell;
+            mass.add(c);
+            sx.add(c * x);
+            sy.add(c * y);
+            sxx.add(c * x * x);
+            syy.add(c * y * y);
+        }
+    }
+    const double m = mass.value();
+    if (m <= 0.0) {
+        stats_mean_ = c0;
+        stats_spread_ = 0.0;
+        stats_valid_ = true;
+        return;
+    }
+    const double inv = 1.0 / m;
+    const double mx = sx.value() * inv;
+    const double my = sy.value() * inv;
+    stats_mean_ = {c0.x + mx, c0.y + my};
+    const double var =
+        (sxx.value() * inv - mx * mx) + (syy.value() * inv - my * my);
+    stats_spread_ = std::sqrt(std::max(var, 0.0));
+    stats_valid_ = true;
 }
 
 geom::Vec2 BayesGrid::mean() const {
-    geom::Vec2 acc;
-    for (std::size_t iy = 0; iy < ny_; ++iy) {
-        for (std::size_t ix = 0; ix < nx_; ++ix) {
-            acc += cell_center(ix, iy) * cells_[iy * nx_ + ix];
-        }
-    }
-    return acc;
+    if (!stats_valid_) compute_stats();
+    return stats_mean_;
 }
 
 geom::Vec2 BayesGrid::map_estimate() const {
@@ -89,21 +194,11 @@ geom::Vec2 BayesGrid::map_estimate() const {
 }
 
 double BayesGrid::spread() const {
-    const geom::Vec2 mu = mean();
-    double acc = 0.0;
-    for (std::size_t iy = 0; iy < ny_; ++iy) {
-        for (std::size_t ix = 0; ix < nx_; ++ix) {
-            acc += geom::distance_sq(cell_center(ix, iy), mu) * cells_[iy * nx_ + ix];
-        }
-    }
-    return std::sqrt(acc);
+    if (!stats_valid_) compute_stats();
+    return stats_spread_;
 }
 
-double BayesGrid::total_mass() const {
-    double sum = 0.0;
-    for (const double c : cells_) sum += c;
-    return sum;
-}
+double BayesGrid::total_mass() const { return metrics::pairwise_sum(cells_); }
 
 void BayesGrid::normalize() {
     const double sum = total_mass();
@@ -113,6 +208,7 @@ void BayesGrid::normalize() {
     }
     const double inv = 1.0 / sum;
     for (double& cell : cells_) cell *= inv;
+    stats_valid_ = false;
 }
 
 }  // namespace cocoa::core

@@ -1,8 +1,12 @@
 #pragma once
 
+#include <cassert>
 #include <cstddef>
+#include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "core/radial_kernel.hpp"
 #include "geom/rect.hpp"
 #include "geom/vec2.hpp"
 #include "phy/pdf_table.hpp"
@@ -30,6 +34,12 @@ struct GridConfig {
 ///                             and renormalize;
 ///  - mean()                 : Eq. (3) — the position estimate as the
 ///                             posterior mean.
+///
+/// apply_constraint runs on precomputed radial kernels (see RadialKernel):
+/// the grid is swept in squared-distance space with incremental row/column
+/// deltas, so the per-cell work is a table interpolation plus a multiply.
+/// Kernels are cached per (mean, sigma) — the PDF table has a few dozen
+/// distinct bins, so after warmup every beacon hits the cache.
 class BayesGrid {
   public:
     explicit BayesGrid(const GridConfig& config);
@@ -45,7 +55,10 @@ class BayesGrid {
     geom::Vec2 cell_center(std::size_t ix, std::size_t iy) const;
 
     /// Posterior probability mass of cell (ix, iy).
-    double mass_at(std::size_t ix, std::size_t iy) const;
+    double mass_at(std::size_t ix, std::size_t iy) const {
+        assert(ix < nx_ && iy < ny_);
+        return cells_[iy * nx_ + ix];
+    }
 
     /// Resets to the uniform prior (robot equally likely anywhere).
     void reset_uniform();
@@ -55,6 +68,12 @@ class BayesGrid {
     /// beacon. Renormalizes.
     void apply_constraint(const geom::Vec2& anchor_position, const phy::DistancePdf& pdf);
 
+    /// The pre-kernel reference implementation of apply_constraint: exact
+    /// sqrt+exp per cell. Kept as the equivalence oracle for tests and as
+    /// the baseline the perf suite measures speedups against.
+    void apply_constraint_exact(const geom::Vec2& anchor_position,
+                                const phy::DistancePdf& pdf);
+
     /// Eq. (3): posterior mean position.
     geom::Vec2 mean() const;
 
@@ -62,14 +81,24 @@ class BayesGrid {
     geom::Vec2 map_estimate() const;
 
     /// RMS distance of the posterior from its mean — a confidence measure
-    /// (large after bad beacons, small after three good ones).
+    /// (large after bad beacons, small after three good ones). Computed in
+    /// the same fused pass as mean() and cached until the grid next mutates.
     double spread() const;
 
     /// Total probability mass (== 1 up to rounding; exposed for tests).
     double total_mass() const;
 
+    /// The cached kernel for this PDF (building it on a miss). Exposed so
+    /// tests can check the certified table directly.
+    const RadialKernel& kernel_for(const phy::DistancePdf& pdf);
+
+    /// Number of kernels currently cached (bounded by the LRU capacity).
+    std::size_t kernel_cache_size() const { return kernel_cache_.size(); }
+
   private:
     void normalize();
+    void apply_kernel(const geom::Vec2& anchor_position, const RadialKernel& kernel);
+    void compute_stats() const;
 
     GridConfig config_;
     std::size_t nx_ = 0;
@@ -77,6 +106,24 @@ class BayesGrid {
     double cell_w_ = 0.0;
     double cell_h_ = 0.0;
     std::vector<double> cells_;  ///< row-major [iy * nx + ix] probability masses
+
+    /// Tiny LRU over recently used kernels, keyed on the exact (mean, sigma)
+    /// pair. PDF-table bins recur constantly, so 16 slots give a near-perfect
+    /// hit rate while bounding memory for adversarial inputs.
+    struct KernelSlot {
+        double mean_m = 0.0;
+        double sigma_m = 0.0;
+        std::uint64_t last_use = 0;
+        std::unique_ptr<RadialKernel> kernel;
+    };
+    std::vector<KernelSlot> kernel_cache_;
+    std::uint64_t kernel_cache_tick_ = 0;
+
+    // Fused posterior statistics (mean + spread in one grid pass), cached
+    // until the next mutation.
+    mutable bool stats_valid_ = false;
+    mutable geom::Vec2 stats_mean_;
+    mutable double stats_spread_ = 0.0;
 };
 
 }  // namespace cocoa::core

@@ -1,6 +1,8 @@
 #include "mac/medium.hpp"
 
 #include <algorithm>
+#include <cassert>
+#include <cmath>
 
 #include "mac/radio.hpp"
 
@@ -10,9 +12,13 @@ Medium::Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig co
     : sim_(sim),
       channel_(channel),
       config_(config),
-      rssi_rng_(sim.rng().stream("medium.rssi")) {
+      rssi_seed_base_(sim.rng().derive_seed("medium.rssi", 0)) {
     obs_.counters.add("medium.frames_sent", &stats_.frames_sent);
     obs_.counters.add("medium.missed_asleep", &stats_.missed_asleep);
+    // Inflate the influence radius by a hair so the bisection rounding in
+    // solve_range can never put a should-be-visited radio on the culled side.
+    cull_radius_m_ = channel_.max_influence_range_m() * (1.0 + 1e-9) + 1e-3;
+    inv_hash_cell_ = 1.0 / cull_radius_m_;
 }
 
 void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
@@ -29,6 +35,41 @@ void Medium::sweep_expired() {
     std::erase_if(active_, [now](const auto& f) { return f->end <= now; });
 }
 
+std::uint64_t Medium::hash_cell_key(double x, double y) const {
+    const auto cx = static_cast<std::int64_t>(std::floor(x * inv_hash_cell_));
+    const auto cy = static_cast<std::int64_t>(std::floor(y * inv_hash_cell_));
+    return (static_cast<std::uint64_t>(cx) << 32) ^
+           (static_cast<std::uint64_t>(cy) & 0xffffffffull);
+}
+
+void Medium::rebuild_hash_if_stale() {
+    if (hash_valid_ && hash_epoch_ == position_epoch_ &&
+        hash_radio_count_ == radios_.size()) {
+#ifndef NDEBUG
+        for (std::size_t i = 0; i < radios_.size(); ++i) {
+            // A mismatch means something moved a radio without calling
+            // note_positions_moved() — the culling contract.
+            assert(radios_[i]->position() == hash_positions_[i]);
+        }
+#endif
+        return;
+    }
+    hash_cells_.clear();
+#ifndef NDEBUG
+    hash_positions_.clear();
+#endif
+    for (std::size_t i = 0; i < radios_.size(); ++i) {
+        const geom::Vec2 pos = radios_[i]->position();
+        hash_cells_[hash_cell_key(pos.x, pos.y)].push_back(static_cast<std::uint32_t>(i));
+#ifndef NDEBUG
+        hash_positions_.push_back(pos);
+#endif
+    }
+    hash_valid_ = true;
+    hash_epoch_ = position_epoch_;
+    hash_radio_count_ = radios_.size();
+}
+
 void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
                                 sim::Duration airtime) {
     sweep_expired();
@@ -36,18 +77,61 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
     const sim::TimePoint end = start + airtime;
     const geom::Vec2 tx_pos = sender.position();
 
-    // Sample each receiver's RSSI in attach order (one draw per non-sender
-    // radio) and fix the carrier-sense verdicts on the frame, so a radio that
-    // wakes mid-flight reads the same answer the live path acted on.
-    std::vector<double> rssi(radios_.size(), 0.0);
+    // Per-frame key for the counter-based RSSI draws. frame_seq_ advances
+    // once per transmission whether or not culling is enabled, so a frame's
+    // draws are a pure function of (medium seed, frame number, receiver id).
+    const std::uint64_t frame_key =
+        sim::splitmix64_mix(rssi_seed_base_ ^ sim::splitmix64_mix(frame_seq_++));
+
+    // Sample each visited receiver's RSSI and fix the carrier-sense verdicts
+    // on the frame, so a radio that wakes mid-flight reads the same answer
+    // the live path acted on. Culled (out-of-influence) radios keep the 0
+    // verdict their clamped draw could never overturn.
     std::vector<std::uint8_t> sensed(radios_.size(), 0);
-    for (std::size_t i = 0; i < radios_.size(); ++i) {
+    rssi_scratch_.assign(radios_.size(), 0.0);
+    sensed_idx_scratch_.clear();
+    std::uint64_t visited = 0;
+    const auto visit = [&](std::size_t i) {
         Radio* r = radios_[i];
-        if (r == &sender) continue;
+        if (r == &sender) return;
+        ++visited;
         const double dist = geom::distance(r->position(), tx_pos);
-        rssi[i] = channel_.sample_rssi_dbm(dist, rssi_rng_);
-        sensed[i] = channel_.sensed(rssi[i]) ? 1 : 0;
+        sim::SplitMix64 rng(sim::splitmix64_mix(
+            frame_key ^ sim::splitmix64_mix(static_cast<std::uint64_t>(r->id()) + 0x51ed2701)));
+        const double rssi = channel_.sample_rssi_dbm(dist, rng);
+        rssi_scratch_[i] = rssi;
+        if (channel_.sensed(rssi)) {
+            sensed[i] = 1;
+            sensed_idx_scratch_.push_back(static_cast<std::uint32_t>(i));
+        }
+    };
+
+    if (config_.interference_culling) {
+        rebuild_hash_if_stale();
+        const double r2 = cull_radius_m_ * cull_radius_m_;
+        const auto tx_cx = static_cast<std::int64_t>(std::floor(tx_pos.x * inv_hash_cell_));
+        const auto tx_cy = static_cast<std::int64_t>(std::floor(tx_pos.y * inv_hash_cell_));
+        for (std::int64_t cy = tx_cy - 1; cy <= tx_cy + 1; ++cy) {
+            for (std::int64_t cx = tx_cx - 1; cx <= tx_cx + 1; ++cx) {
+                const std::uint64_t key = (static_cast<std::uint64_t>(cx) << 32) ^
+                                          (static_cast<std::uint64_t>(cy) & 0xffffffffull);
+                const auto it = hash_cells_.find(key);
+                if (it == hash_cells_.end()) continue;
+                for (const std::uint32_t i : it->second) {
+                    if (radios_[i] == &sender) continue;
+                    if (geom::distance_sq(radios_[i]->position(), tx_pos) > r2) continue;
+                    visit(i);
+                }
+            }
+        }
+        // The CCA callbacks below must fire in attach order — same-timestamp
+        // events are FIFO, and the unculled sweep schedules them ascending.
+        std::sort(sensed_idx_scratch_.begin(), sensed_idx_scratch_.end());
+    } else {
+        for (std::size_t i = 0; i < radios_.size(); ++i) visit(i);
     }
+    stats_.radios_visited += visited;
+    stats_.radios_culled += static_cast<std::uint64_t>(radios_.size()) - 1 - visited;
 
     auto frame = std::make_shared<const AirFrame>(
         AirFrame{packet, sender.id(), tx_pos, start, end, std::move(sensed)});
@@ -57,18 +141,18 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
                         static_cast<std::int64_t>(sender.id()),
                         {{"bytes", static_cast<double>(packet.wire_bytes())}});
 
-    for (std::size_t i = 0; i < radios_.size(); ++i) {
+    for (const std::uint32_t i : sensed_idx_scratch_) {
         Radio* r = radios_[i];
-        if (r == &sender || frame->sensed_by[i] == 0) continue;
-        const double rssi_i = rssi[i];
+        const double rssi_i = rssi_scratch_[i];
+        const bool decodable = channel_.decodable(rssi_i);
         // Carrier sensing and receiver lock-on take a CCA delay; radio state
         // is re-checked at that point (the radio may have slept meanwhile).
-        sim_.schedule_in(config_.cca_delay, [this, r, frame, rssi_i] {
+        sim_.schedule_in(config_.cca_delay, [this, r, frame, rssi_i, decodable] {
             if (!r->awake()) {
-                if (channel_.decodable(rssi_i)) ++stats_.missed_asleep;
+                if (decodable) ++stats_.missed_asleep;
                 return;
             }
-            r->on_frame_start(frame, rssi_i, channel_.decodable(rssi_i));
+            r->on_frame_start(frame, rssi_i, decodable);
         });
     }
 }

@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <unordered_map>
 #include <vector>
 
 #include "mac/airframe.hpp"
@@ -23,6 +24,12 @@ struct MediumConfig {
     /// expire within this window both transmit — the DCF vulnerability slot
     /// that makes collisions physical.
     sim::Duration cca_delay = sim::Duration::micros(15);
+    /// Skip radios beyond the channel's max-influence radius when fanning a
+    /// transmission out (Glomosim-style interference culling). Because RSSI
+    /// draws are counter-based per (frame, receiver) and the clamped
+    /// shadowing tail bounds the radius conservatively, culling is exact:
+    /// the simulation is bit-identical with it on or off.
+    bool interference_culling = true;
 };
 
 /// The shared wireless medium: propagates every transmission to all attached
@@ -38,6 +45,13 @@ class Medium {
         std::uint64_t frames_sent = 0;
         /// Frames a sleeping radio would have decoded had it been awake.
         std::uint64_t missed_asleep = 0;
+        /// Receivers actually visited (RSSI sampled) across transmissions,
+        /// and receivers skipped by interference culling. Deliberately NOT
+        /// registered in the counter registry: culling must be unobservable,
+        /// and the CI exactness gate diffs `--counters` output between
+        /// culling on and off. Tests read them through stats() instead.
+        std::uint64_t radios_visited = 0;
+        std::uint64_t radios_culled = 0;
     };
 
     Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig config = {});
@@ -59,6 +73,18 @@ class Medium {
     /// after a radio wakes mid-frame, consistent with the live receive path.
     sim::TimePoint sensed_until_for(const Radio& listener) const;
 
+    /// Invalidates the culling spatial hash. CONTRACT: any code that moves a
+    /// position visible through Radio::position() must call this afterwards
+    /// (CocoaAgent::tick does, right after advancing mobility). The hash is
+    /// reused across transmissions until the epoch changes, which is what
+    /// keeps the per-transmission cost sub-linear; debug builds verify the
+    /// contract by snapshotting positions at rebuild time.
+    void note_positions_moved() { ++position_epoch_; }
+
+    /// The culling radius actually in use (slightly inflated over the
+    /// channel's max-influence range to absorb its bisection rounding).
+    double cull_radius_m() const { return cull_radius_m_; }
+
     const phy::Channel& channel() const { return channel_; }
     double capture_margin_db() const { return config_.capture_margin_db; }
     const Stats& stats() const { return stats_; }
@@ -70,15 +96,42 @@ class Medium {
   private:
     void sweep_expired();
     std::size_t index_of(const Radio& radio) const;
+    void rebuild_hash_if_stale();
+    std::uint64_t hash_cell_key(double x, double y) const;
 
     sim::Simulator& sim_;
     phy::Channel channel_;
     MediumConfig config_;
     std::vector<Radio*> radios_;
     std::vector<std::shared_ptr<const AirFrame>> active_;
-    sim::RandomStream rssi_rng_;
+    /// Base seed of the counter-based per-(frame, receiver) RSSI draws; mixed
+    /// with the frame sequence number and the receiver id, so a draw depends
+    /// only on *which* frame reaches *which* radio — never on attach order or
+    /// on how many other radios were sampled before it.
+    std::uint64_t rssi_seed_base_ = 0;
+    std::uint64_t frame_seq_ = 0;
     Stats stats_;
     obs::Obs obs_;
+
+    // Interference culling: a lazily rebuilt uniform spatial hash over radio
+    // positions, cell side == cull radius so a 3x3 neighbourhood covers every
+    // in-radius receiver.
+    double cull_radius_m_ = 0.0;
+    double inv_hash_cell_ = 0.0;
+    std::uint64_t position_epoch_ = 0;
+    bool hash_valid_ = false;
+    std::uint64_t hash_epoch_ = 0;
+    std::size_t hash_radio_count_ = 0;
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> hash_cells_;
+#ifndef NDEBUG
+    /// Positions at the last rebuild, to assert nobody moved a radio without
+    /// calling note_positions_moved().
+    std::vector<geom::Vec2> hash_positions_;
+#endif
+
+    // Per-transmission scratch, reused across frames to avoid reallocating.
+    std::vector<double> rssi_scratch_;
+    std::vector<std::uint32_t> sensed_idx_scratch_;
 };
 
 }  // namespace cocoa::mac

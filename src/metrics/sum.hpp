@@ -1,0 +1,57 @@
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+namespace cocoa::metrics {
+
+/// Neumaier-compensated (improved Kahan) accumulator. Each add costs one
+/// extra subtraction and a branch but keeps the error of the running sum
+/// independent of the number of terms — important for 10⁶-cell grid masses
+/// where naive left-to-right summation drifts by ~n·eps relative error.
+class KahanSum {
+  public:
+    void add(double x) {
+        const double t = sum_ + x;
+        if (std::abs(sum_) >= std::abs(x)) {
+            comp_ += (sum_ - t) + x;
+        } else {
+            comp_ += (x - t) + sum_;
+        }
+        sum_ = t;
+    }
+
+    double value() const { return sum_ + comp_; }
+
+    void reset() {
+        sum_ = 0.0;
+        comp_ = 0.0;
+    }
+
+  private:
+    double sum_ = 0.0;
+    double comp_ = 0.0;
+};
+
+/// Pairwise (cascade) summation over a contiguous range: O(log n) error
+/// growth with plain adds, so it vectorises better than the compensated
+/// accumulator. Good default for one-shot reductions over stored arrays.
+inline double pairwise_sum(const double* data, std::size_t n) {
+    // Below this size, fall back to a straight loop; the recursion overhead
+    // would dominate and the error is bounded by kLeaf·eps anyway.
+    constexpr std::size_t kLeaf = 128;
+    if (n <= kLeaf) {
+        double s = 0.0;
+        for (std::size_t i = 0; i < n; ++i) s += data[i];
+        return s;
+    }
+    const std::size_t half = n / 2;
+    return pairwise_sum(data, half) + pairwise_sum(data + half, n - half);
+}
+
+inline double pairwise_sum(const std::vector<double>& values) {
+    return pairwise_sum(values.data(), values.size());
+}
+
+}  // namespace cocoa::metrics

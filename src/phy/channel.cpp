@@ -16,8 +16,15 @@ Channel::Channel(const ChannelConfig& config) : config_(config) {
     if (config_.exponent_near <= 0.0 || config_.exponent_far <= 0.0) {
         throw std::invalid_argument("Channel: path-loss exponents must be positive");
     }
+    if (config_.shadowing_clamp_sigmas <= 0.0) {
+        throw std::invalid_argument("Channel: shadowing_clamp_sigmas must be positive");
+    }
     max_range_m_ = solve_range(config_.rx_sensitivity_dbm);
     cs_range_m_ = solve_range(config_.carrier_sense_dbm);
+    const double sigma_max =
+        std::max(config_.shadowing_sigma_near_db, config_.shadowing_sigma_far_db);
+    influence_range_m_ =
+        solve_range(config_.carrier_sense_dbm - config_.shadowing_clamp_sigmas * sigma_max);
 }
 
 double Channel::mean_rssi_dbm(double distance_m) const {
@@ -48,15 +55,6 @@ double Channel::fade_mean_db(double distance_m) const {
     const double f = (distance_m - config_.breakpoint_m) /
                      (config_.sigma_ramp_end_m - config_.breakpoint_m);
     return f * config_.fade_mean_far_db;
-}
-
-double Channel::sample_rssi_dbm(double distance_m, sim::RandomStream& rng) const {
-    double rssi = rng.gaussian(mean_rssi_dbm(distance_m), shadowing_sigma_db(distance_m));
-    const double fade = fade_mean_db(distance_m);
-    if (fade > 0.0) {
-        rssi -= rng.exponential(fade);  // deep fades only ever attenuate
-    }
-    return rssi;
 }
 
 double Channel::solve_range(double threshold_dbm) const {

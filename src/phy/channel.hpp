@@ -1,5 +1,7 @@
 #pragma once
 
+#include <algorithm>
+
 #include "sim/random.hpp"
 
 namespace cocoa::phy {
@@ -31,6 +33,13 @@ struct ChannelConfig {
     double fade_mean_far_db = 7.0;
     double rx_sensitivity_dbm = -92.0;     ///< minimum power to decode a frame
     double carrier_sense_dbm = -98.0;      ///< minimum power to defer transmission
+    /// Shadowing draws are clamped to ±this many sigma around the mean. A
+    /// |z| > 8 Gaussian deviate has probability ~1e-15 per draw, so the clamp
+    /// is statistically invisible — but it turns the otherwise unbounded
+    /// shadowing tail into a hard bound on sampled RSSI, which is what lets
+    /// max_influence_range_m() define an exact interference-culling radius
+    /// (deep fades only ever attenuate, so they cannot extend the bound).
+    double shadowing_clamp_sigmas = 8.0;
 };
 
 class Channel {
@@ -48,8 +57,22 @@ class Channel {
     /// Mean deep-fade attenuation (dB) at this distance (0 below breakpoint).
     double fade_mean_db(double distance_m) const;
 
-    /// One stochastic RSSI observation.
-    double sample_rssi_dbm(double distance_m, sim::RandomStream& rng) const;
+    /// One stochastic RSSI observation. Templated over the generator so the
+    /// same draw logic serves both the long-lived mt19937_64 streams (PDF
+    /// calibration) and the throwaway counter-based SplitMix64 generators the
+    /// medium constructs per (frame, receiver).
+    template <typename Rng>
+    double sample_rssi_dbm(double distance_m, Rng& rng) const {
+        const double sigma = shadowing_sigma_db(distance_m);
+        const double cap = config_.shadowing_clamp_sigmas * sigma;
+        const double shadow = std::clamp(rng.gaussian(0.0, sigma), -cap, cap);
+        double rssi = mean_rssi_dbm(distance_m) + shadow;
+        const double fade = fade_mean_db(distance_m);
+        if (fade > 0.0) {
+            rssi -= rng.exponential(fade);  // deep fades only ever attenuate
+        }
+        return rssi;
+    }
 
     /// Distance at which the mean RSSI equals the receive sensitivity: the
     /// nominal communication range.
@@ -57,6 +80,13 @@ class Channel {
 
     /// Distance at which the mean RSSI equals the carrier-sense threshold.
     double carrier_sense_range_m() const { return cs_range_m_; }
+
+    /// Distance beyond which no sampled RSSI can ever reach the carrier-sense
+    /// threshold: mean RSSI plus the maximum clamped shadowing boost stays
+    /// strictly below carrier_sense_dbm. Radios farther than this from a
+    /// transmitter are unaffected by the transmission — the exact culling
+    /// radius used by mac::Medium's interference culling.
+    double max_influence_range_m() const { return influence_range_m_; }
 
     bool decodable(double rssi_dbm) const { return rssi_dbm >= config_.rx_sensitivity_dbm; }
     bool sensed(double rssi_dbm) const { return rssi_dbm >= config_.carrier_sense_dbm; }
@@ -67,6 +97,7 @@ class Channel {
     ChannelConfig config_;
     double max_range_m_ = 0.0;
     double cs_range_m_ = 0.0;
+    double influence_range_m_ = 0.0;
 };
 
 }  // namespace cocoa::phy

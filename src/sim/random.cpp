@@ -3,9 +3,9 @@
 namespace cocoa::sim {
 namespace {
 
-// FNV-1a, then a splitmix64 finalizer for good bit diffusion. The hash must
-// be stable across platforms (unlike std::hash), since stream identity is
-// part of the reproducibility contract.
+// FNV-1a, then the splitmix64 finalizer for good bit diffusion. The hash
+// must be stable across platforms (unlike std::hash), since stream identity
+// is part of the reproducibility contract.
 std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
     constexpr std::uint64_t kPrime = 1099511628211ull;
     for (const char c : s) {
@@ -15,19 +15,12 @@ std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
     return h;
 }
 
-std::uint64_t splitmix64(std::uint64_t x) {
-    x += 0x9e3779b97f4a7c15ull;
-    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
-    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
-    return x ^ (x >> 31);
-}
-
 }  // namespace
 
 RandomStream RngManager::stream(std::string_view name) const {
     constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
     const std::uint64_t h = fnv1a(name, kOffsetBasis ^ master_seed_);
-    return RandomStream{splitmix64(h)};
+    return RandomStream{splitmix64_mix(h)};
 }
 
 RandomStream RngManager::stream(std::string_view name, std::uint64_t index) const {
@@ -37,7 +30,7 @@ RandomStream RngManager::stream(std::string_view name, std::uint64_t index) cons
 std::uint64_t RngManager::derive_seed(std::string_view name, std::uint64_t index) const {
     constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;
     std::uint64_t h = fnv1a(name, kOffsetBasis ^ master_seed_);
-    return splitmix64(h ^ splitmix64(index + 0x51ed2701));
+    return splitmix64_mix(h ^ splitmix64_mix(index + 0x51ed2701));
 }
 
 }  // namespace cocoa::sim

@@ -7,6 +7,56 @@
 
 namespace cocoa::sim {
 
+/// The splitmix64 finalizer: one cheap, high-diffusion 64-bit mix. Stable
+/// across platforms (part of the reproducibility contract, like the FNV-1a
+/// hash in RngManager). Used both for seed derivation and as the per-draw
+/// mixer behind counter-based random streams.
+constexpr std::uint64_t splitmix64_mix(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/// A tiny splitmix64-based URBG for counter-based ("hash the key, then draw")
+/// random sampling. Unlike RandomStream's mt19937_64 (whose 312-word state
+/// initialisation dwarfs a handful of draws), construction is two integer
+/// mixes, so a fresh generator per (frame, receiver) key is essentially free.
+/// The output sequence depends only on the seed, never on how many draws any
+/// *other* generator made — which is what makes consumers order- and
+/// subset-independent.
+class SplitMix64 {
+  public:
+    using result_type = std::uint64_t;
+
+    explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+    result_type operator()() {
+        state_ += 0x9e3779b97f4a7c15ull;
+        std::uint64_t x = state_;
+        x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+        x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+        return x ^ (x >> 31);
+    }
+
+    /// Zero-mean-unless-specified Gaussian (same contract as RandomStream).
+    double gaussian(double mean, double stddev) {
+        if (stddev <= 0.0) return mean;
+        return std::normal_distribution<double>(mean, stddev)(*this);
+    }
+
+    /// Exponentially distributed value with the given mean.
+    double exponential(double mean) {
+        return std::exponential_distribution<double>(1.0 / mean)(*this);
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
 /// A deterministic pseudo-random stream.
 ///
 /// Every stochastic consumer in the simulator (per-node mobility, odometry

@@ -2,8 +2,10 @@
 
 #include <cmath>
 #include <stdexcept>
+#include <utility>
 
 #include "core/bayes_grid.hpp"
+#include "sim/random.hpp"
 
 namespace cocoa::core {
 namespace {
@@ -224,6 +226,116 @@ INSTANTIATE_TEST_SUITE_P(
     AnchorsAndWidths, GridPropertySweep,
     ::testing::Combine(::testing::Values(20.0, 60.0, 100.0, 140.0, 180.0),
                        ::testing::Values(1.0, 3.0, 8.0, 20.0)));
+
+// --- radial-kernel fast path ------------------------------------------------
+
+// The kernel fast path must be indistinguishable from the exact sqrt+exp
+// reference across random multi-anchor constraint sequences: mean and spread
+// within 1e-9 relative (of the area scale), MAP in the same cell.
+TEST(BayesGridKernel, LutMatchesExactAcrossRandomConstraints) {
+    sim::RandomStream rng(99);
+    const double scale = paper_grid().area.diagonal();
+    for (int rep = 0; rep < 20; ++rep) {
+        BayesGrid fast(paper_grid());
+        BayesGrid exact(paper_grid());
+        const int constraints = 1 + static_cast<int>(rng.uniform_int(0, 4));
+        for (int c = 0; c < constraints; ++c) {
+            const Vec2 anchor{rng.uniform(-20.0, 220.0), rng.uniform(-20.0, 220.0)};
+            const phy::DistancePdf pdf =
+                make_pdf(rng.uniform(2.0, 150.0), rng.uniform(0.5, 25.0));
+            fast.apply_constraint(anchor, pdf);
+            exact.apply_constraint_exact(anchor, pdf);
+        }
+        EXPECT_NEAR(fast.mean().x, exact.mean().x, 1e-9 * scale);
+        EXPECT_NEAR(fast.mean().y, exact.mean().y, 1e-9 * scale);
+        EXPECT_NEAR(fast.spread(), exact.spread(),
+                    1e-9 * std::max(scale, exact.spread()));
+        // MAP must land in the same cell — cell centres compare exactly.
+        EXPECT_EQ(fast.map_estimate().x, exact.map_estimate().x);
+        EXPECT_EQ(fast.map_estimate().y, exact.map_estimate().y);
+    }
+}
+
+// Every kernel self-certifies at build time: interpolated evaluations agree
+// with the exact Gaussian-plus-floor to ~1e-10 relative everywhere.
+TEST(BayesGridKernel, KernelEvalCertified) {
+    BayesGrid g(paper_grid());
+    sim::RandomStream rng(7);
+    for (const auto& [mean, sigma] :
+         {std::pair{40.0, 3.0}, {3.0, 4.0}, {120.0, 15.0}, {1.0, 0.7}}) {
+        const RadialKernel& k = g.kernel_for(make_pdf(mean, sigma));
+        for (int i = 0; i < 20000; ++i) {
+            const double q = rng.uniform(0.0, k.q_hi() * 1.1);
+            const double got = k.eval_q(q);
+            const double want = k.eval_exact_d(std::sqrt(q));
+            EXPECT_NEAR(got, want, 1e-9 * want)
+                << "mean=" << mean << " sigma=" << sigma << " q=" << q;
+        }
+    }
+}
+
+// Near-anchor constraints exercise the certified exact-evaluation region
+// around the √q singularity; the cells next to the anchor must still match
+// the reference to full tolerance.
+TEST(BayesGridKernel, NearAnchorCellsExact) {
+    BayesGrid fast(paper_grid());
+    BayesGrid exact(paper_grid());
+    const Vec2 anchor{101.0, 99.0};  // inside a cell, near its corner
+    const phy::DistancePdf pdf = make_pdf(1.5, 2.0);
+    fast.apply_constraint(anchor, pdf);
+    exact.apply_constraint_exact(anchor, pdf);
+    for (std::size_t iy = 45; iy < 55; ++iy) {
+        for (std::size_t ix = 45; ix < 55; ++ix) {
+            EXPECT_NEAR(fast.mass_at(ix, iy), exact.mass_at(ix, iy),
+                        1e-9 * exact.mass_at(ix, iy));
+        }
+    }
+}
+
+TEST(BayesGridKernel, CacheIsBoundedAndHits) {
+    BayesGrid g(paper_grid());
+    const phy::DistancePdf pdf = make_pdf(40.0, 3.0);
+    const RadialKernel* first = &g.kernel_for(pdf);
+    EXPECT_EQ(&g.kernel_for(pdf), first);  // same (mean, sigma) → same kernel
+    EXPECT_EQ(g.kernel_cache_size(), 1u);
+    for (int i = 0; i < 40; ++i) {
+        g.kernel_for(make_pdf(20.0 + i, 2.0 + 0.1 * i));
+    }
+    EXPECT_LE(g.kernel_cache_size(), 16u);  // LRU capacity
+    // Still correct after heavy eviction.
+    g.apply_constraint({100.0, 100.0}, pdf);
+    EXPECT_NEAR(g.total_mass(), 1.0, 1e-9);
+}
+
+// The compensated/pairwise summations keep the mass budget honest on a
+// million-cell grid: drift stays at the 1e-12 level, not n·eps.
+TEST(BayesGridKernel, MillionCellMassDrift) {
+    GridConfig cfg;
+    cfg.area = Rect::square(200.0);
+    cfg.cell_m = 0.2;  // 1000 x 1000 cells
+    BayesGrid g(cfg);
+    ASSERT_EQ(g.cell_count(), 1'000'000u);
+    EXPECT_NEAR(g.total_mass(), 1.0, 1e-12);
+    g.apply_constraint({60.0, 140.0}, make_pdf(50.0, 4.0));
+    EXPECT_NEAR(g.total_mass(), 1.0, 1e-12);
+    g.apply_constraint({150.0, 40.0}, make_pdf(80.0, 10.0));
+    EXPECT_NEAR(g.total_mass(), 1.0, 1e-12);
+    EXPECT_TRUE(cfg.area.contains(g.mean()));
+}
+
+// mean()/spread() are one fused cached pass; mutation invalidates the cache.
+TEST(BayesGridKernel, FusedStatsCacheInvalidates) {
+    BayesGrid g(paper_grid());
+    const Vec2 before = g.mean();
+    EXPECT_NEAR(before.x, 100.0, 1e-9);
+    g.apply_constraint({40.0, 40.0}, make_pdf(10.0, 3.0));
+    const Vec2 after = g.mean();
+    EXPECT_GT(geom::distance(before, after), 1.0);
+    const double s1 = g.spread();
+    g.reset_uniform();
+    EXPECT_NE(g.spread(), s1);
+    EXPECT_NEAR(g.mean().x, 100.0, 1e-9);
+}
 
 }  // namespace
 }  // namespace cocoa::core

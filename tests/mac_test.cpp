@@ -1,6 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <map>
+#include <memory>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "mac/medium.hpp"
@@ -420,6 +423,133 @@ TEST_F(MacFixture, MediumCountsFrames) {
     sim_.schedule_at(TimePoint::from_seconds(2.0), [&] { b.send(test_packet()); });
     sim_.run();
     EXPECT_EQ(medium_.stats().frames_sent, 2u);
+}
+
+// --- counter-based RSSI draws and interference culling ----------------------
+
+/// A medium with the *default* (stochastic) channel and radios constructed
+/// in a caller-chosen order but with fixed ids and positions.
+struct StochasticNet {
+    explicit StochasticNet(const std::vector<Vec2>& positions,
+                           const std::vector<int>& attach_order,
+                           bool culling = true)
+        : sim(123), medium(sim, phy::Channel{}, make_config(culling)) {
+        radios.resize(positions.size());
+        for (const int id : attach_order) {
+            radios[static_cast<std::size_t>(id)] = std::make_unique<Radio>(
+                sim, medium, static_cast<net::NodeId>(id),
+                [p = positions[static_cast<std::size_t>(id)]] { return p; },
+                PowerProfile::wavelan(),
+                sim.rng().stream("backoff", static_cast<std::uint64_t>(id)));
+        }
+        for (auto& r : radios) {
+            r->set_receive_handler(
+                [this, id = r->id()](const Packet& pkt, const net::RxInfo& info) {
+                    delivered[id].emplace_back(
+                        std::get<TestPayload>(pkt.payload).value, info.rssi_dbm);
+                });
+        }
+    }
+
+    static MediumConfig make_config(bool culling) {
+        MediumConfig c;
+        c.interference_culling = culling;
+        return c;
+    }
+
+    Simulator sim;
+    Medium medium;
+    std::vector<std::unique_ptr<Radio>> radios;
+    std::map<net::NodeId, std::vector<std::pair<std::uint64_t, double>>> delivered;
+};
+
+TEST(MediumCounterDraws, RssiStableUnderPermutedAttachOrder) {
+    // Per-(frame, receiver) counter-based draws: the RSSI a receiver samples
+    // must not depend on the order radios were attached in (the old shared
+    // stream consumed draws in attach order, so any reordering perturbed
+    // every subsequent sample).
+    const std::vector<Vec2> pos = {{0.0, 0.0}, {60.0, 0.0}, {0.0, 80.0},
+                                   {90.0, 50.0}, {120.0, 120.0}};
+    std::map<net::NodeId, std::vector<std::pair<std::uint64_t, double>>> results[2];
+    const std::vector<int> orders[2] = {{0, 1, 2, 3, 4}, {3, 0, 4, 1, 2}};
+    for (int v = 0; v < 2; ++v) {
+        StochasticNet net(pos, orders[v]);
+        net.sim.schedule_at(TimePoint::from_seconds(1.0),
+                            [&net] { net.radios[0]->send(test_packet(7)); });
+        net.sim.run();
+        results[v] = net.delivered;
+    }
+    ASSERT_FALSE(results[0].empty());
+    EXPECT_EQ(results[0], results[1]);
+}
+
+TEST(MediumCulling, SkipsOnlyOutOfRangeRadios) {
+    std::vector<Vec2> pos = {{0.0, 0.0}, {100.0, 0.0}};
+    // One radio far beyond any possible influence, one within it.
+    {
+        StochasticNet probe(pos, {0, 1});
+        pos.push_back({probe.medium.cull_radius_m() * 2.0, 0.0});
+    }
+    for (const bool culling : {true, false}) {
+        StochasticNet net(pos, {0, 1, 2}, culling);
+        net.sim.schedule_at(TimePoint::from_seconds(1.0),
+                            [&net] { net.radios[0]->send(test_packet(1)); });
+        net.sim.run();
+        EXPECT_EQ(net.medium.stats().frames_sent, 1u);
+        if (culling) {
+            EXPECT_EQ(net.medium.stats().radios_visited, 1u);  // the near one
+            EXPECT_EQ(net.medium.stats().radios_culled, 1u);   // the far one
+        } else {
+            EXPECT_EQ(net.medium.stats().radios_visited, 2u);
+            EXPECT_EQ(net.medium.stats().radios_culled, 0u);
+        }
+        // Either way the near radio decodes and the far one hears nothing.
+        EXPECT_EQ(net.delivered.count(2), 0u);
+    }
+}
+
+TEST(MediumCulling, CulledRunIsBitIdenticalToUnculled) {
+    // Two clusters far outside each other's influence radius: intra-cluster
+    // traffic is dense (CSMA deferrals, collisions, captures), cross-cluster
+    // sampling is culled. Deliveries, sampled RSSI values and every MAC
+    // counter must match the unculled run exactly.
+    std::vector<Vec2> pos;
+    for (int i = 0; i < 5; ++i) pos.push_back({80.0 * i, 0.0});
+    for (int i = 0; i < 5; ++i) pos.push_back({3000.0 + 80.0 * i, 10.0});
+
+    std::map<net::NodeId, std::vector<std::pair<std::uint64_t, double>>> delivered[2];
+    std::vector<std::uint64_t> counters[2];
+    for (int v = 0; v < 2; ++v) {
+        const bool culling = v == 0;
+        StochasticNet net(pos, {0, 1, 2, 3, 4, 5, 6, 7, 8, 9}, culling);
+        for (std::size_t i = 0; i < net.radios.size(); ++i) {
+            net.sim.schedule_at(
+                TimePoint::from_seconds(1.0 + 0.001 * static_cast<double>(i % 3)),
+                [&net, i] { net.radios[i]->send(test_packet(100 + i)); });
+        }
+        net.sim.run();
+        delivered[v] = net.delivered;
+        for (const auto& r : net.radios) {
+            counters[v].push_back(r->stats().tx_frames);
+            counters[v].push_back(r->stats().rx_delivered);
+            counters[v].push_back(r->stats().rx_corrupted);
+            counters[v].push_back(r->stats().rx_captured);
+        }
+        counters[v].push_back(net.medium.stats().frames_sent);
+        counters[v].push_back(net.medium.stats().missed_asleep);
+        const auto& ms = net.medium.stats();
+        EXPECT_EQ(ms.radios_visited + ms.radios_culled,
+                  ms.frames_sent * (pos.size() - 1));
+        if (culling) {
+            EXPECT_GT(ms.radios_culled, 0u);   // the far cluster is skipped
+            EXPECT_LT(ms.radios_visited, ms.frames_sent * (pos.size() - 1));
+        } else {
+            EXPECT_EQ(ms.radios_culled, 0u);
+        }
+    }
+    ASSERT_FALSE(delivered[0].empty());
+    EXPECT_EQ(delivered[0], delivered[1]);
+    EXPECT_EQ(counters[0], counters[1]);
 }
 
 }  // namespace

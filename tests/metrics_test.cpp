@@ -6,6 +6,7 @@
 
 #include "metrics/cdf.hpp"
 #include "metrics/running_stat.hpp"
+#include "metrics/sum.hpp"
 #include "metrics/table.hpp"
 #include "metrics/time_series.hpp"
 
@@ -217,6 +218,52 @@ TEST(Fmt, Precision) {
     EXPECT_EQ(fmt(3.14159, 2), "3.14");
     EXPECT_EQ(fmt(3.14159, 0), "3");
     EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(KahanSum, TinyTermsOnHugeBase) {
+    // Naive summation loses 1e6 tiny terms entirely against a 1e16 base;
+    // the compensated accumulator keeps them.
+    KahanSum acc;
+    acc.add(1e16);
+    for (int i = 0; i < 1'000'000; ++i) acc.add(1.0);
+    EXPECT_DOUBLE_EQ(acc.value(), 1e16 + 1e6);
+    double naive = 1e16;
+    for (int i = 0; i < 1'000'000; ++i) naive += 1.0;
+    EXPECT_NE(naive, 1e16 + 1e6);  // documents why compensation is needed
+}
+
+TEST(KahanSum, NeumaierHandlesLargeLateTerm) {
+    // The Neumaier branch also compensates when the *new* term dominates —
+    // plain Kahan would lose the small running sum here.
+    KahanSum acc;
+    acc.add(1.0);
+    acc.add(1e100);
+    acc.add(1.0);
+    acc.add(-1e100);
+    EXPECT_DOUBLE_EQ(acc.value(), 2.0);
+}
+
+TEST(KahanSum, Reset) {
+    KahanSum acc;
+    acc.add(5.0);
+    acc.reset();
+    EXPECT_EQ(acc.value(), 0.0);
+    acc.add(2.5);
+    EXPECT_DOUBLE_EQ(acc.value(), 2.5);
+}
+
+TEST(PairwiseSum, MatchesExactOnUniformGrid) {
+    // One million equal masses: pairwise error stays at the 1e-16 level
+    // where left-to-right summation drifts by ~1e-11.
+    std::vector<double> v(1'000'000, 1e-6);
+    EXPECT_NEAR(pairwise_sum(v), 1.0, 1e-12);
+}
+
+TEST(PairwiseSum, SmallAndEmptyRanges) {
+    EXPECT_EQ(pairwise_sum(std::vector<double>{}), 0.0);
+    EXPECT_DOUBLE_EQ(pairwise_sum(std::vector<double>{1.5}), 1.5);
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(pairwise_sum(v), 10.0);
 }
 
 }  // namespace

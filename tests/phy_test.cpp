@@ -313,5 +313,75 @@ TEST_P(CalibrationSeedSweep, RegimeBoundaryStable) {
 INSTANTIATE_TEST_SUITE_P(Seeds, CalibrationSeedSweep,
                          ::testing::Values(1u, 2u, 3u, 7u, 11u, 23u));
 
+// --- shadowing clamp and max-influence range --------------------------------
+
+/// A rigged generator satisfying the sample_rssi_dbm template contract,
+/// returning a fixed (huge) shadowing deviate and zero fades.
+struct RiggedRng {
+    double gaussian_value = 0.0;
+    double gaussian(double mean, double stddev) {
+        return mean + gaussian_value * stddev;
+    }
+    double exponential(double) { return 0.0; }
+};
+
+TEST(Channel, ShadowingClampBoundsSampledRssi) {
+    const Channel ch;
+    const double clamp = ch.config().shadowing_clamp_sigmas;
+    RiggedRng rng;
+    rng.gaussian_value = 1e6;  // a "draw" far beyond any real deviate
+    for (const double d : {5.0, 40.0, 100.0, 500.0, 2000.0}) {
+        const double cap = ch.mean_rssi_dbm(d) + clamp * ch.shadowing_sigma_db(d);
+        EXPECT_DOUBLE_EQ(ch.sample_rssi_dbm(d, rng), cap) << "d=" << d;
+    }
+    rng.gaussian_value = 2.0;  // an ordinary deviate passes through unclamped
+    EXPECT_DOUBLE_EQ(ch.sample_rssi_dbm(40.0, rng),
+                     ch.mean_rssi_dbm(40.0) + 2.0 * ch.shadowing_sigma_db(40.0));
+}
+
+TEST(Channel, MaxInfluenceRangeIsConservative) {
+    const Channel ch;
+    const double r = ch.max_influence_range_m();
+    EXPECT_GT(r, ch.carrier_sense_range_m());
+    // At the influence range the *best possible* draw just reaches the
+    // carrier-sense threshold...
+    const double sigma_max = std::max(ch.config().shadowing_sigma_near_db,
+                                      ch.config().shadowing_sigma_far_db);
+    EXPECT_NEAR(ch.mean_rssi_dbm(r) + ch.config().shadowing_clamp_sigmas * sigma_max,
+                ch.config().carrier_sense_dbm, 1e-6);
+    // ...and beyond it, even a maximal clamped draw stays below threshold, so
+    // culled radios can never sense the frame.
+    RiggedRng rng;
+    rng.gaussian_value = 1e6;
+    for (double d = r * 1.0001; d < r * 4.0; d *= 1.5) {
+        EXPECT_LT(ch.sample_rssi_dbm(d, rng), ch.config().carrier_sense_dbm);
+    }
+}
+
+TEST(Channel, InvalidClampThrows) {
+    ChannelConfig cfg;
+    cfg.shadowing_clamp_sigmas = 0.0;
+    EXPECT_THROW(Channel{cfg}, std::invalid_argument);
+}
+
+TEST(Channel, SplitMixDrawsMatchStreamDistributions) {
+    // The SplitMix64 URBG plugs into the same std distributions as the
+    // mt19937_64 streams; sanity-check its gaussian/exponential moments.
+    sim::SplitMix64 rng(12345);
+    double sum = 0.0, sum_sq = 0.0;
+    constexpr int kN = 20000;
+    for (int i = 0; i < kN; ++i) {
+        const double x = rng.gaussian(5.0, 2.0);
+        sum += x;
+        sum_sq += x * x;
+    }
+    const double mean = sum / kN;
+    EXPECT_NEAR(mean, 5.0, 0.1);
+    EXPECT_NEAR(std::sqrt(sum_sq / kN - mean * mean), 2.0, 0.1);
+    double esum = 0.0;
+    for (int i = 0; i < kN; ++i) esum += rng.exponential(7.0);
+    EXPECT_NEAR(esum / kN, 7.0, 0.3);
+}
+
 }  // namespace
 }  // namespace cocoa::phy

@@ -209,5 +209,39 @@ TEST(Scenario, MissedSyncRobotsKeepSchedule) {
               60.0);
 }
 
+
+TEST(Scenario, CullingOnOffBitIdentical) {
+    // Large enough that the influence radius leaves most radios out of range
+    // of any given transmission, so culling actually skips work; the run must
+    // still be indistinguishable from the unculled one, down to every counter.
+    ScenarioConfig base = quick(LocalizationMode::Combined);
+    base.area_side_m = 2800.0;
+    base.duration = Duration::minutes(3);
+
+    ScenarioConfig culled = base;
+    culled.medium.interference_culling = true;
+    ScenarioConfig full = base;
+    full.medium.interference_culling = false;
+
+    const auto a = run_scenario(culled);
+    const auto b = run_scenario(full);
+
+    EXPECT_GT(a.medium_stats.radios_culled, 0u);
+    EXPECT_EQ(b.medium_stats.radios_culled, 0u);
+
+    EXPECT_EQ(a.executed_events, b.executed_events);
+    ASSERT_EQ(a.counters.size(), b.counters.size());
+    for (std::size_t i = 0; i < a.counters.size(); ++i) {
+        EXPECT_EQ(a.counters[i].first, b.counters[i].first);
+        EXPECT_EQ(a.counters[i].second, b.counters[i].second)
+            << "counter " << a.counters[i].first;
+    }
+    ASSERT_EQ(a.avg_error.size(), b.avg_error.size());
+    for (std::size_t i = 0; i < a.avg_error.size(); ++i) {
+        EXPECT_EQ(a.avg_error.samples()[i].value, b.avg_error.samples()[i].value);
+    }
+    EXPECT_EQ(a.team_energy.total_mj(), b.team_energy.total_mj());
+}
+
 }  // namespace
 }  // namespace cocoa::core

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
     std::string technique = "bayes";
     bool no_sleep = false;
     bool blind_beaconing = false;
+    bool no_culling = false;
     bool quiet = false;
     std::string csv_prefix;
     double pos_trace_interval_s = 0.0;
@@ -84,6 +85,11 @@ int main(int argc, char** argv) {
         .add_option("technique", "bayes | centroid | ls (default bayes)", &technique)
         .add_flag("no-sleep", "disable sleep coordination (energy baseline)", &no_sleep)
         .add_flag("blind-beaconing", "localized blind robots also beacon", &blind_beaconing)
+        .add_flag("no-culling",
+                  "disable interference-radius culling in the medium "
+                  "(output is bit-identical either way; this exists for perf "
+                  "comparison and the CI exactness gate)",
+                  &no_culling)
         .add_flag("quiet", "summary only, no time series", &quiet)
         .add_option("csv", "prefix for CSV dumps (avg error + summary)", &csv_prefix)
         .add_option("pos-trace",
@@ -124,6 +130,7 @@ int main(int argc, char** argv) {
     config.area_side_m = area_m;
     config.sleep_coordination = !no_sleep;
     config.blind_beaconing = blind_beaconing;
+    config.medium.interference_culling = !no_culling;
 
     if (mode == "cocoa") {
         config.mode = core::LocalizationMode::Combined;
