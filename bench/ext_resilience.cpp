@@ -1,0 +1,107 @@
+// Extension — resilience under injected faults. The paper's failure story
+// (§2.3, §6) is qualitative: robots coast on odometry through coverage gaps
+// and the deployment "degrades gracefully". This bench quantifies graceful:
+// it sweeps crashed-anchor count (highest ids first, the sync robot dies
+// last) and a medium-wide jamming burst, and reports availability — the
+// fraction of blind-robot samples with error under 10 m — split into
+// before / during / after the fault window, plus time-to-reacquire.
+//
+// Every row is byte-identical at any COCOA_BENCH_THREADS value: plans are
+// fixed schedules and all fault randomness is drawn counter-based.
+
+#include <iostream>
+#include <vector>
+
+#include "bench/common.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+
+using namespace cocoa;
+
+namespace {
+
+std::string stat_fmt(const metrics::RunningStat& s) {
+    return s.count() > 0 ? metrics::fmt(s.mean()) : std::string("-");
+}
+
+}  // namespace
+
+int main() {
+    bench::print_header("Extension — resilience sweeps",
+                        "availability and recovery under injected faults");
+    core::ScenarioConfig base = bench::paper_config();
+    base.duration = sim::Duration::minutes(15);
+    bench::print_config(base);
+
+    const int reps = bench::bench_reps(3);
+    exp::ReplicationOptions opt;
+    opt.n_reps = reps;
+    opt.n_threads = bench::bench_threads();
+    const sim::TimePoint strike =
+        sim::TimePoint::origin() + base.duration * 0.25;
+
+    std::cout << "anchor crashes at t=" << strike.to_seconds() << " s ("
+              << reps << " reps per point):\n";
+    {
+        std::vector<core::ScenarioConfig> configs;
+        std::vector<fault::FaultPlan> plans;
+        const std::vector<int> crashed = {0, 5, 10, 15, 20};
+        for (const int k : crashed) {
+            configs.push_back(base);
+            plans.push_back(fault::anchor_crash_plan(base.num_anchors, k, strike));
+        }
+        const auto sets = exp::run_sweep(configs, plans, opt);
+        metrics::Table t({"crashed anchors", "steady err (m)", "avail",
+                          "avail during", "avail after"});
+        for (std::size_t i = 0; i < sets.size(); ++i) {
+            const bool has_after =
+                sets[i].has_resilience &&
+                sets[i].records.back().resilience->samples_after > 0;
+            t.add_row({std::to_string(crashed[i]), sets[i].steady_ci(),
+                       stat_fmt(sets[i].availability),
+                       stat_fmt(sets[i].avail_during),
+                       has_after ? metrics::fmt(sets[i].records.back()
+                                                    .resilience->avail_after)
+                                 : "-"});
+        }
+        t.print(std::cout);
+    }
+
+    std::cout << "\n90 s medium-wide loss burst at t=" << strike.to_seconds()
+              << " s (" << reps << " reps per point):\n";
+    {
+        std::vector<core::ScenarioConfig> configs;
+        std::vector<fault::FaultPlan> plans;
+        const std::vector<double> drop = {0.0, 0.25, 0.5, 0.9, 1.0};
+        for (const double p : drop) {
+            configs.push_back(base);
+            fault::FaultPlan plan;
+            if (p > 0.0) {
+                fault::FaultEvent burst;
+                burst.kind = fault::FaultKind::Loss;
+                burst.at = strike;
+                burst.duration = sim::Duration::seconds(90.0);
+                burst.drop_prob = p;
+                plan.events.push_back(burst);
+            }
+            plans.push_back(std::move(plan));
+        }
+        const auto sets = exp::run_sweep(configs, plans, opt);
+        metrics::Table t({"drop prob", "steady err (m)", "avail",
+                          "avail during", "reacquire (s)"});
+        for (std::size_t i = 0; i < sets.size(); ++i) {
+            t.add_row({metrics::fmt(drop[i]), sets[i].steady_ci(),
+                       stat_fmt(sets[i].availability),
+                       stat_fmt(sets[i].avail_during),
+                       stat_fmt(sets[i].reacquire_s)});
+        }
+        t.print(std::cout);
+    }
+
+    bench::paper_note(
+        "graceful degradation is claimed, not measured; these sweeps are the "
+        "quantitative version. Availability should fall monotonically with "
+        "crashed anchors and with burst drop probability, and recover after "
+        "transient faults.");
+    return 0;
+}

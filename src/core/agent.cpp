@@ -116,6 +116,34 @@ void CocoaAgent::tick() {
     last_predict_time_ = node_.simulator().now();
 }
 
+void CocoaAgent::reboot() {
+    tick();
+    // Everything volatile is lost: the pose belief restarts as unlocalized
+    // (provisionally at the area centre, like a fresh deployment), half-
+    // collected windows drop, and the clock restarts with fresh skew. The
+    // odometry's velocity *bias* survives — it is miscalibration of the
+    // hardware, not state.
+    odometry_.reset(config_.grid.area.center(), node_.mobility().heading());
+    last_odometry_position_ = odometry_.position();
+    last_predict_time_ = node_.simulator().now();
+    window_beacons_.clear();
+    rf_position_ = config_.grid.area.center();
+    ever_fixed_ = false;
+    last_fix_spread_m_ = std::numeric_limits<double>::infinity();
+    if (config_.mode == LocalizationMode::Ekf) {
+        const double half = 0.5 * config_.grid.area.width();
+        ekf_.reset(config_.grid.area.center(), half * half);
+    }
+    if (config_.sync == SyncMode::Mrmm && !is_sync_robot_) {
+        clock_offset_s_ = noise_rng_.gaussian(0.0, config_.clock_skew_sigma_s);
+    } else {
+        clock_offset_s_ = 0.0;
+    }
+    node_.radio().medium().obs().trace.instant(
+        node_.simulator().now(), "cocoa", "reboot",
+        static_cast<std::int64_t>(node_.id()));
+}
+
 void CocoaAgent::retune(sim::Duration period, sim::Duration window) {
     if (window <= sim::Duration::zero() || window >= period) {
         throw std::invalid_argument("CocoaAgent::retune: need 0 < window < period");

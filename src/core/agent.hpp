@@ -160,6 +160,25 @@ class CocoaAgent {
     /// Called by the scenario's tick loop and internally before fixes.
     void tick();
 
+    // --- fault-injection hooks (FaultInjector; no-ops otherwise) -----------
+
+    /// Cold-restart after a crash-with-reboot fault: the robot forgets its
+    /// pose estimate (odometry re-anchors at the area centre, the EKF opens
+    /// wide, pending window beacons drop) and, under MRMM sync, restarts
+    /// with a fresh clock error. The period schedule itself keeps running —
+    /// the robot rejoins the time-line at its next window (or the next SYNC).
+    /// The caller is responsible for powering the radio back on.
+    void reboot();
+
+    /// Adds `seconds` to this robot's clock error (coordination drift fault).
+    void inject_clock_offset(double seconds) { clock_offset_s_ += seconds; }
+    /// Current clock error vs true time, in seconds (tests/metrics).
+    double clock_offset_seconds() const { return clock_offset_s_; }
+
+    /// Scales the odometry noise sigmas (sensor-degradation fault);
+    /// 1.0 restores nominal noise bit-exactly.
+    void degrade_odometry(double scale) { odometry_.set_noise_scale(scale); }
+
     Role role() const { return config_.role; }
     net::NodeId id() const { return node_.id(); }
     net::Node& node() { return node_; }

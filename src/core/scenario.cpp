@@ -122,6 +122,10 @@ Scenario::Scenario(const ScenarioConfig& config)
     sim_.schedule_in(config_.sample_interval, [this] { on_sample(); });
 }
 
+multicast::MulticastNode* Scenario::multicast_node(net::NodeId id) {
+    return mcast_.has_value() ? &mcast_->at(id) : nullptr;
+}
+
 bool Scenario::is_anchor(net::NodeId id) const {
     if (config_.mode == LocalizationMode::OdometryOnly) return false;
     return id < static_cast<net::NodeId>(config_.num_anchors);

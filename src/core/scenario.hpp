@@ -136,6 +136,10 @@ class Scenario {
     CocoaAgent& agent(net::NodeId id) { return *agents_.at(id); }
     std::size_t agent_count() const { return agents_.size(); }
     bool is_anchor(net::NodeId id) const;
+    /// The node's multicast instance, or nullptr when the scenario runs
+    /// without an MRMM fleet (PerfectClock / OdometryOnly). Fault injection
+    /// uses this to drop a rebooted robot's ODMRP soft state.
+    multicast::MulticastNode* multicast_node(net::NodeId id);
     const phy::PdfTable& pdf_table() const { return *table_; }
     std::shared_ptr<const phy::PdfTable> pdf_table_ptr() const { return table_; }
 

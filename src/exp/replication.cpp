@@ -38,13 +38,26 @@ std::uint64_t replication_seed(std::uint64_t master_seed, int index) {
 
 ReplicationRecord run_single_replication(const core::ScenarioConfig& config,
                                          int index, sim::Duration warmup_slack,
-                                         core::ScenarioResult* result_out) {
+                                         core::ScenarioResult* result_out,
+                                         const fault::FaultPlan* plan) {
     core::ScenarioConfig run_config = config;
     run_config.seed = replication_seed(config.seed, index);
 
     obs::ProfileScope profile("exp.replication");
     const auto t0 = std::chrono::steady_clock::now();
-    core::ScenarioResult result = core::run_scenario(run_config);
+    core::ScenarioResult result;
+    std::optional<fault::ResilienceReport> resilience;
+    if (plan != nullptr && !plan->empty()) {
+        core::Scenario scenario(run_config);
+        fault::FaultInjector injector(scenario, *plan);
+        injector.arm();
+        scenario.run();
+        result = scenario.result();
+        resilience = injector.report(result);
+    } else {
+        // No plan: the exact pre-fault code path, bit for bit.
+        result = core::run_scenario(run_config);
+    }
     const auto t1 = std::chrono::steady_clock::now();
 
     ReplicationRecord record;
@@ -58,14 +71,24 @@ ReplicationRecord run_single_replication(const core::ScenarioConfig& config,
     record.executed_events = result.executed_events;
     record.wall_seconds = std::chrono::duration<double>(t1 - t0).count();
     record.counters = result.counters;
+    record.resilience = std::move(resilience);
     if (result_out != nullptr) *result_out = std::move(result);
     return record;
 }
 
 std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& configs,
                                       const ReplicationOptions& options) {
+    return run_sweep(configs, std::vector<fault::FaultPlan>(configs.size()), options);
+}
+
+std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& configs,
+                                      const std::vector<fault::FaultPlan>& plans,
+                                      const ReplicationOptions& options) {
     if (options.n_reps < 1) {
         throw std::invalid_argument("run_sweep: n_reps must be >= 1");
+    }
+    if (plans.size() != configs.size()) {
+        throw std::invalid_argument("run_sweep: plans.size() != configs.size()");
     }
     if (configs.empty()) return {};
     obs::ProfileScope profile("exp.sweep");
@@ -91,7 +114,7 @@ std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& c
             const bool want_result = keep_result_for || ri + 1 == options.n_reps;
             records[task] = run_single_replication(
                 configs[ci], ri, options.warmup_slack,
-                want_result ? &results[task] : nullptr);
+                want_result ? &results[task] : nullptr, &plans[ci]);
         } catch (...) {
             errors[task] = std::current_exception();
         }
@@ -134,6 +157,16 @@ std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& c
             for (const auto& [name, value] : r.counters) {
                 set.counter_totals[name] += value;
             }
+            if (r.resilience) {
+                set.has_resilience = true;
+                set.availability.add(r.resilience->availability);
+                if (r.resilience->samples_during > 0) {
+                    set.avail_during.add(r.resilience->avail_during);
+                }
+                if (r.resilience->reacquired > 0) {
+                    set.reacquire_s.add(r.resilience->mean_reacquire_s);
+                }
+            }
         }
         if (options.keep_results) {
             set.results.assign(std::make_move_iterator(results.begin() +
@@ -151,6 +184,12 @@ std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& c
 ReplicationSet run_replications(const core::ScenarioConfig& config,
                                 const ReplicationOptions& options) {
     return std::move(run_sweep({config}, options).front());
+}
+
+ReplicationSet run_replications(const core::ScenarioConfig& config,
+                                const fault::FaultPlan& plan,
+                                const ReplicationOptions& options) {
+    return std::move(run_sweep({config}, {plan}, options).front());
 }
 
 }  // namespace cocoa::exp

@@ -2,11 +2,14 @@
 
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
 
 #include "core/scenario.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "metrics/running_stat.hpp"
 
 namespace cocoa::exp {
@@ -42,6 +45,8 @@ struct ReplicationRecord {
     double wall_seconds = 0.0;   ///< measured — NOT part of the determinism contract
     /// Counter-registry snapshot of this replication (sorted by name).
     std::vector<std::pair<std::string, std::uint64_t>> counters;
+    /// Filled only when the replication ran under a non-empty FaultPlan.
+    std::optional<fault::ResilienceReport> resilience;
 };
 
 /// Results of n_reps independent replications of one configuration:
@@ -66,6 +71,15 @@ struct ReplicationSet {
     /// byte-identical for any thread count, like every other aggregate here.
     std::map<std::string, std::uint64_t> counter_totals;
 
+    /// Resilience aggregates, folded in index order like everything else;
+    /// populated (has_resilience = true) only when the set ran under a
+    /// non-empty FaultPlan. avail_during folds only replications that had
+    /// in-fault samples, reacquire_s only those that reacquired.
+    bool has_resilience = false;
+    metrics::RunningStat availability;
+    metrics::RunningStat avail_during;
+    metrics::RunningStat reacquire_s;
+
     /// "mean ± stddev" / "mean ± 95% CI half-width" formatting helpers.
     std::string avg_pm() const;
     std::string steady_pm() const;
@@ -80,11 +94,15 @@ struct ReplicationSet {
 std::uint64_t replication_seed(std::uint64_t master_seed, int index);
 
 /// Runs replication `index` of `config` in the calling thread. When
-/// `result_out` is non-null the full ScenarioResult is moved into it.
+/// `result_out` is non-null the full ScenarioResult is moved into it. A
+/// non-null, non-empty `plan` runs the replication under a FaultInjector and
+/// fills the record's resilience report; a null or empty plan takes exactly
+/// the pre-fault code path.
 ReplicationRecord run_single_replication(
     const core::ScenarioConfig& config, int index,
     sim::Duration warmup_slack = sim::Duration::seconds(5.0),
-    core::ScenarioResult* result_out = nullptr);
+    core::ScenarioResult* result_out = nullptr,
+    const fault::FaultPlan* plan = nullptr);
 
 /// Fans `configs` x n_reps out over a fixed-size thread pool, one
 /// shared-nothing Simulator per replication. Results are byte-identical for
@@ -94,8 +112,22 @@ ReplicationRecord run_single_replication(
 std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& configs,
                                       const ReplicationOptions& options = {});
 
+/// Faulted sweep: `plans[i]` applies to every replication of `configs[i]`
+/// (an empty plan means "no faults for this configuration"). Throws
+/// std::invalid_argument when the sizes differ. The resilience sweep — error
+/// and availability vs crashed anchors or outage duration — is this with
+/// plans built by anchor_crash_plan() etc.
+std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& configs,
+                                      const std::vector<fault::FaultPlan>& plans,
+                                      const ReplicationOptions& options = {});
+
 /// Single-configuration convenience wrapper around run_sweep().
 ReplicationSet run_replications(const core::ScenarioConfig& config,
+                                const ReplicationOptions& options = {});
+
+/// Single-configuration faulted wrapper.
+ReplicationSet run_replications(const core::ScenarioConfig& config,
+                                const fault::FaultPlan& plan,
                                 const ReplicationOptions& options = {});
 
 }  // namespace cocoa::exp

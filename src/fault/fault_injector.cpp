@@ -1,0 +1,289 @@
+#include "fault/fault_injector.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "metrics/cdf.hpp"
+
+namespace cocoa::fault {
+
+namespace {
+
+/// Watchers for reacquisition only make sense in the modes whose agents
+/// count discrete fixes (OdometryOnly has no RF; the EKF fuses continuously).
+bool counts_fixes(core::LocalizationMode mode) {
+    return mode == core::LocalizationMode::RfOnly ||
+           mode == core::LocalizationMode::Combined;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(core::Scenario& scenario, FaultPlan plan)
+    : scenario_(scenario), plan_(std::move(plan)) {
+    plan_.validate();
+    const int n = static_cast<int>(scenario_.agent_count());
+    for (const FaultEvent& e : plan_.events) {
+        if (e.node >= 0 && e.last_node() >= n) {
+            throw std::invalid_argument(
+                "FaultInjector: " + std::string(to_string(e.kind)) + " targets node " +
+                std::to_string(e.last_node()) + " but the scenario has " +
+                std::to_string(n) + " robots");
+        }
+    }
+}
+
+void FaultInjector::arm() {
+    if (armed_) throw std::logic_error("FaultInjector::arm called twice");
+    armed_ = true;
+    if (plan_.empty()) return;  // zero-overhead contract: nothing to do at all
+
+    // Counters appear in the registry only now — an unfaulted run's
+    // --counters output must stay byte-identical to a build without faults.
+    obs::CounterRegistry& reg = scenario_.obs().counters;
+    reg.add("fault.crashes", &stats_.crashes);
+    reg.add("fault.reboots", &stats_.reboots);
+    reg.add("fault.outages", &stats_.outages);
+    reg.add("fault.loss_bursts", &stats_.loss_bursts);
+    reg.add("fault.clock_drifts", &stats_.clock_drifts);
+    reg.add("fault.odometry_degrades", &stats_.odometry_degrades);
+    reg.add("fault.battery_deaths", &stats_.battery_deaths);
+    reg.add("fault.reacquired", &stats_.reacquired);
+    const mac::Medium::Stats& ms = scenario_.world().medium().stats();
+    reg.add("fault.frames_truncated", &ms.frames_truncated);
+    reg.add("fault.rx_dropped", &ms.fault_rx_dropped);
+
+    for (const FaultEvent& e : plan_.events) schedule_event(e);
+}
+
+void FaultInjector::schedule_event(const FaultEvent& event) {
+    sim::Simulator& sim = scenario_.simulator();
+    const sim::TimePoint at = std::max(sim.now(), event.at);
+    const sim::TimePoint until = at + event.duration;
+
+    switch (event.kind) {
+        case FaultKind::Crash:
+            intervals_.emplace_back(at, sim::TimePoint::max());
+            for (int id = event.first_node(); id <= event.last_node(); ++id) {
+                sim.schedule_at(at, [this, id] {
+                    scenario_.world().node(static_cast<net::NodeId>(id)).radio().power_off();
+                    ++stats_.crashes;
+                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "crash",
+                                  static_cast<std::int64_t>(id));
+                });
+            }
+            break;
+
+        case FaultKind::Reboot:
+            intervals_.emplace_back(at, until);
+            for (int id = event.first_node(); id <= event.last_node(); ++id) {
+                sim.schedule_at(at, [this, id] {
+                    scenario_.world().node(static_cast<net::NodeId>(id)).radio().power_off();
+                    ++stats_.crashes;
+                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "crash",
+                                  static_cast<std::int64_t>(id));
+                });
+                sim.schedule_at(until, [this, id] {
+                    const auto nid = static_cast<net::NodeId>(id);
+                    scenario_.world().node(nid).radio().power_on();
+                    if (multicast::MulticastNode* mc = scenario_.multicast_node(nid)) {
+                        mc->reset_soft_state();
+                    }
+                    scenario_.agent(nid).reboot();
+                    ++stats_.reboots;
+                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "reboot",
+                                  static_cast<std::int64_t>(id));
+                    start_reacquire_watch(id);
+                });
+            }
+            break;
+
+        case FaultKind::Outage:
+            intervals_.emplace_back(at, until);
+            for (int id = event.first_node(); id <= event.last_node(); ++id) {
+                sim.schedule_at(at, [this, id] {
+                    mac::Radio& radio =
+                        scenario_.world().node(static_cast<net::NodeId>(id)).radio();
+                    if (radio.is_off()) return;  // already crashed
+                    radio.begin_outage();
+                    ++stats_.outages;
+                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "outage_begin",
+                                  static_cast<std::int64_t>(id));
+                });
+                sim.schedule_at(until, [this, id] {
+                    mac::Radio& radio =
+                        scenario_.world().node(static_cast<net::NodeId>(id)).radio();
+                    if (!radio.in_outage()) return;
+                    radio.end_outage();
+                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "outage_end",
+                                  static_cast<std::int64_t>(id));
+                    start_reacquire_watch(id);
+                });
+            }
+            break;
+
+        case FaultKind::Loss:
+            intervals_.emplace_back(at, until);
+            scenario_.world().medium().add_loss_burst(
+                {at, until, event.drop_prob, event.attenuation_db});
+            sim.schedule_at(at, [this, event] {
+                ++stats_.loss_bursts;
+                scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "loss_begin",
+                              /*id=*/-1,
+                              {{"p", event.drop_prob}, {"db", event.attenuation_db}});
+            });
+            break;
+
+        case FaultKind::ClockDrift:
+            for (int id = event.first_node(); id <= event.last_node(); ++id) {
+                sim.schedule_at(at, [this, id, offset = event.offset_s] {
+                    scenario_.agent(static_cast<net::NodeId>(id))
+                        .inject_clock_offset(offset);
+                    ++stats_.clock_drifts;
+                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "clock_drift",
+                                  static_cast<std::int64_t>(id), {{"s", offset}});
+                });
+            }
+            break;
+
+        case FaultKind::OdometryDegrade:
+            for (int id = event.first_node(); id <= event.last_node(); ++id) {
+                sim.schedule_at(at, [this, id, scale = event.scale] {
+                    scenario_.agent(static_cast<net::NodeId>(id)).degrade_odometry(scale);
+                    ++stats_.odometry_degrades;
+                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "odo_degrade",
+                                  static_cast<std::int64_t>(id), {{"scale", scale}});
+                });
+                if (event.duration > sim::Duration::zero()) {
+                    sim.schedule_at(until, [this, id] {
+                        scenario_.agent(static_cast<net::NodeId>(id)).degrade_odometry(1.0);
+                    });
+                }
+            }
+            break;
+
+        case FaultKind::Battery:
+            for (int id = event.first_node(); id <= event.last_node(); ++id) {
+                schedule_battery_watch(id, event.budget_mj, at);
+            }
+            break;
+    }
+}
+
+void FaultInjector::schedule_battery_watch(int node, double budget_mj,
+                                           sim::TimePoint from) {
+    scenario_.simulator().schedule_at(from, [this, node, budget_mj] {
+        mac::Radio& radio =
+            scenario_.world().node(static_cast<net::NodeId>(node)).radio();
+        if (radio.is_off()) return;  // dead already; stop watching
+        radio.settle_energy();
+        if (radio.meter().total_mj() >= budget_mj) {
+            const sim::TimePoint now = scenario_.simulator().now();
+            radio.power_off();
+            ++stats_.battery_deaths;
+            intervals_.emplace_back(now, sim::TimePoint::max());
+            scenario_.obs().trace.instant(now, "fault", "battery_death",
+                                          static_cast<std::int64_t>(node),
+                                          {{"mj", radio.meter().total_mj()}});
+            return;
+        }
+        schedule_battery_watch(node, budget_mj,
+                               scenario_.simulator().now() + plan_.battery_check);
+    });
+}
+
+void FaultInjector::start_reacquire_watch(int node) {
+    const auto nid = static_cast<net::NodeId>(node);
+    if (scenario_.is_anchor(nid) || !counts_fixes(scenario_.config().mode)) return;
+    ++watches_started_;
+    const sim::TimePoint recovered_at = scenario_.simulator().now();
+    const std::uint64_t fixes_before = scenario_.agent(nid).stats().fixes;
+    // Poll at the metric sampling granularity until the first post-recovery
+    // fix lands; unfinished watches count as never_reacquired in report().
+    const auto poll = [this, nid, recovered_at, fixes_before](const auto& self) -> void {
+        scenario_.simulator().schedule_in(
+            scenario_.config().sample_interval, [this, nid, recovered_at, fixes_before,
+                                                 self] {
+                if (scenario_.agent(nid).stats().fixes > fixes_before) {
+                    ++stats_.reacquired;
+                    reacquire_s_sum_ +=
+                        (scenario_.simulator().now() - recovered_at).to_seconds();
+                    scenario_.obs().trace.instant(
+                        scenario_.simulator().now(), "fault", "reacquired",
+                        static_cast<std::int64_t>(nid));
+                    return;
+                }
+                self(self);
+            });
+    };
+    poll(poll);
+}
+
+ResilienceReport FaultInjector::report(const core::ScenarioResult& result) const {
+    ResilienceReport rep;
+    rep.avail_threshold_m = plan_.avail_threshold_m;
+
+    sim::TimePoint first_strike = sim::TimePoint::max();
+    for (const auto& [start, end] : intervals_) {
+        first_strike = std::min(first_strike, start);
+    }
+    const auto in_fault = [this](sim::TimePoint t) {
+        for (const auto& [start, end] : intervals_) {
+            if (t >= start && t <= end) return true;
+        }
+        return false;
+    };
+
+    std::vector<double> during_errors;
+    std::vector<double> after_errors;
+    std::uint64_t ok_total = 0, ok_before = 0, ok_during = 0, ok_after = 0;
+    // Node order, then sample order: a fixed fold order keeps the report
+    // byte-identical across thread counts, like every exp aggregate.
+    for (const auto& series : result.node_error) {
+        if (series.empty()) continue;  // anchor
+        for (const auto& sample : series.samples()) {
+            const bool ok = sample.value <= plan_.avail_threshold_m;
+            ++rep.samples_total;
+            ok_total += ok;
+            if (sample.time < first_strike) {
+                ++rep.samples_before;
+                ok_before += ok;
+            } else if (in_fault(sample.time)) {
+                ++rep.samples_during;
+                ok_during += ok;
+                during_errors.push_back(sample.value);
+            } else {
+                ++rep.samples_after;
+                ok_after += ok;
+                after_errors.push_back(sample.value);
+            }
+        }
+    }
+    const auto frac = [](std::uint64_t ok, std::uint64_t n) {
+        return n == 0 ? 0.0 : static_cast<double>(ok) / static_cast<double>(n);
+    };
+    rep.availability = frac(ok_total, rep.samples_total);
+    rep.avail_before = frac(ok_before, rep.samples_before);
+    rep.avail_during = frac(ok_during, rep.samples_during);
+    rep.avail_after = frac(ok_after, rep.samples_after);
+
+    if (!during_errors.empty()) {
+        const metrics::Cdf cdf(std::move(during_errors));
+        rep.p50_during_m = cdf.quantile(0.5);
+        rep.p90_during_m = cdf.quantile(0.9);
+    }
+    if (!after_errors.empty()) {
+        const metrics::Cdf cdf(std::move(after_errors));
+        rep.p50_after_m = cdf.quantile(0.5);
+        rep.p90_after_m = cdf.quantile(0.9);
+    }
+
+    rep.reacquired = stats_.reacquired;
+    rep.never_reacquired = watches_started_ - stats_.reacquired;
+    rep.mean_reacquire_s =
+        stats_.reacquired == 0
+            ? 0.0
+            : reacquire_s_sum_ / static_cast<double>(stats_.reacquired);
+    return rep;
+}
+
+}  // namespace cocoa::fault

@@ -9,7 +9,9 @@
 
 namespace cocoa::mac {
 
-/// One frame in flight on the shared medium. Immutable once created;
+/// One frame in flight on the shared medium. Immutable once created —
+/// except when its transmitter dies mid-frame, which pulls `end` forward and
+/// sets `truncated` (Medium::truncate_transmission, the only writer);
 /// per-receiver outcomes (collision corruption) live in the receivers.
 struct AirFrame {
     net::Packet packet;
@@ -17,6 +19,9 @@ struct AirFrame {
     geom::Vec2 sender_position;  ///< at transmission start
     sim::TimePoint start;
     sim::TimePoint end;
+    /// The transmitter died mid-frame: the frame stopped at `end` (earlier
+    /// than the scheduled airtime) and no receiver can decode it.
+    bool truncated = false;
     /// Per-receiver carrier-sense verdict, indexed by medium attach order,
     /// fixed at transmission start from the same sampled RSSI the live
     /// receive path uses. Radios that wake mid-frame consult this instead of

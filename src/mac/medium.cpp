@@ -12,7 +12,8 @@ Medium::Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig co
     : sim_(sim),
       channel_(channel),
       config_(config),
-      rssi_seed_base_(sim.rng().derive_seed("medium.rssi", 0)) {
+      rssi_seed_base_(sim.rng().derive_seed("medium.rssi", 0)),
+      loss_seed_base_(sim.rng().derive_seed("fault.loss", 0)) {
     obs_.counters.add("medium.frames_sent", &stats_.frames_sent);
     obs_.counters.add("medium.missed_asleep", &stats_.missed_asleep);
     // Inflate the influence radius by a hair so the bisection rounding in
@@ -83,6 +84,11 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
     const std::uint64_t frame_key =
         sim::splitmix64_mix(rssi_seed_base_ ^ sim::splitmix64_mix(frame_seq_++));
 
+    // Fault-injected loss bursts covering this frame's start (none on the
+    // default path: loss_ stays empty unless a FaultInjector armed bursts).
+    phy::LossSchedule::Effect loss_effect;
+    if (!loss_.empty()) loss_effect = loss_.effect_at(start);
+
     // Sample each visited receiver's RSSI and fix the carrier-sense verdicts
     // on the frame, so a radio that wakes mid-flight reads the same answer
     // the live path acted on. Culled (out-of-influence) radios keep the 0
@@ -98,7 +104,26 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
         const double dist = geom::distance(r->position(), tx_pos);
         sim::SplitMix64 rng(sim::splitmix64_mix(
             frame_key ^ sim::splitmix64_mix(static_cast<std::uint64_t>(r->id()) + 0x51ed2701)));
-        const double rssi = channel_.sample_rssi_dbm(dist, rng);
+        double rssi = channel_.sample_rssi_dbm(dist, rng);
+        if (loss_effect.active) {
+            rssi -= loss_effect.attenuation_db;
+            if (loss_effect.drop_prob > 0.0) {
+                // Counter-based drop draw keyed like the RSSI draw (its own
+                // base seed): dropping receiver i is a pure function of
+                // (medium seed, frame number, receiver id), independent of
+                // culling and of every other receiver's draw.
+                sim::SplitMix64 drop_rng(sim::splitmix64_mix(
+                    loss_seed_base_ ^ frame_key ^
+                    sim::splitmix64_mix(static_cast<std::uint64_t>(r->id()) + 0x7b2ec997)));
+                const double u = static_cast<double>(drop_rng() >> 11) * 0x1.0p-53;
+                if (u < loss_effect.drop_prob) {
+                    // The frame never exists for this receiver: not sensed,
+                    // not decodable, invisible to a wake-time rebuild too.
+                    ++stats_.fault_rx_dropped;
+                    return;
+                }
+            }
+        }
         rssi_scratch_[i] = rssi;
         if (channel_.sensed(rssi)) {
             sensed[i] = 1;
@@ -133,8 +158,8 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
     stats_.radios_visited += visited;
     stats_.radios_culled += static_cast<std::uint64_t>(radios_.size()) - 1 - visited;
 
-    auto frame = std::make_shared<const AirFrame>(
-        AirFrame{packet, sender.id(), tx_pos, start, end, std::move(sensed)});
+    auto frame = std::make_shared<AirFrame>(
+        AirFrame{packet, sender.id(), tx_pos, start, end, false, std::move(sensed)});
     active_.push_back(frame);
     ++stats_.frames_sent;
     obs_.trace.complete(start, end, "mac", "frame",
@@ -148,12 +173,35 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
         // Carrier sensing and receiver lock-on take a CCA delay; radio state
         // is re-checked at that point (the radio may have slept meanwhile).
         sim_.schedule_in(config_.cca_delay, [this, r, frame, rssi_i, decodable] {
+            // A frame whose transmitter died within the CCA window never
+            // registers at the receiver (its end may already be in the past).
+            if (frame->truncated) return;
             if (!r->awake()) {
                 if (decodable) ++stats_.missed_asleep;
                 return;
             }
             r->on_frame_start(frame, rssi_i, decodable);
         });
+    }
+}
+
+void Medium::truncate_transmission(Radio& sender) {
+    const sim::TimePoint now = sim_.now();
+    for (const auto& frame : active_) {
+        if (frame->sender != sender.id() || frame->end <= now || frame->truncated) {
+            continue;
+        }
+        frame->truncated = true;
+        frame->end = now;
+        ++stats_.frames_truncated;
+        obs_.trace.instant(now, "mac", "frame_truncated",
+                           static_cast<std::int64_t>(sender.id()));
+        // Tell every other radio the air went quiet early: carrier sense
+        // shortens, and a receiver locked on this frame aborts its decode.
+        for (Radio* r : radios_) {
+            if (r == &sender) continue;
+            r->on_frame_truncated(frame);
+        }
     }
 }
 

@@ -8,6 +8,7 @@
 #include "mac/airframe.hpp"
 #include "obs/obs.hpp"
 #include "phy/channel.hpp"
+#include "phy/loss.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -52,6 +53,12 @@ class Medium {
         /// culling on and off. Tests read them through stats() instead.
         std::uint64_t radios_visited = 0;
         std::uint64_t radios_culled = 0;
+        /// In-flight frames cut short by their transmitter dying, and
+        /// receptions suppressed by a fault-injected loss burst. Registered
+        /// (as fault.*) only when a FaultInjector arms a non-empty plan, so
+        /// the off-path `--counters` output is unchanged.
+        std::uint64_t frames_truncated = 0;
+        std::uint64_t fault_rx_dropped = 0;
     };
 
     Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig config = {});
@@ -66,6 +73,19 @@ class Medium {
     /// Radio::begin_tx only.
     void begin_transmission(Radio& sender, const net::Packet& packet,
                             sim::Duration airtime);
+
+    /// Cuts `sender`'s in-flight frame short at the current time (the
+    /// transmitter died or dropped into an outage): the frame becomes
+    /// undecodable, every other radio's carrier-sense state is rebuilt, and
+    /// receivers locked on it abort (counted as rx_aborted). No-op when the
+    /// sender has no frame in flight.
+    void truncate_transmission(Radio& sender);
+
+    /// Adds a fault-injected loss burst: while it lasts, every propagated
+    /// frame is attenuated and/or dropped per receiver (counter-based draws,
+    /// so determinism is unaffected). Fault path only — with no bursts the
+    /// transmission path is byte-identical to a build without this feature.
+    void add_loss_burst(const phy::LossBurst& burst) { loss_.add(burst); }
 
     /// Latest end time of any in-flight frame whose *sampled* power reached
     /// the carrier-sense threshold at `listener` (the verdict recorded on the
@@ -103,13 +123,19 @@ class Medium {
     phy::Channel channel_;
     MediumConfig config_;
     std::vector<Radio*> radios_;
-    std::vector<std::shared_ptr<const AirFrame>> active_;
+    /// Non-const so truncate_transmission can pull a frame's end forward;
+    /// radios only ever see shared_ptr<const AirFrame>.
+    std::vector<std::shared_ptr<AirFrame>> active_;
     /// Base seed of the counter-based per-(frame, receiver) RSSI draws; mixed
     /// with the frame sequence number and the receiver id, so a draw depends
     /// only on *which* frame reaches *which* radio — never on attach order or
     /// on how many other radios were sampled before it.
     std::uint64_t rssi_seed_base_ = 0;
+    /// Same scheme for the per-(frame, receiver) loss-burst drop draws,
+    /// under its own base seed so loss draws never correlate with RSSI.
+    std::uint64_t loss_seed_base_ = 0;
     std::uint64_t frame_seq_ = 0;
+    phy::LossSchedule loss_;
     Stats stats_;
     obs::Obs obs_;
 

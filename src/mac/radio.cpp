@@ -94,7 +94,9 @@ void Radio::begin_tx() {
 }
 
 void Radio::end_tx() {
-    if (state_ == energy::RadioState::Off) return;  // died mid-transmission
+    // Only a transmission that actually completed counts: power_off and
+    // begin_outage truncate the frame and leave the radio Off/Sleep.
+    if (state_ != energy::RadioState::Tx) return;
     ++stats_.tx_frames;
     set_state(energy::RadioState::Idle);
     csma_pending_ = false;
@@ -182,8 +184,23 @@ void Radio::sleep() {
                                 static_cast<std::int64_t>(id_));
 }
 
+void Radio::on_frame_truncated(const std::shared_ptr<const AirFrame>& frame) {
+    if (!awake()) return;  // asleep/off radios rebuild sense on wake anyway
+    // The air went quiet early; re-derive carrier sense from what is still
+    // in flight (the truncated frame no longer counts).
+    sensed_until_ = std::max(sim_.now(), medium_.sensed_until_for(*this));
+    if (lock_.has_value() && lock_->frame == frame) {
+        lock_.reset();
+        ++stats_.rx_aborted;
+        medium_.obs().trace.instant(sim_.now(), "mac", "rx_abort",
+                                    static_cast<std::int64_t>(id_));
+        set_state(energy::RadioState::Idle);
+        try_start_csma();
+    }
+}
+
 void Radio::wake() {
-    if (awake() || state_ == energy::RadioState::Off) return;
+    if (awake() || state_ == energy::RadioState::Off || outage_) return;
     set_state(energy::RadioState::Idle);
     sensed_until_ = medium_.sensed_until_for(*this);
     medium_.obs().trace.instant(sim_.now(), "mac", "wake",
@@ -194,9 +211,10 @@ void Radio::wake() {
 void Radio::power_off() {
     if (state_ == energy::RadioState::Off) return;
     if (state_ == energy::RadioState::Tx) {
-        // The frame dies with the radio; receivers simply stop decoding it
-        // (modelled as-is: the in-flight frame still completes on the
-        // medium, an acceptable simplification for failure injection).
+        // The frame dies with the radio: truncate it on the medium so
+        // receivers stop decoding (and abort any lock) instead of receiving
+        // from a corpse.
+        medium_.truncate_transmission(*this);
     }
     if (lock_.has_value()) {
         lock_.reset();
@@ -206,9 +224,54 @@ void Radio::power_off() {
         sim_.cancel(attempt_event_);
         attempt_event_ = sim::EventId{};
     }
+    outage_ = false;
     csma_pending_ = false;
     queue_.clear();
     set_state(energy::RadioState::Off);
+}
+
+void Radio::power_on() {
+    if (state_ != energy::RadioState::Off) return;
+    outage_ = false;
+    set_state(energy::RadioState::Idle);
+    sensed_until_ = medium_.sensed_until_for(*this);
+    medium_.obs().trace.instant(sim_.now(), "mac", "power_on",
+                                static_cast<std::int64_t>(id_));
+    try_start_csma();
+}
+
+void Radio::begin_outage() {
+    if (outage_ || state_ == energy::RadioState::Off) return;
+    outage_ = true;
+    if (state_ == energy::RadioState::Tx) {
+        medium_.truncate_transmission(*this);
+    }
+    if (lock_.has_value()) {
+        lock_.reset();
+        ++stats_.rx_aborted;
+        medium_.obs().trace.instant(sim_.now(), "mac", "rx_abort",
+                                    static_cast<std::int64_t>(id_));
+    }
+    if (attempt_event_.valid()) {
+        sim_.cancel(attempt_event_);
+        attempt_event_ = sim::EventId{};
+    }
+    csma_pending_ = false;
+    queue_.clear();
+    set_state(energy::RadioState::Sleep);
+    medium_.obs().trace.instant(sim_.now(), "mac", "outage_begin",
+                                static_cast<std::int64_t>(id_));
+}
+
+void Radio::end_outage() {
+    if (!outage_) return;
+    outage_ = false;
+    if (state_ == energy::RadioState::Off) return;  // crashed during the outage
+    set_state(energy::RadioState::Idle);
+    sensed_until_ = medium_.sensed_until_for(*this);
+    medium_.obs().trace.instant(sim_.now(), "mac", "outage_end",
+                                static_cast<std::int64_t>(id_));
+    try_start_csma();
 }
 
 }  // namespace cocoa::mac

@@ -77,10 +77,26 @@ class Radio {
     void wake();
 
     /// Permanently powers the radio off (robot failure / battery death):
-    /// like sleep, but wake() no longer revives it. Used by failure-injection
-    /// experiments.
+    /// like sleep, but wake() no longer revives it. An in-flight frame is
+    /// truncated on the medium (receivers abort decode). Used by
+    /// failure-injection experiments.
     void power_off();
     bool is_off() const { return state_ == energy::RadioState::Off; }
+
+    /// Revives a powered-off radio (crash-with-reboot fault): back to Idle
+    /// with carrier-sense state rebuilt from the frames currently in flight.
+    /// No-op unless the radio is off.
+    void power_on();
+
+    /// Begins a transient radio outage (hardware brown-out, antenna fault):
+    /// like sleep — an in-flight transmission is truncated, a reception
+    /// aborts, the queue drops — but wake() cannot revive it until
+    /// end_outage(). No-op when the radio is off.
+    void begin_outage();
+    /// Ends the outage; the radio returns to Idle (unless it was off) and
+    /// resumes CSMA. No-op when no outage is in progress.
+    void end_outage();
+    bool in_outage() const { return outage_; }
 
     const energy::EnergyMeter& meter() const { return meter_; }
     /// Closes energy accounting through the current simulation time.
@@ -95,6 +111,10 @@ class Radio {
     /// started; `decodable` means it also reaches the receive sensitivity.
     void on_frame_start(const std::shared_ptr<const AirFrame>& frame, double rssi_dbm,
                         bool decodable);
+
+    /// `frame`'s transmitter died mid-frame: carrier sense is rebuilt, and a
+    /// reception locked on the frame aborts (counted as rx_aborted).
+    void on_frame_truncated(const std::shared_ptr<const AirFrame>& frame);
 
   private:
     void set_state(energy::RadioState next);
@@ -123,6 +143,7 @@ class Radio {
     ReceiveHandler handler_;
 
     std::deque<net::Packet> queue_;
+    bool outage_ = false;  ///< transient fault: asleep and wake()-proof
     bool csma_pending_ = false;
     sim::EventId attempt_event_;
     sim::TimePoint sensed_until_;

@@ -55,6 +55,14 @@ class OdometryEstimator {
     /// This robot's persistent velocity bias (diagnostics).
     geom::Vec2 velocity_bias() const { return bias_; }
 
+    /// Multiplies every noise sigma (displacement, angular, drift) from now
+    /// on — fault injection for a degrading encoder/IMU. The persistent
+    /// velocity bias is calibration, not noise, and is unaffected. Throws
+    /// std::invalid_argument unless scale > 0; 1.0 restores nominal noise
+    /// bit-exactly.
+    void set_noise_scale(double scale);
+    double noise_scale() const { return noise_scale_; }
+
   private:
     OdometryConfig config_;
     sim::RandomStream rng_;
@@ -62,6 +70,7 @@ class OdometryEstimator {
     geom::Vec2 bias_;  ///< drawn once; deliberately NOT cleared by reset()
     double heading_ = 0.0;
     double distance_ = 0.0;
+    double noise_scale_ = 1.0;
 };
 
 }  // namespace cocoa::mobility

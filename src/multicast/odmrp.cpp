@@ -250,6 +250,24 @@ bool MulticastNode::is_forwarder(net::GroupId group) const {
     return it != forwarder_until_.end() && node_.simulator().now() < it->second;
 }
 
+void MulticastNode::reset_soft_state() {
+    for (auto& [key, round] : rounds_) {
+        if (round.decision_event.valid()) {
+            node_.simulator().cancel(round.decision_event);
+        }
+    }
+    rounds_.clear();
+    for (auto& [key, pending] : pending_forwards_) {
+        if (pending.event.valid()) {
+            node_.simulator().cancel(pending.event);
+        }
+    }
+    pending_forwards_.clear();
+    replied_seq_.clear();
+    forwarder_until_.clear();
+    data_seen_.clear();
+}
+
 void MulticastNode::send_data(net::GroupId group,
                               std::shared_ptr<const net::Packet> inner) {
     auto it = sources_.find(group);

@@ -104,6 +104,14 @@ class MulticastNode {
     /// True while this node holds forwarding-group soft state for `group`.
     bool is_forwarder(net::GroupId group) const;
 
+    /// Drops all volatile protocol state, as a real reboot would: pending
+    /// upstream decisions and forward timers are cancelled; forwarding-group
+    /// membership, reply history and the data-dedup cache are cleared. Group
+    /// membership and active-source roles (with their sequence counters)
+    /// survive — they are configuration, and a rebooted source re-using old
+    /// seqs would collide with copies still cached at receivers.
+    void reset_soft_state();
+
     const Stats& stats() const { return stats_; }
     net::NodeId id() const { return node_.id(); }
 

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <vector>
+
+#include "sim/time.hpp"
+
+namespace cocoa::phy {
+
+/// A timed medium-level degradation: while [start, end) is in effect every
+/// propagated frame loses `attenuation_db` of receive power at each receiver
+/// and is additionally dropped per receiver with probability `drop_prob`
+/// (independent counter-based draws, so determinism survives culling and
+/// thread count). Models jamming, duty-cycled interferers, weather fades.
+struct LossBurst {
+    sim::TimePoint start;
+    sim::TimePoint end;
+    double drop_prob = 0.0;
+    double attenuation_db = 0.0;
+};
+
+/// The set of loss bursts affecting a medium. Bursts may overlap: drop
+/// probabilities combine independently (p = 1 - prod(1 - p_i)) and
+/// attenuations add, as independent interferers would.
+class LossSchedule {
+  public:
+    struct Effect {
+        bool active = false;
+        double drop_prob = 0.0;
+        double attenuation_db = 0.0;
+    };
+
+    void add(const LossBurst& burst) { bursts_.push_back(burst); }
+    bool empty() const { return bursts_.empty(); }
+    const std::vector<LossBurst>& bursts() const { return bursts_; }
+
+    /// Combined effect of every burst covering time `t`.
+    Effect effect_at(sim::TimePoint t) const {
+        Effect effect;
+        double pass = 1.0;
+        for (const LossBurst& b : bursts_) {
+            if (t < b.start || t >= b.end) continue;
+            effect.active = true;
+            pass *= 1.0 - b.drop_prob;
+            effect.attenuation_db += b.attenuation_db;
+        }
+        if (effect.active) effect.drop_prob = 1.0 - pass;
+        return effect;
+    }
+
+  private:
+    std::vector<LossBurst> bursts_;
+};
+
+}  // namespace cocoa::phy

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "core/scenario.hpp"
 
 namespace cocoa::core {
@@ -43,7 +45,14 @@ TEST(Failure, DeadAnchorStopsBeaconing) {
 
 TEST(Failure, TeamSurvivesAnchorLoss) {
     // Losing a couple of anchors degrades but does not break localization.
-    ScenarioConfig c = base_config();
+    // The bound is relative to a same-seed fault-free run — an absolute
+    // threshold flaked whenever the seed drew an unlucky geometry, because
+    // the unlucky draw inflates faulted and unfaulted error alike.
+    const ScenarioConfig c = base_config();
+    const double base_err =
+        run_scenario(c).avg_error.mean_in(TimePoint::from_seconds(120.0),
+                                          TimePoint::from_seconds(601.0));
+
     Scenario s(c);
     s.run_until(TimePoint::from_seconds(60.0));
     s.world().node(3).radio().power_off();
@@ -52,7 +61,8 @@ TEST(Failure, TeamSurvivesAnchorLoss) {
     const auto r = s.result();
     const double late_err = r.avg_error.mean_in(TimePoint::from_seconds(120.0),
                                                 TimePoint::from_seconds(601.0));
-    EXPECT_LT(late_err, 30.0);
+    EXPECT_LT(late_err, std::max(3.0 * base_err, base_err + 10.0))
+        << "fault-free baseline was " << base_err << " m";
     EXPECT_GT(r.agent_totals.fixes, 0u);
 }
 

@@ -552,5 +552,35 @@ TEST(MediumCulling, CulledRunIsBitIdenticalToUnculled) {
     EXPECT_EQ(counters[0], counters[1]);
 }
 
+TEST_F(MacFixture, PowerOffMidFrameTruncatesOnAir) {
+    // A transmitter dying mid-frame takes the frame off the air: receivers
+    // locked onto it abort (rx_aborted) instead of decoding a ghost of a
+    // transmission that physically stopped.
+    Radio& tx = add_radio({0.0, 0.0}, zero_backoff());
+    Radio& rx = add_radio({20.0, 0.0});
+    std::uint64_t delivered = 0;
+    rx.set_receive_handler([&](const Packet&, const RxInfo&) { ++delivered; });
+
+    const Packet big = test_packet(7, 10'000);  // ~40 ms on air at 2 Mb/s
+    sim_.schedule_at(TimePoint::from_seconds(1.0), [&] { tx.send(big); });
+    // 5 ms in: CSMA is long done, the frame is mid-air, rx is locked.
+    sim_.schedule_at(TimePoint::from_seconds(1.005), [&] {
+        EXPECT_EQ(tx.state(), RadioState::Tx);
+        tx.power_off();
+    });
+    sim_.run();
+
+    EXPECT_TRUE(tx.is_off());
+    EXPECT_EQ(medium_.stats().frames_truncated, 1u);
+    EXPECT_EQ(delivered, 0u);
+    EXPECT_EQ(rx.stats().rx_delivered, 0u);
+    EXPECT_EQ(rx.stats().rx_aborted, 1u);
+    // The dead air is immediately usable: a later frame still delivers.
+    Radio& tx2 = add_radio({0.0, 40.0}, zero_backoff());
+    sim_.schedule_at(TimePoint::from_seconds(2.0), [&] { tx2.send(test_packet(8)); });
+    sim_.run();
+    EXPECT_EQ(rx.stats().rx_delivered, 1u);
+}
+
 }  // namespace
 }  // namespace cocoa::mac

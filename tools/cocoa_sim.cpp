@@ -19,6 +19,8 @@
 #include "cli/args.hpp"
 #include "core/scenario.hpp"
 #include "exp/replication.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
 #include "metrics/table.hpp"
 #include "obs/obs.hpp"
 
@@ -39,6 +41,30 @@ void print_counters(const std::vector<std::pair<std::string, std::uint64_t>>& sn
         table.add_row({name, std::to_string(value)});
     }
     std::cout << "\ncounters (summed over nodes):\n";
+    table.print(std::cout);
+}
+
+/// Single-run resilience table, printed only when a fault plan was active —
+/// an unfaulted run's output stays byte-identical to the pre-fault tool.
+void print_resilience(const fault::ResilienceReport& rep) {
+    const auto opt_fmt = [](const std::optional<double>& v) {
+        return v ? metrics::fmt(*v) : std::string("-");
+    };
+    metrics::Table table({"resilience metric", "value"});
+    table.add_row({"availability (err <= " + metrics::fmt(rep.avail_threshold_m) + " m)",
+                   metrics::fmt(rep.availability)});
+    table.add_row({"  before first fault", metrics::fmt(rep.avail_before)});
+    table.add_row({"  during fault intervals", metrics::fmt(rep.avail_during)});
+    table.add_row({"  after recovery", metrics::fmt(rep.avail_after)});
+    table.add_row({"error p50/p90 during (m)",
+                   opt_fmt(rep.p50_during_m) + " / " + opt_fmt(rep.p90_during_m)});
+    table.add_row({"error p50/p90 after (m)",
+                   opt_fmt(rep.p50_after_m) + " / " + opt_fmt(rep.p90_after_m)});
+    table.add_row({"mean time to reacquire (s)", metrics::fmt(rep.mean_reacquire_s)});
+    table.add_row({"reacquired / never",
+                   std::to_string(rep.reacquired) + " / " +
+                       std::to_string(rep.never_reacquired)});
+    std::cout << "\nresilience:\n";
     table.print(std::cout);
 }
 
@@ -69,6 +95,10 @@ int main(int argc, char** argv) {
     bool profile = false;
     int reps = 1;
     int threads = 0;
+    std::string fault_spec;
+    std::string fault_file;
+    double avail_threshold_m = 10.0;
+    int resilience_sweep = -1;
 
     cli::ArgParser parser("cocoa_sim", "CoCoA mobile-robot localization simulator");
     parser.add_option("robots", "team size (default 50)", &robots)
@@ -113,7 +143,22 @@ int main(int argc, char** argv) {
         .add_option("threads",
                     "worker threads for --reps; 0 = all hardware threads "
                     "(default 0)",
-                    &threads, 0, 4096);
+                    &threads, 0, 4096)
+        .add_option("fault",
+                    "inject faults: ';'-separated specs like "
+                    "'crash@300:node=3;loss@600+60:p=0.5' (see docs/faults.md)",
+                    &fault_spec)
+        .add_option("fault-file",
+                    "read fault specs from <file> (one per line, # comments)",
+                    &fault_file)
+        .add_option("avail-threshold",
+                    "error bound in metres for the availability metric "
+                    "(default 10)",
+                    &avail_threshold_m)
+        .add_option("resilience-sweep",
+                    "crash 0..K anchors at 25% of the run and tabulate error/"
+                    "availability per K (uses --reps/--threads)",
+                    &resilience_sweep, 0, 1000);
     if (!parser.parse(argc, argv, std::cout, std::cerr)) {
         return parser.failed() ? 2 : 0;
     }
@@ -158,6 +203,28 @@ int main(int argc, char** argv) {
         return fail("unknown --technique '" + technique + "' (bayes | centroid | ls)");
     }
 
+    fault::FaultPlan plan;
+    try {
+        if (!fault_file.empty()) {
+            plan = fault::FaultPlan::parse_file(fault_file);
+        }
+        if (!fault_spec.empty()) {
+            fault::FaultPlan from_spec = fault::FaultPlan::parse(fault_spec);
+            plan.events.insert(plan.events.end(), from_spec.events.begin(),
+                               from_spec.events.end());
+        }
+        plan.avail_threshold_m = avail_threshold_m;
+        plan.validate();
+    } catch (const std::exception& e) {
+        return fail(e.what());
+    }
+    if (resilience_sweep >= 0 && !plan.empty()) {
+        return fail("--resilience-sweep builds its own plans; drop --fault/--fault-file");
+    }
+    if (resilience_sweep > anchors) {
+        return fail("--resilience-sweep cannot crash more anchors than --anchors");
+    }
+
     if (pos_trace_interval_s > 0.0 && csv_prefix.empty()) {
         return fail("--pos-trace requires --csv <prefix>");
     }
@@ -177,6 +244,58 @@ int main(int argc, char** argv) {
         obs::Profiler::set_enabled(true);
     }
 
+    if (resilience_sweep >= 0) {
+        // Crash k = 0..K of the anchors (highest ids first) at 25% of the
+        // run; same seeds per k, so rows differ only by the injected faults.
+        exp::ReplicationOptions opt;
+        opt.n_reps = reps;
+        opt.n_threads = threads;
+        const sim::TimePoint strike =
+            sim::TimePoint::origin() + sim::Duration::seconds(duration_s * 0.25);
+        std::vector<core::ScenarioConfig> configs;
+        std::vector<fault::FaultPlan> plans;
+        for (int k = 0; k <= resilience_sweep; ++k) {
+            configs.push_back(config);
+            fault::FaultPlan p = fault::anchor_crash_plan(anchors, k, strike);
+            p.avail_threshold_m = avail_threshold_m;
+            plans.push_back(std::move(p));
+        }
+        std::vector<exp::ReplicationSet> sets;
+        try {
+            config.validate();
+            sets = exp::run_sweep(configs, plans, opt);
+        } catch (const std::exception& e) {
+            return fail(e.what());
+        }
+
+        metrics::Table table({"crashed anchors", "steady err (m)", "avail",
+                              "avail during", "reacquire (s)"});
+        for (int k = 0; k <= resilience_sweep; ++k) {
+            const exp::ReplicationSet& set = sets[static_cast<std::size_t>(k)];
+            table.add_row(
+                {std::to_string(k), set.steady_ci(),
+                 set.has_resilience ? metrics::fmt(set.availability.mean()) : "-",
+                 set.avail_during.count() > 0 ? metrics::fmt(set.avail_during.mean())
+                                              : "-",
+                 set.reacquire_s.count() > 0 ? metrics::fmt(set.reacquire_s.mean())
+                                             : "-"});
+        }
+        std::cout << "resilience sweep: " << reps << " reps per point, anchors"
+                  << " crashed at t=" << duration_s * 0.25 << " s, availability"
+                  << " threshold " << avail_threshold_m << " m\n";
+        table.print(std::cout);
+        if (!csv_prefix.empty()) {
+            std::ofstream out(csv_prefix + "_resilience.csv");
+            if (!out) return fail("cannot write " + csv_prefix + "_resilience.csv");
+            table.print_csv(out);
+            std::cout << "wrote " << csv_prefix << "_resilience.csv\n";
+        }
+        if (profile) {
+            obs::Profiler::instance().report(std::cerr);
+        }
+        return 0;
+    }
+
     if (reps > 1) {
         exp::ReplicationOptions opt;
         opt.n_reps = reps;
@@ -184,7 +303,7 @@ int main(int argc, char** argv) {
         exp::ReplicationSet set;
         try {
             config.validate();
-            set = exp::run_replications(config, opt);
+            set = exp::run_replications(config, plan, opt);
         } catch (const std::exception& e) {
             return fail(e.what());
         }
@@ -214,6 +333,15 @@ int main(int argc, char** argv) {
         stat_row("avg localization error (m)", set.avg_error);
         stat_row("steady-state error (m)", set.steady_error);
         stat_row("team energy (kJ)", set.total_energy_kj);
+        if (set.has_resilience) {
+            stat_row("availability", set.availability);
+            if (set.avail_during.count() > 0) {
+                stat_row("availability during faults", set.avail_during);
+            }
+            if (set.reacquire_s.count() > 0) {
+                stat_row("time to reacquire (s)", set.reacquire_s);
+            }
+        }
         aggregate.print(std::cout);
 
         if (show_counters) {
@@ -238,9 +366,17 @@ int main(int argc, char** argv) {
 
     core::ScenarioResult result;
     std::optional<core::Scenario> scenario;
+    std::optional<fault::FaultInjector> injector;
     try {
         config.validate();
         scenario.emplace(config);
+        if (!plan.empty()) {
+            injector.emplace(*scenario, plan);
+            injector->arm();
+            if (!quiet) {
+                std::cout << "fault plan:\n" << plan.summary();
+            }
+        }
         if (pos_trace_interval_s > 0.0) {
             scenario->enable_position_trace(
                 sim::Duration::seconds(pos_trace_interval_s));
@@ -282,6 +418,9 @@ int main(int argc, char** argv) {
     summary.add_row({"events executed", std::to_string(result.executed_events)});
     summary.print(std::cout);
 
+    if (injector) {
+        print_resilience(injector->report(result));
+    }
     if (show_counters) {
         print_counters(result.counters);
     }
