@@ -1,7 +1,11 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the simulator and
 // the localization core, plus one end-to-end fig7 scenario. The custom main
-// captures every result and writes the perf-regression artifact BENCH_3.json
+// captures every result and writes the perf-regression artifact BENCH_5.json
 // (path override: COCOA_BENCH_JSON) via bench/perf_json.hpp.
+//
+// The BM_EventQueue_* benchmarks run the same workload against both kernel
+// implementations (`_legacy` suffix = the tombstone oracle); the churn pair
+// is the acceptance ratio the kernel overhaul tracks (new >= 2x legacy).
 
 #include <benchmark/benchmark.h>
 
@@ -53,6 +57,105 @@ void BM_EventQueueScheduleAndPop(benchmark::State& state) {
     state.SetItemsProcessed(state.iterations() * 64);
 }
 BENCHMARK(BM_EventQueueScheduleAndPop);
+
+// ---- kernel benchmarks, run identically against both queue implementations
+
+/// Pure scheduling throughput into a standing queue of `range(0)` events.
+template <typename Queue>
+void event_queue_schedule(benchmark::State& state) {
+    const int depth = static_cast<int>(state.range(0));
+    Queue q;
+    sim::RandomStream rng(1);
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < depth; ++i) {
+            q.schedule(sim::TimePoint::from_nanos(t + rng.uniform_int(0, 1'000'000)),
+                       [] {});
+            t += 7;
+        }
+        while (!q.empty()) benchmark::DoNotOptimize(q.pop());
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+void BM_EventQueue_schedule(benchmark::State& state) {
+    event_queue_schedule<sim::EventQueue>(state);
+}
+void BM_EventQueue_schedule_legacy(benchmark::State& state) {
+    event_queue_schedule<sim::LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventQueue_schedule)->Arg(256);
+BENCHMARK(BM_EventQueue_schedule_legacy)->Arg(256);
+
+/// Cancel-heavy path: every scheduled event is cancelled before it fires,
+/// the way carrier-sense timers are perpetually reset. next_time() after the
+/// cancels charges the legacy queue its deferred drop_dead() sweep.
+template <typename Queue>
+void event_queue_cancel(benchmark::State& state) {
+    const int depth = static_cast<int>(state.range(0));
+    Queue q;
+    std::vector<sim::EventId> ids(static_cast<std::size_t>(depth));
+    std::int64_t t = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < depth; ++i) {
+            ids[static_cast<std::size_t>(i)] =
+                q.schedule(sim::TimePoint::from_nanos(t + 1'000 + i), [] {});
+        }
+        for (int i = 0; i < depth; ++i) {
+            q.cancel(ids[static_cast<std::size_t>(i)]);
+        }
+        benchmark::DoNotOptimize(q.next_time());
+        t += 2'000;
+    }
+    state.SetItemsProcessed(state.iterations() * depth);
+}
+void BM_EventQueue_cancel(benchmark::State& state) {
+    event_queue_cancel<sim::EventQueue>(state);
+}
+void BM_EventQueue_cancel_legacy(benchmark::State& state) {
+    event_queue_cancel<sim::LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventQueue_cancel)->Arg(256);
+BENCHMARK(BM_EventQueue_cancel_legacy)->Arg(256);
+
+/// The acceptance-criteria mix: schedule + cancel + pop churn over a
+/// standing working set, the shape MAC backoff/carrier-sense traffic gives
+/// the kernel. Each round reschedules a timer (schedule then cancel the
+/// stale copy) and fires one event.
+template <typename Queue>
+void event_queue_churn(benchmark::State& state) {
+    const int working_set = static_cast<int>(state.range(0));
+    Queue q;
+    std::vector<sim::EventId> timers(static_cast<std::size_t>(working_set));
+    std::int64_t now = 0;
+    // Standing timers the churn perpetually resets.
+    for (int i = 0; i < working_set; ++i) {
+        timers[static_cast<std::size_t>(i)] =
+            q.schedule(sim::TimePoint::from_nanos(1'000'000 + i), [] {});
+    }
+    std::size_t cursor = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            // Reset one standing timer: cancel the old instance, schedule the
+            // replacement further out, fire whatever is due next.
+            q.cancel(timers[cursor]);
+            now += 50;
+            timers[cursor] =
+                q.schedule(sim::TimePoint::from_nanos(now + 1'500'000), [] {});
+            q.schedule(sim::TimePoint::from_nanos(now + 10), [] {});
+            benchmark::DoNotOptimize(q.pop());
+            cursor = (cursor + 1) % timers.size();
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64 * 3);  // schedule+cancel+pop
+}
+void BM_EventQueue_churn(benchmark::State& state) {
+    event_queue_churn<sim::EventQueue>(state);
+}
+void BM_EventQueue_churn_legacy(benchmark::State& state) {
+    event_queue_churn<sim::LegacyEventQueue>(state);
+}
+BENCHMARK(BM_EventQueue_churn)->Arg(256);
+BENCHMARK(BM_EventQueue_churn_legacy)->Arg(256);
 
 // The radial-kernel fast path and the sqrt+exp reference path, at three grid
 // resolutions (the range arg is the cell side in metres). The ratio between
@@ -141,6 +244,41 @@ void BM_MediumFanout(benchmark::State& state) {
 }
 BENCHMARK(BM_MediumFanout)
     ->ArgsProduct({{64, 256, 1024}, {0, 1}});
+
+// Steady-state beacon traffic through a dense 16-radio cell: after the first
+// few frames the AirFrame, sensed_by block, and rx bookkeeping all recycle
+// through the medium's slab pools, so per-transmission heap traffic is zero.
+// The pool_hit_pct counter is the measured recycle rate over the whole run.
+void BM_Medium_FramePool(benchmark::State& state) {
+    sim::Simulator sim(7);
+    mac::Medium medium(sim, phy::Channel{}, mac::MediumConfig{});
+    sim::RandomStream place(42);
+    std::vector<std::unique_ptr<mac::Radio>> radios;
+    const int n = 16;
+    radios.reserve(n);
+    for (int i = 0; i < n; ++i) {
+        const geom::Vec2 pos{place.uniform(0.0, 50.0), place.uniform(0.0, 50.0)};
+        radios.push_back(std::make_unique<mac::Radio>(
+            sim, medium, static_cast<net::NodeId>(i), [pos] { return pos; },
+            energy::PowerProfile::wavelan(),
+            sim.rng().stream("bench.backoff", static_cast<std::uint64_t>(i))));
+    }
+
+    net::Packet packet;
+    packet.payload_bytes = 24;
+    std::size_t sender = 0;
+    for (auto _ : state) {
+        medium.begin_transmission(*radios[sender], packet, sim::Duration::micros(100));
+        sender = (sender + 1) % radios.size();
+        sim.run_until(sim.now() + sim::Duration::millis(1));
+    }
+    state.SetItemsProcessed(state.iterations());
+    const sim::PoolStats& frames = medium.frame_pool_stats();
+    const double served = static_cast<double>(frames.reused + frames.fresh);
+    state.counters["pool_hit_pct"] =
+        served > 0.0 ? 100.0 * static_cast<double>(frames.reused) / served : 0.0;
+}
+BENCHMARK(BM_Medium_FramePool);
 
 void BM_PdfTableLookup(benchmark::State& state) {
     const phy::PdfTable& table = shared_table();
@@ -290,7 +428,7 @@ int main(int argc, char** argv) {
     json.add_scenario("fig7_cocoa_50robots_30min", wall);
 
     const char* override_path = std::getenv("COCOA_BENCH_JSON");
-    const std::string path = override_path != nullptr ? override_path : "BENCH_3.json";
+    const std::string path = override_path != nullptr ? override_path : "BENCH_5.json";
     if (!json.write(path)) {
         std::cerr << "failed to write " << path << "\n";
         return 1;

@@ -182,7 +182,9 @@ void CocoaAgent::on_wake(std::uint32_t seq) {
             sync.window_s = config_.window.to_seconds();
             sync.seq = seq;
             sync.period_start = period_start_;
-            auto inner = std::make_shared<net::Packet>();
+            // Drawn from the medium's packet pool: one SYNC per round per
+            // leader, recycled once the multicast fan-out lets go of it.
+            auto inner = node_.radio().medium().packet_pool().acquire();
             inner->src = node_.id();
             inner->port = net::Port::Test;  // carried inside McastData, not demuxed
             inner->payload_bytes = config_.sync_bytes;

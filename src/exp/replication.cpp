@@ -154,6 +154,7 @@ std::vector<ReplicationSet> run_sweep(const std::vector<core::ScenarioConfig>& c
             set.steady_error.add(r.steady_error_m);
             set.total_energy_kj.add(r.total_energy_kj);
             set.total_wall_seconds += r.wall_seconds;
+            set.executed_events_total += r.executed_events;
             for (const auto& [name, value] : r.counters) {
                 set.counter_totals[name] += value;
             }

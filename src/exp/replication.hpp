@@ -67,6 +67,11 @@ struct ReplicationSet {
 
     double total_wall_seconds = 0.0; ///< sum of per-replication wall times
 
+    /// Kernel events executed, summed over replications in index order —
+    /// deterministic, unlike the events/sec rate cocoa_sim derives from it
+    /// and total_wall_seconds under --kernel-stats.
+    std::uint64_t executed_events_total = 0;
+
     /// Registry counters summed over replications, folded in index order —
     /// byte-identical for any thread count, like every other aggregate here.
     std::map<std::string, std::uint64_t> counter_totals;

@@ -5,6 +5,7 @@
 
 #include "geom/vec2.hpp"
 #include "net/packet.hpp"
+#include "sim/pool.hpp"
 #include "sim/time.hpp"
 
 namespace cocoa::mac {
@@ -14,6 +15,13 @@ namespace cocoa::mac {
 /// sets `truncated` (Medium::truncate_transmission, the only writer);
 /// per-receiver outcomes (collision corruption) live in the receivers.
 struct AirFrame {
+    /// Verdict block allocator: one frame's sensed_by is always exactly
+    /// `radios` bytes, so Medium hands every frame the same SlabCore and the
+    /// block recycles through its free list. Default-constructed (null core)
+    /// the allocator degrades to plain new, so tests building bare AirFrames
+    /// work unchanged.
+    using SensedBy = std::vector<std::uint8_t, sim::PoolAllocator<std::uint8_t>>;
+
     net::Packet packet;
     net::NodeId sender = net::kInvalidId;
     geom::Vec2 sender_position;  ///< at transmission start
@@ -26,7 +34,7 @@ struct AirFrame {
     /// fixed at transmission start from the same sampled RSSI the live
     /// receive path uses. Radios that wake mid-frame consult this instead of
     /// re-deciding from the mean, so sensing is consistent either way.
-    std::vector<std::uint8_t> sensed_by;
+    SensedBy sensed_by;
 };
 
 }  // namespace cocoa::mac

@@ -16,6 +16,25 @@ Medium::Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig co
       loss_seed_base_(sim.rng().derive_seed("fault.loss", 0)) {
     obs_.counters.add("medium.frames_sent", &stats_.frames_sent);
     obs_.counters.add("medium.missed_asleep", &stats_.missed_asleep);
+    // Kernel observability. The queue stats are maintained identically by
+    // both kernel implementations and the pool stats don't depend on the
+    // kernel at all, so a legacy-kernel build's --counters output diffs
+    // clean against the new kernel (CI's bit-identity gate relies on this).
+    const sim::KernelStats& ks = sim_.kernel_stats();
+    obs_.counters.add("kernel.events.scheduled", &ks.scheduled);
+    obs_.counters.add("kernel.events.cancelled", &ks.cancelled);
+    obs_.counters.add("kernel.events.sbo_miss", &ks.sbo_misses);
+    obs_.counters.add("kernel.events.peak_pending", &ks.peak_pending);
+    obs_.counters.add("kernel.events.executed", &sim_.executed_events_ref());
+    const auto add_pool = [this](const char* prefix, const sim::PoolStats& ps) {
+        const std::string base = std::string("kernel.pool.") + prefix;
+        obs_.counters.add(base + ".reused", &ps.reused);
+        obs_.counters.add(base + ".fresh", &ps.fresh);
+        obs_.counters.add(base + ".oversize", &ps.oversize);
+    };
+    add_pool("frame", frame_pool_.stats());
+    add_pool("sensed", sensed_core_->stats());
+    add_pool("packet", packet_pool_.stats());
     // Inflate the influence radius by a hair so the bisection rounding in
     // solve_range can never put a should-be-visited radio on the culled side.
     cull_radius_m_ = channel_.max_influence_range_m() * (1.0 + 1e-9) + 1e-3;
@@ -93,7 +112,8 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
     // on the frame, so a radio that wakes mid-flight reads the same answer
     // the live path acted on. Culled (out-of-influence) radios keep the 0
     // verdict their clamped draw could never overturn.
-    std::vector<std::uint8_t> sensed(radios_.size(), 0);
+    AirFrame::SensedBy sensed(radios_.size(), 0,
+                              sim::PoolAllocator<std::uint8_t>(sensed_core_));
     rssi_scratch_.assign(radios_.size(), 0.0);
     sensed_idx_scratch_.clear();
     std::uint64_t visited = 0;
@@ -158,7 +178,10 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
     stats_.radios_visited += visited;
     stats_.radios_culled += static_cast<std::uint64_t>(radios_.size()) - 1 - visited;
 
-    auto frame = std::make_shared<AirFrame>(
+    // One pooled block carries the shared_ptr control block and the frame;
+    // in steady state both it and the sensed_by block above come straight
+    // off a free list, so a transmission allocates nothing.
+    auto frame = frame_pool_.acquire(
         AirFrame{packet, sender.id(), tx_pos, start, end, false, std::move(sensed)});
     active_.push_back(frame);
     ++stats_.frames_sent;

@@ -9,6 +9,7 @@
 #include "obs/obs.hpp"
 #include "phy/channel.hpp"
 #include "phy/loss.hpp"
+#include "sim/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
@@ -110,6 +111,16 @@ class Medium {
     const Stats& stats() const { return stats_; }
     sim::Simulator& simulator() { return sim_; }
 
+    /// Slab pool recycling net::Packet blocks, for components that build
+    /// steady-state packets (CocoaAgent's SYNC payloads). Stats surface as
+    /// kernel.pool.packet.* counters.
+    sim::ObjectPool<net::Packet>& packet_pool() { return packet_pool_; }
+
+    /// Frame-pool statistics (kernel.pool.frame.* / kernel.pool.sensed.*),
+    /// exposed for tests that assert steady-state recycling directly.
+    const sim::PoolStats& frame_pool_stats() const { return frame_pool_.stats(); }
+    const sim::PoolStats& sensed_pool_stats() const { return sensed_core_->stats(); }
+
     obs::Obs& obs() { return obs_; }
     const obs::Obs& obs() const { return obs_; }
 
@@ -138,6 +149,16 @@ class Medium {
     phy::LossSchedule loss_;
     Stats stats_;
     obs::Obs obs_;
+
+    /// Per-simulation slab pools. Steady-state beacon traffic recycles
+    /// AirFrames (control block + object in one pooled block), their
+    /// sensed_by verdict vectors and SYNC Packets, so the transmission fast
+    /// path performs no heap allocation once warm. Allocator copies hold the
+    /// cores via shared_ptr, so pooled blocks safely outlive the Medium
+    /// (queue callbacks keep shared_ptr<AirFrame> past world teardown).
+    sim::ObjectPool<AirFrame> frame_pool_;
+    sim::ObjectPool<net::Packet> packet_pool_;
+    std::shared_ptr<sim::SlabCore> sensed_core_ = std::make_shared<sim::SlabCore>();
 
     // Interference culling: a lazily rebuilt uniform spatial hash over radio
     // positions, cell side == cull radius so a 3x3 neighbourhood covers every

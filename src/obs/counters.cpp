@@ -1,5 +1,6 @@
 #include "obs/counters.hpp"
 
+#include <algorithm>
 #include <cctype>
 #include <stdexcept>
 
@@ -9,24 +10,47 @@ void CounterRegistry::add(std::string name, const std::uint64_t* counter) {
     if (counter == nullptr) {
         throw std::invalid_argument("CounterRegistry: null counter for '" + name + "'");
     }
-    const auto [it, inserted] = counters_.emplace(std::move(name), counter);
-    if (!inserted) {
-        throw std::invalid_argument("CounterRegistry: duplicate counter '" + it->first +
-                                    "'");
+    const auto pos = std::lower_bound(
+        entries_.begin(), entries_.end(), name,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    if (pos != entries_.end() && pos->first == name) {
+        throw std::invalid_argument("CounterRegistry: duplicate counter '" + name + "'");
     }
+    entries_.emplace(pos, std::move(name), counter);
+}
+
+const std::uint64_t* CounterRegistry::find(const std::string& name) const {
+    const auto pos = std::lower_bound(
+        entries_.begin(), entries_.end(), name,
+        [](const auto& entry, const std::string& key) { return entry.first < key; });
+    if (pos == entries_.end() || pos->first != name) return nullptr;
+    return pos->second;
 }
 
 std::uint64_t CounterRegistry::value(const std::string& name) const {
-    return *counters_.at(name);
+    const std::uint64_t* counter = find(name);
+    if (counter == nullptr) {
+        throw std::out_of_range("CounterRegistry: unknown counter '" + name + "'");
+    }
+    return *counter;
 }
 
-std::vector<std::pair<std::string, std::uint64_t>> CounterRegistry::snapshot() const {
-    std::vector<std::pair<std::string, std::uint64_t>> out;
-    out.reserve(counters_.size());
-    for (const auto& [name, counter] : counters_) {
-        out.emplace_back(name, *counter);
+const std::vector<std::pair<std::string, std::uint64_t>>& CounterRegistry::snapshot()
+    const {
+    if (snapshot_buf_.size() != entries_.size()) {
+        // A counter was registered since the last snapshot: rebuild the name
+        // column once. Steady-state snapshots below only refresh values.
+        snapshot_buf_.clear();
+        snapshot_buf_.reserve(entries_.size());
+        for (const auto& [name, counter] : entries_) {
+            snapshot_buf_.emplace_back(name, *counter);
+        }
+        return snapshot_buf_;
     }
-    return out;
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        snapshot_buf_[i].second = *entries_[i].second;
+    }
+    return snapshot_buf_;
 }
 
 std::map<std::string, std::uint64_t> aggregate_node_counters(

@@ -17,6 +17,11 @@ namespace cocoa::obs {
 /// simulation (owned by the mac::Medium, the one object every radio already
 /// shares); snapshots read the live values in name order, so any output
 /// derived from them is deterministic.
+///
+/// Storage is a name-sorted vector and snapshot() refreshes a cached buffer
+/// in place, so taking one snapshot per replication copies no strings and
+/// performs no allocation once the name set is stable (it only changes when
+/// a counter is registered, which is setup-time work).
 class CounterRegistry {
   public:
     /// Registers `counter` under `name`. The pointee must outlive every
@@ -24,17 +29,24 @@ class CounterRegistry {
     /// a null pointer (both are wiring bugs).
     void add(std::string name, const std::uint64_t* counter);
 
-    std::size_t size() const { return counters_.size(); }
-    bool contains(const std::string& name) const { return counters_.contains(name); }
+    std::size_t size() const { return entries_.size(); }
+    bool contains(const std::string& name) const { return find(name) != nullptr; }
 
     /// Current value of one counter; throws std::out_of_range when unknown.
     std::uint64_t value(const std::string& name) const;
 
-    /// All counters sorted by name, read at call time.
-    std::vector<std::pair<std::string, std::uint64_t>> snapshot() const;
+    /// All counters sorted by name, read at call time. The returned buffer
+    /// is owned by the registry and overwritten by the next snapshot();
+    /// callers that keep results (ScenarioResult::counters) copy-assign it.
+    const std::vector<std::pair<std::string, std::uint64_t>>& snapshot() const;
 
   private:
-    std::map<std::string, const std::uint64_t*> counters_;
+    const std::uint64_t* find(const std::string& name) const;
+
+    /// Sorted by name; insertion keeps the order (registration is rare).
+    std::vector<std::pair<std::string, const std::uint64_t*>> entries_;
+    /// Lazily mirrors entries_' names; values refreshed on each snapshot().
+    mutable std::vector<std::pair<std::string, std::uint64_t>> snapshot_buf_;
 };
 
 /// Collapses a snapshot across nodes: "node.<id>.mac.rx_corrupted" folds into

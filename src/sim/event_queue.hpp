@@ -1,51 +1,100 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/time.hpp"
 
 namespace cocoa::sim {
 
+class EventQueue;
+class LegacyEventQueue;
+
 /// Handle to a scheduled event; lets the owner cancel it before it fires.
+///
+/// Encodes {slot, generation} for the slot-indexed EventQueue. The slot's
+/// generation is bumped every time it is recycled, so a stale id (the event
+/// fired, was cancelled, or the queue was cleared) neither cancels nor
+/// reports pending — no tombstone bookkeeping required. LegacyEventQueue
+/// packs its monotone 64-bit sequence number into the same two words, so
+/// handles are interchangeable between kernels at the type level.
 class EventId {
   public:
     constexpr EventId() = default;
-    constexpr bool valid() const { return seq_ != 0; }
+    constexpr bool valid() const { return slot_ != 0 || gen_ != 0; }
     constexpr bool operator==(const EventId&) const = default;
 
   private:
     friend class EventQueue;
-    constexpr explicit EventId(std::uint64_t seq) : seq_(seq) {}
-    std::uint64_t seq_ = 0;  // 0 = invalid
+    friend class LegacyEventQueue;
+    constexpr EventId(std::uint32_t slot, std::uint32_t gen)
+        : slot_(slot), gen_(gen) {}
+    std::uint32_t slot_ = 0;
+    std::uint32_t gen_ = 0;  // {0,0} = invalid; live generations are never 0
+};
+
+/// Counters shared by both kernel implementations. The fields are stable
+/// uint64_t lvalues so Scenario can register them with obs::CounterRegistry;
+/// both queues maintain them identically, which is what lets CI diff the
+/// full --counters table of a legacy-kernel build against the new kernel.
+struct KernelStats {
+    std::uint64_t scheduled = 0;     ///< total schedule() calls
+    std::uint64_t cancelled = 0;     ///< successful cancel() calls
+    std::uint64_t sbo_misses = 0;    ///< callbacks that spilled to the heap
+    std::uint64_t peak_pending = 0;  ///< high-water mark of pending events
 };
 
 /// A cancellable priority queue of timed callbacks.
 ///
-/// Events at equal times fire in scheduling order (FIFO), making runs
-/// deterministic. Cancellation is lazy: cancelled entries are skipped on pop.
+/// Implementation: a slot arena plus a 4-ary min-heap of slot indices ordered
+/// by (time, seq). Events at equal times fire in scheduling order (FIFO, via
+/// the monotone seq), making runs deterministic. Each slot carries a
+/// back-pointer into the heap, so cancel() is a real O(log n) removal — no
+/// tombstones accumulate from rescheduled carrier-sense timers — and
+/// pending() is an O(1) generation check. next_time() is O(1) and genuinely
+/// const. Freed slots go on a free list, so a steady-state schedule/fire
+/// cycle performs no allocation at all once the arena has grown to the
+/// high-water mark.
+///
+/// Invariants:
+///  - seq is monotone for the lifetime of the queue and is never reset, not
+///    even by clear(); FIFO tie-breaking therefore stays well-defined if a
+///    queue is reused after clear().
+///  - clear() bumps the generation of every live slot, so ids issued before
+///    the clear neither cancel nor report pending afterwards. It does not
+///    touch stats().scheduled/cancelled (clearing is not cancellation).
+///  - A slot's generation is bumped exactly once per recycle; an id can only
+///    alias a later event after 2^32 reuses of one slot.
 class EventQueue {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InplaceCallback;
 
     /// Schedules `cb` to fire at time `t`. Returns a handle for cancellation.
     EventId schedule(TimePoint t, Callback cb);
 
     /// Cancels a pending event; returns false if it already fired, was
-    /// already cancelled, or the id is invalid.
+    /// already cancelled, or the id is invalid/stale.
     bool cancel(EventId id);
 
-    /// True if `id` refers to an event that has not yet fired or been cancelled.
-    bool pending(EventId id) const { return live_.contains(id.seq_); }
+    /// True if `id` refers to an event that has not yet fired or been
+    /// cancelled. O(1): a bounds check plus a generation compare.
+    bool pending(EventId id) const {
+        return id.slot_ < slots_.size() &&
+               slots_[id.slot_].generation == id.gen_ &&
+               slots_[id.slot_].heap_index != kNoHeapIndex;
+    }
 
-    bool empty() const { return live_.empty(); }
-    std::size_t size() const { return live_.size(); }
+    bool empty() const { return heap_.empty(); }
+    std::size_t size() const { return heap_.size(); }
 
     /// Time of the earliest pending event; TimePoint::max() if empty.
-    TimePoint next_time() const;
+    TimePoint next_time() const {
+        if (heap_.empty()) return TimePoint::max();
+        return slots_[heap_[0]].time;
+    }
 
     /// Removes and returns the earliest pending event.
     /// Precondition: !empty().
@@ -55,8 +104,79 @@ class EventQueue {
     };
     Fired pop();
 
-    /// Drops all pending events.
+    /// Drops all pending events (see class invariants: generations are
+    /// bumped, seq keeps counting).
     void clear();
+
+    const KernelStats& stats() const { return stats_; }
+
+  private:
+    static constexpr std::uint32_t kNoHeapIndex = 0xffffffffu;
+
+    struct Slot {
+        TimePoint time{};
+        std::uint64_t seq = 0;
+        Callback callback;
+        std::uint32_t generation = 1;  // never 0, so any issued id is valid()
+        std::uint32_t heap_index = kNoHeapIndex;
+    };
+
+    /// (time, seq) ordering between two slots referenced from the heap.
+    bool earlier(std::uint32_t a, std::uint32_t b) const {
+        const Slot& sa = slots_[a];
+        const Slot& sb = slots_[b];
+        if (sa.time != sb.time) return sa.time < sb.time;
+        return sa.seq < sb.seq;
+    }
+
+    void sift_up(std::size_t i);
+    void sift_down(std::size_t i);
+    void remove_from_heap(std::size_t i);
+    void release_slot(std::uint32_t si);
+
+    std::vector<Slot> slots_;
+    std::vector<std::uint32_t> heap_;        ///< 4-ary min-heap of slot indices
+    std::vector<std::uint32_t> free_slots_;  ///< recyclable slot indices (LIFO)
+    std::uint64_t next_seq_ = 1;
+    KernelStats stats_;
+};
+
+/// The pre-overhaul queue (std::priority_queue + tombstone set), kept
+/// compiled in as a bit-exact oracle: `-DCOCOA_LEGACY_KERNEL=ON` points the
+/// Simulator at it, and the randomized kernel stress test replays identical
+/// schedules against both implementations. It shares EventId, Callback and
+/// KernelStats with EventQueue so a legacy build's counter output diffs
+/// clean against the new kernel.
+///
+/// Known costs this class deliberately retains (they motivated the rewrite):
+/// cancel() leaves a tombstone that next_time()/pop() skip later (O(dead)
+/// work hidden behind a const method via a mutable heap), and pending() is a
+/// hash lookup.
+class LegacyEventQueue {
+  public:
+    using Callback = InplaceCallback;
+
+    EventId schedule(TimePoint t, Callback cb);
+    bool cancel(EventId id);
+    bool pending(EventId id) const { return live_.contains(seq_of(id)); }
+
+    bool empty() const { return live_.empty(); }
+    std::size_t size() const { return live_.size(); }
+
+    TimePoint next_time() const;
+
+    struct Fired {
+        TimePoint time;
+        Callback callback;
+    };
+    Fired pop();
+
+    /// Drops all pending events. Like EventQueue::clear(), seq keeps
+    /// counting afterwards — the invariant predates the rewrite, it was just
+    /// undocumented.
+    void clear();
+
+    const KernelStats& stats() const { return stats_; }
 
   private:
     struct Entry {
@@ -71,11 +191,21 @@ class EventQueue {
         }
     };
 
+    static constexpr std::uint64_t seq_of(EventId id) {
+        return static_cast<std::uint64_t>(id.slot_) |
+               (static_cast<std::uint64_t>(id.gen_) << 32);
+    }
+    static constexpr EventId id_of(std::uint64_t seq) {
+        return EventId{static_cast<std::uint32_t>(seq),
+                       static_cast<std::uint32_t>(seq >> 32)};
+    }
+
     void drop_dead() const;
 
     mutable std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::unordered_set<std::uint64_t> live_;  ///< seqs scheduled but not fired/cancelled
+    std::unordered_set<std::uint64_t> live_;  ///< scheduled but not fired/cancelled
     std::uint64_t next_seq_ = 1;
+    KernelStats stats_;
 };
 
 }  // namespace cocoa::sim

@@ -1,0 +1,197 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace cocoa::sim {
+
+/// Allocation statistics for one SlabCore. All three counters are stable
+/// uint64_t lvalues so they can be registered directly with
+/// obs::CounterRegistry.
+struct PoolStats {
+    std::uint64_t reused = 0;    ///< served from the free list (zero heap work)
+    std::uint64_t fresh = 0;     ///< carved from a new or partially-used slab
+    std::uint64_t oversize = 0;  ///< bypassed the pool (request too big/aligned)
+};
+
+/// Type-erased slab of fixed-size blocks with an intrusive free list.
+///
+/// The block size is learned from the first pool-eligible allocation and never
+/// changes afterwards; later requests at most that size are served from the
+/// free list or by bump-carving a slab, while larger (or over-aligned)
+/// requests fall through to plain operator new and count as `oversize`. This
+/// fits the simulator's usage exactly: each core is dedicated to one object
+/// shape (AirFrame control-block+object, a sensed_by verdict block of
+/// `radios` bytes, a Packet), so steady-state traffic recycles the free list
+/// and allocates nothing.
+///
+/// Lifetime: consumers hold the core via shared_ptr (see PoolAllocator), so
+/// blocks may safely outlive the component that created the pool — e.g. event
+/// queue callbacks holding shared_ptr<AirFrame> past mac::Medium destruction.
+/// Not thread-safe; each Simulator owns its pools (shared-nothing
+/// replications).
+class SlabCore {
+  public:
+    SlabCore() = default;
+    ~SlabCore() {
+        for (void* slab : slabs_) ::operator delete(slab);
+    }
+
+    SlabCore(const SlabCore&) = delete;
+    SlabCore& operator=(const SlabCore&) = delete;
+
+    void* allocate(std::size_t bytes, std::size_t align) {
+        if (align > alignof(std::max_align_t)) {
+            ++stats_.oversize;
+            return ::operator new(bytes, std::align_val_t(align));
+        }
+        if (block_size_ == 0) {
+            block_size_ = bytes < sizeof(FreeNode) ? sizeof(FreeNode) : bytes;
+        }
+        if (bytes > block_size_) {
+            ++stats_.oversize;
+            return ::operator new(bytes);
+        }
+        if (free_ != nullptr) {
+            ++stats_.reused;
+            FreeNode* node = free_;
+            free_ = node->next;
+            return node;
+        }
+        ++stats_.fresh;
+        return carve_block();
+    }
+
+    void deallocate(void* p, std::size_t bytes, std::size_t align) noexcept {
+        // Mirrors the classification in allocate(); block_size_ only ever
+        // transitions 0 -> fixed, so a block classifies the same way on both
+        // sides of its lifetime.
+        if (align > alignof(std::max_align_t)) {
+            ::operator delete(p, std::align_val_t(align));
+            return;
+        }
+        if (block_size_ == 0 || bytes > block_size_) {
+            ::operator delete(p);
+            return;
+        }
+        FreeNode* node = static_cast<FreeNode*>(p);
+        node->next = free_;
+        free_ = node;
+    }
+
+    const PoolStats& stats() const { return stats_; }
+    std::size_t block_size() const { return block_size_; }
+
+  private:
+    struct FreeNode {
+        FreeNode* next;
+    };
+    static constexpr std::size_t kBlocksPerSlab = 64;
+
+    std::size_t block_stride() const {
+        constexpr std::size_t a = alignof(std::max_align_t);
+        return (block_size_ + a - 1) / a * a;
+    }
+
+    void* carve_block() {
+        if (remaining_ == 0) {
+            void* slab = ::operator new(block_stride() * kBlocksPerSlab);
+            slabs_.push_back(slab);
+            cursor_ = static_cast<unsigned char*>(slab);
+            remaining_ = kBlocksPerSlab;
+        }
+        void* p = cursor_;
+        cursor_ += block_stride();
+        --remaining_;
+        return p;
+    }
+
+    std::size_t block_size_ = 0;  ///< 0 until the first eligible allocation
+    std::vector<void*> slabs_;
+    unsigned char* cursor_ = nullptr;
+    std::size_t remaining_ = 0;
+    FreeNode* free_ = nullptr;
+    PoolStats stats_;
+};
+
+/// Standard-library allocator backed by a shared SlabCore.
+///
+/// Default-constructed (null core) it degrades to plain operator new, so
+/// containers declared with this allocator type work unchanged outside a
+/// simulation. Copies share the core via shared_ptr: std::allocate_shared
+/// stores an allocator copy in the control block and container moves carry
+/// the allocator along, which is exactly what keeps the core alive until the
+/// last pooled block is returned.
+template <typename T>
+class PoolAllocator {
+  public:
+    using value_type = T;
+
+    PoolAllocator() noexcept = default;
+    explicit PoolAllocator(std::shared_ptr<SlabCore> core) noexcept
+        : core_(std::move(core)) {}
+    template <typename U>
+    PoolAllocator(const PoolAllocator<U>& other) noexcept : core_(other.core_) {}
+
+    T* allocate(std::size_t n) {
+        const std::size_t bytes = n * sizeof(T);
+        if (core_) return static_cast<T*>(core_->allocate(bytes, alignof(T)));
+        if constexpr (alignof(T) > alignof(std::max_align_t)) {
+            return static_cast<T*>(::operator new(bytes, std::align_val_t(alignof(T))));
+        }
+        return static_cast<T*>(::operator new(bytes));
+    }
+
+    void deallocate(T* p, std::size_t n) noexcept {
+        const std::size_t bytes = n * sizeof(T);
+        if (core_) {
+            core_->deallocate(p, bytes, alignof(T));
+            return;
+        }
+        if constexpr (alignof(T) > alignof(std::max_align_t)) {
+            ::operator delete(p, std::align_val_t(alignof(T)));
+            return;
+        }
+        ::operator delete(p);
+    }
+
+    const std::shared_ptr<SlabCore>& core() const { return core_; }
+
+    friend bool operator==(const PoolAllocator& a, const PoolAllocator& b) {
+        return a.core_ == b.core_;
+    }
+
+  private:
+    template <typename U>
+    friend class PoolAllocator;
+    std::shared_ptr<SlabCore> core_;
+};
+
+/// Convenience wrapper: shared_ptr factory recycling fixed-shape objects.
+///
+/// acquire() is a drop-in for make_shared<T>: one pooled allocation covers
+/// the control block and the object, and once a block has been through the
+/// free list the steady state allocates nothing.
+template <typename T>
+class ObjectPool {
+  public:
+    ObjectPool() : core_(std::make_shared<SlabCore>()) {}
+
+    template <typename... Args>
+    std::shared_ptr<T> acquire(Args&&... args) {
+        return std::allocate_shared<T>(PoolAllocator<T>(core_),
+                                       std::forward<Args>(args)...);
+    }
+
+    const std::shared_ptr<SlabCore>& core() const { return core_; }
+    const PoolStats& stats() const { return core_->stats(); }
+
+  private:
+    std::shared_ptr<SlabCore> core_;
+};
+
+}  // namespace cocoa::sim

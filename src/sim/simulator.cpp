@@ -5,14 +5,14 @@
 
 namespace cocoa::sim {
 
-EventId Simulator::schedule_at(TimePoint t, EventQueue::Callback cb) {
+EventId Simulator::schedule_at(TimePoint t, Callback cb) {
     if (t < now_) {
         throw std::logic_error("Simulator::schedule_at: time is in the past");
     }
     return queue_.schedule(t, std::move(cb));
 }
 
-EventId Simulator::schedule_in(Duration d, EventQueue::Callback cb) {
+EventId Simulator::schedule_in(Duration d, Callback cb) {
     if (d.is_negative()) {
         throw std::logic_error("Simulator::schedule_in: negative delay");
     }

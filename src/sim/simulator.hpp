@@ -1,13 +1,23 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
+#include "sim/callback.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/random.hpp"
 #include "sim/time.hpp"
 
 namespace cocoa::sim {
+
+/// The queue implementation the Simulator runs on. The default is the
+/// slot-and-generation 4-ary heap; configuring with -DCOCOA_LEGACY_KERNEL=ON
+/// swaps in the tombstone-based oracle so whole-scenario output can be
+/// diffed between kernels (CI does exactly that on the fig7 scenario).
+#ifdef COCOA_LEGACY_KERNEL
+using KernelQueue = LegacyEventQueue;
+#else
+using KernelQueue = EventQueue;
+#endif
 
 /// The discrete-event simulation engine.
 ///
@@ -16,6 +26,8 @@ namespace cocoa::sim {
 /// through schedule_at()/schedule_in()/now().
 class Simulator {
   public:
+    using Callback = KernelQueue::Callback;
+
     explicit Simulator(std::uint64_t master_seed = 1) : rng_(master_seed) {}
 
     Simulator(const Simulator&) = delete;
@@ -29,10 +41,10 @@ class Simulator {
     /// Schedules a callback at absolute virtual time `t`.
     /// Scheduling in the past throws std::logic_error (it would silently
     /// reorder causality); scheduling exactly at now() is allowed.
-    EventId schedule_at(TimePoint t, EventQueue::Callback cb);
+    EventId schedule_at(TimePoint t, Callback cb);
 
     /// Schedules a callback `d` after the current time. Negative d throws.
-    EventId schedule_in(Duration d, EventQueue::Callback cb);
+    EventId schedule_in(Duration d, Callback cb);
 
     bool cancel(EventId id) { return queue_.cancel(id); }
     bool pending(EventId id) const { return queue_.pending(id); }
@@ -51,9 +63,17 @@ class Simulator {
     std::size_t pending_events() const { return queue_.size(); }
     std::uint64_t executed_events() const { return executed_; }
 
+    /// Kernel counters maintained by the active queue implementation. The
+    /// referenced fields have stable addresses for the Simulator's lifetime,
+    /// so they can be registered with obs::CounterRegistry directly.
+    const KernelStats& kernel_stats() const { return queue_.stats(); }
+
+    /// Stable-address executed-event counter, for the same registration use.
+    const std::uint64_t& executed_events_ref() const { return executed_; }
+
   private:
     TimePoint now_ = TimePoint::origin();
-    EventQueue queue_;
+    KernelQueue queue_;
     RngManager rng_;
     bool stop_requested_ = false;
     std::uint64_t executed_ = 0;

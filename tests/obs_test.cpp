@@ -69,6 +69,32 @@ TEST(CounterRegistry, SnapshotSortedByName) {
     EXPECT_EQ(snap[2].second, 3u);
 }
 
+TEST(CounterRegistry, SnapshotReusesCachedBuffer) {
+    CounterRegistry reg;
+    std::uint64_t x = 1;
+    std::uint64_t y = 2;
+    reg.add("b", &y);
+    reg.add("a", &x);
+    const auto& first = reg.snapshot();
+    const auto* buffer = &first;
+    const auto* storage = first.data();
+    x = 5;
+    const auto& second = reg.snapshot();
+    // Same buffer, refreshed in place: per-replication snapshots neither
+    // copy names nor allocate once the name set is stable.
+    EXPECT_EQ(&second, buffer);
+    EXPECT_EQ(second.data(), storage);
+    EXPECT_EQ(second[0].first, "a");
+    EXPECT_EQ(second[0].second, 5u);
+    // Registering after a snapshot rebuilds the cached name column once.
+    std::uint64_t z = 9;
+    reg.add("c", &z);
+    const auto& third = reg.snapshot();
+    ASSERT_EQ(third.size(), 3u);
+    EXPECT_EQ(third[2].first, "c");
+    EXPECT_EQ(third[2].second, 9u);
+}
+
 TEST(CounterRegistry, AggregateFoldsNodePrefixes) {
     const std::vector<std::pair<std::string, std::uint64_t>> snap = {
         {"medium.frames_sent", 9},

@@ -45,6 +45,37 @@ TEST(Scenario, DeterministicForSameSeed) {
     EXPECT_EQ(a.executed_events, b.executed_events);
 }
 
+TEST(Scenario, KernelFastPathStaysAllocationFree) {
+    // The kernel overhaul's steady-state contract, asserted on counters: the
+    // overwhelming majority of callbacks fit the 48-byte SBO (misses are the
+    // rare control-plane forwards that capture whole packets), and the frame
+    // and sensed_by pools recycle nearly every block after warm-up.
+    const auto r = run_scenario(quick(LocalizationMode::Combined));
+    std::uint64_t scheduled = 0, sbo_miss = 0, executed = 0;
+    std::uint64_t frame_reused = 0, frame_fresh = 0, frame_oversize = 0;
+    std::uint64_t sensed_reused = 0, sensed_fresh = 0;
+    for (const auto& [name, value] : r.counters) {
+        if (name == "kernel.events.scheduled") scheduled = value;
+        if (name == "kernel.events.sbo_miss") sbo_miss = value;
+        if (name == "kernel.events.executed") executed = value;
+        if (name == "kernel.pool.frame.reused") frame_reused = value;
+        if (name == "kernel.pool.frame.fresh") frame_fresh = value;
+        if (name == "kernel.pool.frame.oversize") frame_oversize = value;
+        if (name == "kernel.pool.sensed.reused") sensed_reused = value;
+        if (name == "kernel.pool.sensed.fresh") sensed_fresh = value;
+    }
+    EXPECT_GT(scheduled, 0u);
+    EXPECT_EQ(executed, r.executed_events);
+    // SBO misses stay a sliver of traffic (< 5%): the per-event fast path
+    // (beacons, CCA, carrier-sense timers) never touches the heap.
+    EXPECT_LT(sbo_miss * 20, scheduled);
+    // Pools: a handful of fresh blocks cover the in-flight high-water mark,
+    // everything after that is recycled; nothing falls out of the pool.
+    EXPECT_GT(frame_reused, frame_fresh * 10);
+    EXPECT_GT(sensed_reused, sensed_fresh * 10);
+    EXPECT_EQ(frame_oversize, 0u);
+}
+
 TEST(Scenario, DifferentSeedsDiffer) {
     auto cfg = quick(LocalizationMode::Combined);
     const auto a = run_scenario(cfg);

@@ -1,11 +1,18 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <cstring>
+#include <memory>
+#include <random>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
+#include "sim/callback.hpp"
 #include "sim/event_queue.hpp"
 #include "sim/log.hpp"
+#include "sim/pool.hpp"
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 #include "sim/time.hpp"
@@ -231,6 +238,315 @@ TEST(EventQueue, ClearDropsEverything) {
     q.clear();
     EXPECT_TRUE(q.empty());
     EXPECT_EQ(q.next_time(), TimePoint::max());
+}
+
+TEST(InplaceCallback, SmallCaptureStaysInline) {
+    int hits = 0;
+    InplaceCallback cb([&hits] { ++hits; });
+    EXPECT_TRUE(static_cast<bool>(cb));
+    EXPECT_FALSE(cb.on_heap());
+    cb();
+    EXPECT_EQ(hits, 1);
+}
+
+TEST(InplaceCallback, LargeCaptureFallsBackToHeap) {
+    std::array<char, 128> big{};
+    big[0] = 42;
+    char seen = 0;
+    InplaceCallback cb([big, &seen] { seen = big[0]; });
+    EXPECT_TRUE(cb.on_heap());
+    cb();
+    EXPECT_EQ(seen, 42);
+}
+
+TEST(InplaceCallback, MoveTransfersOwnership) {
+    int hits = 0;
+    InplaceCallback a([&hits] { ++hits; });
+    InplaceCallback b(std::move(a));
+    EXPECT_FALSE(static_cast<bool>(a));  // NOLINT(bugprone-use-after-move)
+    b();
+    EXPECT_EQ(hits, 1);
+    InplaceCallback c;
+    c = std::move(b);
+    c();
+    EXPECT_EQ(hits, 2);
+}
+
+TEST(InplaceCallback, DestructionReleasesCaptures) {
+    auto token = std::make_shared<int>(7);
+    {
+        InplaceCallback cb([token] { (void)*token; });
+        EXPECT_EQ(token.use_count(), 2);
+    }
+    EXPECT_EQ(token.use_count(), 1);
+    // reset() releases too, both for inline and heap storage.
+    std::array<char, 128> big{};
+    InplaceCallback heap_cb([token, big] { (void)*token; (void)big; });
+    EXPECT_EQ(token.use_count(), 2);
+    heap_cb.reset();
+    EXPECT_EQ(token.use_count(), 1);
+    EXPECT_FALSE(static_cast<bool>(heap_cb));
+}
+
+TEST(InplaceCallback, SharedPtrCaptureFitsInline) {
+    // The Medium's CCA callback shape: this + shared_ptr + scalars must stay
+    // on the fast path or steady-state traffic allocates per event.
+    auto frame = std::make_shared<int>(1);
+    const double rssi = -60.0;
+    const bool decodable = true;
+    const void* self = &rssi;
+    InplaceCallback cb([self, frame, rssi, decodable] {
+        (void)self; (void)*frame; (void)rssi; (void)decodable;
+    });
+    EXPECT_FALSE(cb.on_heap());
+}
+
+TEST(EventQueue, GenerationReuseSafety) {
+    EventQueue q;
+    int fired = 0;
+    const EventId stale = q.schedule(TimePoint::from_seconds(1.0), [&] { ++fired; });
+    q.pop().callback();  // slot freed, generation bumped
+    EXPECT_EQ(fired, 1);
+
+    // The next schedule recycles the same slot; the stale id must neither
+    // report pending nor cancel the new occupant.
+    const EventId fresh = q.schedule(TimePoint::from_seconds(2.0), [&] { ++fired; });
+    EXPECT_NE(stale, fresh);
+    EXPECT_FALSE(q.pending(stale));
+    EXPECT_TRUE(q.pending(fresh));
+    EXPECT_FALSE(q.cancel(stale));
+    EXPECT_EQ(q.size(), 1u);
+    EXPECT_TRUE(q.cancel(fresh));
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleIdsDieAcrossClear) {
+    EventQueue q;
+    const EventId before = q.schedule(TimePoint::from_seconds(1.0), [] {});
+    q.clear();
+    EXPECT_FALSE(q.pending(before));
+    EXPECT_FALSE(q.cancel(before));
+    // seq keeps counting across clear(), so FIFO order stays monotone for a
+    // reused queue (the documented invariant).
+    std::vector<int> order;
+    const TimePoint t = TimePoint::from_seconds(3.0);
+    q.schedule(t, [&] { order.push_back(1); });
+    q.schedule(t, [&] { order.push_back(2); });
+    while (!q.empty()) q.pop().callback();
+    EXPECT_EQ(order, (std::vector<int>{1, 2}));
+}
+
+TEST(EventQueue, FifoGoldenAtEqualTimesWithCancels) {
+    // Golden ordering: three timestamps, ten events each, every third event
+    // cancelled. Survivors must fire grouped by time, FIFO within a time.
+    EventQueue q;
+    std::vector<int> order;
+    std::vector<EventId> ids;
+    for (int i = 0; i < 30; ++i) {
+        const TimePoint t = TimePoint::from_seconds(1.0 + i % 3);
+        ids.push_back(q.schedule(t, [&order, i] { order.push_back(i); }));
+    }
+    for (int i = 0; i < 30; i += 3) EXPECT_TRUE(q.cancel(ids[static_cast<std::size_t>(i)]));
+    while (!q.empty()) q.pop().callback();
+    // Survivors grouped by timestamp (i % 3 picks the time), FIFO within.
+    std::vector<int> expected;
+    for (int t = 0; t < 3; ++t) {
+        for (int i = 0; i < 30; ++i) {
+            if (i % 3 == t && i % 3 != 0) expected.push_back(i);
+        }
+    }
+    EXPECT_EQ(order, expected);
+}
+
+TEST(EventQueue, StatsTrackSchedulingAndCancellation) {
+    EventQueue q;
+    const EventId a = q.schedule(TimePoint::from_seconds(1.0), [] {});
+    q.schedule(TimePoint::from_seconds(2.0), [] {});
+    q.schedule(TimePoint::from_seconds(3.0), [] {});
+    EXPECT_EQ(q.stats().scheduled, 3u);
+    EXPECT_EQ(q.stats().peak_pending, 3u);
+    EXPECT_EQ(q.stats().sbo_misses, 0u);
+    EXPECT_TRUE(q.cancel(a));
+    EXPECT_FALSE(q.cancel(a));
+    EXPECT_EQ(q.stats().cancelled, 1u);
+    while (!q.empty()) q.pop();
+    EXPECT_EQ(q.stats().peak_pending, 3u);  // high-water mark sticks
+
+    std::array<char, 128> big{};
+    q.schedule(TimePoint::from_seconds(4.0), [big] { (void)big; });
+    EXPECT_EQ(q.stats().sbo_misses, 1u);
+}
+
+TEST(EventQueue, SteadyStateChurnRecyclesSlots) {
+    // A carrier-sense-like workload: schedule/cancel/fire cycling through a
+    // bounded working set must not grow the slot arena past the high-water
+    // mark (peak_pending tracks it).
+    EventQueue q;
+    double t = 1.0;
+    std::vector<EventId> live;
+    for (int round = 0; round < 1000; ++round) {
+        live.push_back(q.schedule(TimePoint::from_seconds(t + 1.0), [] {}));
+        live.push_back(q.schedule(TimePoint::from_seconds(t + 2.0), [] {}));
+        q.cancel(live[live.size() - 2]);
+        if (!q.empty()) {
+            q.pop();
+            t += 0.5;
+        }
+    }
+    EXPECT_LE(q.stats().peak_pending, 16u);
+}
+
+/// Randomized schedule/cancel/reschedule stress: the new kernel must fire
+/// the exact same events at the exact same times in the exact same order as
+/// the legacy oracle, and agree on every cancel/pending verdict along the way.
+TEST(EventQueue, RandomizedStressMatchesLegacyOracle) {
+    EventQueue nq;
+    LegacyEventQueue lq;
+    std::mt19937_64 rng(0xC0C0A5EEDull);
+
+    struct LiveEvent {
+        EventId new_id;
+        EventId legacy_id;
+        int payload;
+    };
+    std::vector<LiveEvent> live;
+    std::vector<int> fired_new;
+    std::vector<int> fired_legacy;
+    TimePoint now = TimePoint::origin();
+    int next_payload = 0;
+
+    const auto schedule_one = [&] {
+        // Mix of distinct and colliding times to exercise FIFO tie-breaks.
+        const std::int64_t offset_ns = static_cast<std::int64_t>(rng() % 5) * 500'000;
+        const TimePoint t = now + Duration::nanos(1 + offset_ns);
+        const int payload = next_payload++;
+        live.push_back({nq.schedule(t, [&fired_new, payload] { fired_new.push_back(payload); }),
+                        lq.schedule(t, [&fired_legacy, payload] { fired_legacy.push_back(payload); }),
+                        payload});
+    };
+
+    for (int op = 0; op < 20000; ++op) {
+        const std::uint64_t dice = rng() % 10;
+        if (dice < 5 || nq.empty()) {
+            schedule_one();
+        } else if (dice < 7 && !live.empty()) {
+            const std::size_t pick = rng() % live.size();
+            const bool nc = nq.cancel(live[pick].new_id);
+            const bool lc = lq.cancel(live[pick].legacy_id);
+            ASSERT_EQ(nc, lc) << "cancel verdict diverged at op " << op;
+            live.erase(live.begin() + static_cast<std::ptrdiff_t>(pick));
+        } else if (dice < 8 && !live.empty()) {
+            const std::size_t pick = rng() % live.size();
+            ASSERT_EQ(nq.pending(live[pick].new_id), lq.pending(live[pick].legacy_id));
+        } else {
+            ASSERT_EQ(nq.empty(), lq.empty());
+            ASSERT_EQ(nq.next_time(), lq.next_time());
+            auto nf = nq.pop();
+            auto lf = lq.pop();
+            ASSERT_EQ(nf.time, lf.time);
+            now = nf.time;
+            nf.callback();
+            lf.callback();
+            ASSERT_EQ(fired_new.back(), fired_legacy.back());
+        }
+        ASSERT_EQ(nq.size(), lq.size());
+    }
+    // Drain both queues completely and compare the full firing history.
+    while (!nq.empty()) {
+        ASSERT_FALSE(lq.empty());
+        ASSERT_EQ(nq.next_time(), lq.next_time());
+        nq.pop().callback();
+        lq.pop().callback();
+    }
+    EXPECT_TRUE(lq.empty());
+    EXPECT_EQ(fired_new, fired_legacy);
+    // Both kernels maintain the same stats contract.
+    EXPECT_EQ(nq.stats().scheduled, lq.stats().scheduled);
+    EXPECT_EQ(nq.stats().cancelled, lq.stats().cancelled);
+    EXPECT_EQ(nq.stats().sbo_misses, lq.stats().sbo_misses);
+    EXPECT_EQ(nq.stats().peak_pending, lq.stats().peak_pending);
+}
+
+TEST(LegacyEventQueue, BasicContractMatchesDocs) {
+    LegacyEventQueue q;
+    std::vector<int> order;
+    const TimePoint t = TimePoint::from_seconds(1.0);
+    q.schedule(t, [&] { order.push_back(0); });
+    const EventId id = q.schedule(t, [&] { order.push_back(1); });
+    q.schedule(t, [&] { order.push_back(2); });
+    EXPECT_TRUE(q.pending(id));
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.pending(id));
+    while (!q.empty()) q.pop().callback();
+    EXPECT_EQ(order, (std::vector<int>{0, 2}));
+    EXPECT_EQ(q.stats().scheduled, 3u);
+    EXPECT_EQ(q.stats().cancelled, 1u);
+}
+
+TEST(SlabPool, RecyclesBlocksThroughFreeList) {
+    // Acquire/release cycles beyond the first must come from the free list.
+    // Run under ASan in CI: any use-after-free or mismatched dealloc aborts.
+    ObjectPool<std::pair<double, double>> pool;
+    for (int round = 0; round < 100; ++round) {
+        auto a = pool.acquire(1.0 * round, 2.0 * round);
+        auto b = pool.acquire(3.0 * round, 4.0 * round);
+        EXPECT_EQ(a->first, 1.0 * round);
+        EXPECT_EQ(b->second, 4.0 * round);
+    }
+    const PoolStats& stats = pool.stats();
+    EXPECT_EQ(stats.reused + stats.fresh, 200u);
+    EXPECT_EQ(stats.fresh, 2u);  // working set of 2, everything else recycled
+    EXPECT_EQ(stats.oversize, 0u);
+}
+
+TEST(SlabPool, BlocksOutliveThePool) {
+    // The allocator copy inside the shared_ptr control block keeps the core
+    // alive: dropping the pool (and the last shared_ptr after it) must be
+    // clean under ASan. This is the Scenario teardown order — world (and its
+    // pools) dies before the queue drops its frame references.
+    std::shared_ptr<std::pair<double, double>> survivor;
+    {
+        ObjectPool<std::pair<double, double>> pool;
+        survivor = pool.acquire(1.5, 2.5);
+    }
+    EXPECT_EQ(survivor->second, 2.5);
+    survivor.reset();
+}
+
+TEST(SlabPool, PooledVectorRecyclesConstantSizeBlocks) {
+    // The AirFrame::sensed_by shape: same-size vector allocated per frame.
+    auto core = std::make_shared<SlabCore>();
+    using PooledVec = std::vector<std::uint8_t, PoolAllocator<std::uint8_t>>;
+    for (int round = 0; round < 50; ++round) {
+        PooledVec v(32, std::uint8_t{0}, PoolAllocator<std::uint8_t>(core));
+        v[31] = 9;
+        EXPECT_EQ(v[31], 9);
+    }
+    EXPECT_EQ(core->stats().fresh, 1u);
+    EXPECT_EQ(core->stats().reused, 49u);
+}
+
+TEST(SlabPool, OversizeRequestsBypassTheFreeList) {
+    auto core = std::make_shared<SlabCore>();
+    PoolAllocator<std::uint8_t> alloc(core);
+    std::uint8_t* small = alloc.allocate(16);  // learns block size 16
+    std::uint8_t* big = alloc.allocate(64);    // larger: plain heap
+    alloc.deallocate(big, 64);
+    alloc.deallocate(small, 16);
+    EXPECT_EQ(core->stats().fresh, 1u);
+    EXPECT_EQ(core->stats().oversize, 1u);
+    // The small block recycles; the oversize one never enters the free list.
+    std::uint8_t* again = alloc.allocate(16);
+    alloc.deallocate(again, 16);
+    EXPECT_EQ(core->stats().reused, 1u);
+}
+
+TEST(SlabPool, NullCoreDegradesToPlainNew) {
+    PoolAllocator<int> alloc;  // default: no core
+    int* p = alloc.allocate(4);
+    p[3] = 11;
+    EXPECT_EQ(p[3], 11);
+    alloc.deallocate(p, 4);
 }
 
 TEST(Simulator, NowAdvancesWithEvents) {

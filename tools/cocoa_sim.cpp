@@ -11,8 +11,10 @@
 // prints mean / stddev / 95% CI aggregates. Aggregates are byte-identical
 // for any --threads value.
 
+#include <chrono>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <utility>
 #include <vector>
 
@@ -41,6 +43,52 @@ void print_counters(const std::vector<std::pair<std::string, std::uint64_t>>& sn
         table.add_row({name, std::to_string(value)});
     }
     std::cout << "\ncounters (summed over nodes):\n";
+    table.print(std::cout);
+}
+
+/// Kernel throughput/allocation table for --kernel-stats. Every value except
+/// the events/sec rate comes from deterministic counters (kernel.events.* /
+/// kernel.pool.*); the rate folds in measured wall time, so scripts diffing
+/// output across runs should filter it like the "simulation work" line.
+void print_kernel_stats(
+    const std::vector<std::pair<std::string, std::uint64_t>>& snapshot,
+    std::uint64_t executed, double wall_seconds) {
+    const std::map<std::string, std::uint64_t> kv(snapshot.begin(), snapshot.end());
+    const auto get = [&kv](const std::string& name) -> std::uint64_t {
+        const auto it = kv.find(name);
+        return it == kv.end() ? 0 : it->second;
+    };
+    const auto pool_row = [&get](const std::string& pool) {
+        const std::string base = "kernel.pool." + pool;
+        const std::uint64_t reused = get(base + ".reused");
+        const std::uint64_t fresh = get(base + ".fresh");
+        const std::uint64_t oversize = get(base + ".oversize");
+        const std::uint64_t total = reused + fresh + oversize;
+        std::string cells = std::to_string(reused) + " / " + std::to_string(fresh) +
+                            " / " + std::to_string(oversize);
+        if (total > 0) {
+            cells += "  (" +
+                     metrics::fmt(100.0 * static_cast<double>(reused) /
+                                  static_cast<double>(total)) +
+                     "% hit)";
+        }
+        return cells;
+    };
+
+    metrics::Table table({"kernel stat", "value"});
+    table.add_row({"executed events", std::to_string(executed)});
+    table.add_row({"events/sec",
+                   wall_seconds > 0.0
+                       ? metrics::fmt(static_cast<double>(executed) / wall_seconds)
+                       : std::string("-")});
+    table.add_row({"scheduled", std::to_string(get("kernel.events.scheduled"))});
+    table.add_row({"cancelled", std::to_string(get("kernel.events.cancelled"))});
+    table.add_row({"peak pending", std::to_string(get("kernel.events.peak_pending"))});
+    table.add_row({"callback SBO misses", std::to_string(get("kernel.events.sbo_miss"))});
+    table.add_row({"frame pool (reused/fresh/oversize)", pool_row("frame")});
+    table.add_row({"sensed pool (reused/fresh/oversize)", pool_row("sensed")});
+    table.add_row({"packet pool (reused/fresh/oversize)", pool_row("packet")});
+    std::cout << "\nkernel stats:\n";
     table.print(std::cout);
 }
 
@@ -92,6 +140,7 @@ int main(int argc, char** argv) {
     std::string trace_file;
     std::string trace_format = "chrome";
     bool show_counters = false;
+    bool show_kernel_stats = false;
     bool profile = false;
     int reps = 1;
     int threads = 0;
@@ -135,6 +184,10 @@ int main(int argc, char** argv) {
                   "print the counter registry summed over nodes (and over "
                   "replications with --reps)",
                   &show_counters)
+        .add_flag("kernel-stats",
+                  "print event-kernel throughput and allocation stats "
+                  "(executed events, events/sec, SBO misses, pool hit rates)",
+                  &show_kernel_stats)
         .add_flag("profile", "print wall-clock profiling scopes to stderr", &profile)
         .add_option("reps",
                     "independent replications; >1 runs the parallel engine "
@@ -349,6 +402,12 @@ int main(int argc, char** argv) {
             // table is byte-identical for any --threads value.
             print_counters({set.counter_totals.begin(), set.counter_totals.end()});
         }
+        if (show_kernel_stats) {
+            // executed_events_total and the counters are deterministic; only
+            // the events/sec rate depends on measured wall time.
+            print_kernel_stats({set.counter_totals.begin(), set.counter_totals.end()},
+                               set.executed_events_total, set.total_wall_seconds);
+        }
         std::cout << "\n" << reps << " replications, "
                   << set.total_wall_seconds << " s of simulation work\n";
 
@@ -367,6 +426,7 @@ int main(int argc, char** argv) {
     core::ScenarioResult result;
     std::optional<core::Scenario> scenario;
     std::optional<fault::FaultInjector> injector;
+    double run_wall_seconds = 0.0;
     try {
         config.validate();
         scenario.emplace(config);
@@ -384,7 +444,11 @@ int main(int argc, char** argv) {
         if (!trace_file.empty()) {
             scenario->obs().trace.open_file(trace_file, event_trace_format);
         }
+        const auto run_t0 = std::chrono::steady_clock::now();
         scenario->run();
+        run_wall_seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - run_t0)
+                               .count();
         result = scenario->result();
         if (!trace_file.empty()) {
             const std::uint64_t events = scenario->obs().trace.events_emitted();
@@ -423,6 +487,9 @@ int main(int argc, char** argv) {
     }
     if (show_counters) {
         print_counters(result.counters);
+    }
+    if (show_kernel_stats) {
+        print_kernel_stats(result.counters, result.executed_events, run_wall_seconds);
     }
 
     if (!quiet) {
