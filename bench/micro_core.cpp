@@ -1,7 +1,8 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the simulator and
 // the localization core, plus one end-to-end fig7 scenario. The custom main
-// captures every result and writes the perf-regression artifact BENCH_5.json
-// (path override: COCOA_BENCH_JSON) via bench/perf_json.hpp.
+// captures every result and writes the perf-regression artifact BENCH_6.json
+// (path override: COCOA_BENCH_JSON) via bench/perf_json.hpp. CI diffs that
+// artifact against bench/baseline/BENCH_baseline.json with tools/perf_compare.py.
 //
 // The BM_EventQueue_* benchmarks run the same workload against both kernel
 // implementations (`_legacy` suffix = the tombstone oracle); the churn pair
@@ -25,6 +26,7 @@
 #include "geom/motion.hpp"
 #include "mac/medium.hpp"
 #include "mac/radio.hpp"
+#include "mac/spatial.hpp"
 #include "mobility/odometry.hpp"
 #include "mobility/waypoint.hpp"
 #include "phy/channel.hpp"
@@ -280,6 +282,132 @@ void BM_Medium_FramePool(benchmark::State& state) {
 }
 BENCHMARK(BM_Medium_FramePool);
 
+// ---- hierarchical spatial index (mac/spatial) benchmarks
+
+/// Incremental mobility updates through the cell tree at fig7 density: every
+/// entry random-walks one 1 m step per op, mixing cached-position refreshes
+/// (same cell) with cell migrations. migration_pct reports the measured mix.
+void BM_CellTree_update(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const double side = std::sqrt(static_cast<double>(n) / (50.0 / 40'000.0));
+    mac::spatial::CellTree tree(127.0);
+    sim::RandomStream rng(11);
+    std::vector<geom::Vec2> pos(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        pos[static_cast<std::size_t>(i)] = {rng.uniform(0.0, side),
+                                            rng.uniform(0.0, side)};
+        tree.insert(static_cast<std::size_t>(i), pos[static_cast<std::size_t>(i)]);
+    }
+    std::size_t cursor = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 64; ++i) {
+            geom::Vec2& p = pos[cursor];
+            p.x += rng.uniform(-1.0, 1.0);
+            p.y += rng.uniform(-1.0, 1.0);
+            tree.update(cursor, p);
+            cursor = (cursor + 1) % pos.size();
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 64);
+    const mac::spatial::CellTreeStats& stats = tree.stats();
+    const double updates = static_cast<double>(stats.migrations +
+                                               stats.in_cell_updates);
+    state.counters["migration_pct"] =
+        updates > 0.0 ? 100.0 * static_cast<double>(stats.migrations) / updates
+                      : 0.0;
+}
+BENCHMARK(BM_CellTree_update)->Arg(1024)->Arg(16384);
+
+/// Range queries through the cell tree at fig7 density and the swarm family's
+/// 127 m influence radius: the visited set is O(neighbors) regardless of n,
+/// so ns/op should be flat across the two sizes.
+void BM_CellTree_query(benchmark::State& state) {
+    const int n = static_cast<int>(state.range(0));
+    const double side = std::sqrt(static_cast<double>(n) / (50.0 / 40'000.0));
+    mac::spatial::CellTree tree(127.0);
+    sim::RandomStream rng(12);
+    for (int i = 0; i < n; ++i) {
+        tree.insert(static_cast<std::size_t>(i),
+                    {rng.uniform(0.0, side), rng.uniform(0.0, side)});
+    }
+    for (auto _ : state) {
+        const geom::Vec2 center{rng.uniform(0.0, side), rng.uniform(0.0, side)};
+        // The per-candidate barrier keeps the visit from being hollowed out;
+        // the hit count comes from the tree's own stats rather than a
+        // lambda-captured counter (gcc 12 -O3 loses captured increments in
+        // this shape — harmless here, but it would garble the counter).
+        tree.for_each_in_radius(center, 126.0,
+                                [](std::size_t id, const geom::Vec2& p) {
+                                    benchmark::DoNotOptimize(id);
+                                    benchmark::DoNotOptimize(p.x);
+                                });
+    }
+    state.SetItemsProcessed(state.iterations());
+    const mac::spatial::CellTreeStats& stats = tree.stats();
+    state.counters["hits_per_query"] =
+        static_cast<double>(stats.candidates_visited) /
+        static_cast<double>(std::max<std::uint64_t>(1, stats.queries));
+}
+BENCHMARK(BM_CellTree_query)->Arg(1024)->Arg(16384);
+
+/// Mobile fan-out: BM_MediumFanout with every radio taking a random-walk step
+/// (and notifying the medium) before each transmission, the way the swarm
+/// family drives the index. Run against both backends: the hierarchical tree
+/// absorbs moves as O(1) incremental migrations, while the flat-hash oracle
+/// pays a full rebuild on the next transmission after any move — that ratio
+/// is the headline win of the hierarchical medium.
+void medium_fanout_mobile(benchmark::State& state, mac::MediumIndex index) {
+    const int n = static_cast<int>(state.range(0));
+    const double side = std::sqrt(static_cast<double>(n) / (50.0 / 40'000.0));
+
+    sim::Simulator sim(7);
+    phy::ChannelConfig chcfg;
+    chcfg.tx_power_dbm = -5.0;  // swarm-family influence radius (~127 m)
+    mac::MediumConfig mcfg;
+    mcfg.index = index;
+    mac::Medium medium(sim, phy::Channel{chcfg}, mcfg);
+    sim::RandomStream place(42);
+    std::vector<geom::Vec2> pos(static_cast<std::size_t>(n));
+    std::vector<std::unique_ptr<mac::Radio>> radios;
+    radios.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i) {
+        pos[static_cast<std::size_t>(i)] = {place.uniform(0.0, side),
+                                            place.uniform(0.0, side)};
+        const geom::Vec2* p = &pos[static_cast<std::size_t>(i)];
+        radios.push_back(std::make_unique<mac::Radio>(
+            sim, medium, static_cast<net::NodeId>(i), [p] { return *p; },
+            energy::PowerProfile::wavelan(),
+            sim.rng().stream("bench.backoff", static_cast<std::uint64_t>(i))));
+    }
+
+    net::Packet packet;
+    packet.payload_bytes = 24;
+    sim::RandomStream walk(43);
+    std::size_t sender = 0;
+    for (auto _ : state) {
+        geom::Vec2& p = pos[sender];
+        p.x += walk.uniform(-1.0, 1.0);
+        p.y += walk.uniform(-1.0, 1.0);
+        medium.note_position_moved(*radios[sender]);
+        medium.begin_transmission(*radios[sender], packet,
+                                  sim::Duration::micros(100));
+        sender = (sender + 1) % radios.size();
+        sim.run_until(sim.now() + sim::Duration::millis(1));
+    }
+    state.SetItemsProcessed(state.iterations());
+    state.counters["visited_per_tx"] =
+        static_cast<double>(medium.stats().radios_visited) /
+        static_cast<double>(std::max<std::uint64_t>(1, medium.stats().frames_sent));
+}
+void BM_MediumFanoutMobile(benchmark::State& state) {
+    medium_fanout_mobile(state, mac::MediumIndex::Hierarchical);
+}
+void BM_MediumFanoutMobile_flat(benchmark::State& state) {
+    medium_fanout_mobile(state, mac::MediumIndex::FlatHash);
+}
+BENCHMARK(BM_MediumFanoutMobile)->Arg(256)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_MediumFanoutMobile_flat)->Arg(256)->Arg(1024);
+
 void BM_PdfTableLookup(benchmark::State& state) {
     const phy::PdfTable& table = shared_table();
     sim::RandomStream rng(2);
@@ -428,7 +556,7 @@ int main(int argc, char** argv) {
     json.add_scenario("fig7_cocoa_50robots_30min", wall);
 
     const char* override_path = std::getenv("COCOA_BENCH_JSON");
-    const std::string path = override_path != nullptr ? override_path : "BENCH_5.json";
+    const std::string path = override_path != nullptr ? override_path : "BENCH_6.json";
     if (!json.write(path)) {
         std::cerr << "failed to write " << path << "\n";
         return 1;

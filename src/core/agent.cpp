@@ -91,9 +91,11 @@ void CocoaAgent::start() {
 void CocoaAgent::tick() {
     const auto increments = node_.mobility().advance_to(node_.simulator().now());
     if (!increments.empty()) {
-        // The medium's culling hash keys off positions; a transmission later
-        // in this same timestamp must not reuse pre-movement cells.
-        node_.radio().medium().note_positions_moved();
+        // The medium's spatial index keys off positions; a transmission later
+        // in this same timestamp must not reuse pre-movement cells. Only this
+        // node moved, so the incremental per-radio path suffices (an O(1)
+        // cell migration, vs the bulk note that forces a full sweep).
+        node_.radio().medium().note_position_moved(node_.radio());
     }
     const bool runs_odometry = config_.mode != LocalizationMode::RfOnly &&
                                (config_.role == Role::Blind);

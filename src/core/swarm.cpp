@@ -1,0 +1,148 @@
+#include "core/swarm.hpp"
+
+#include <cmath>
+#include <memory>
+#include <stdexcept>
+
+#include "mobility/waypoint.hpp"
+#include "net/node.hpp"
+#include "sim/simulator.hpp"
+
+namespace cocoa::core {
+
+double SwarmConfig::area_side_m() const {
+    return std::sqrt(static_cast<double>(nodes) / density_per_m2);
+}
+
+void SwarmConfig::validate() const {
+    if (nodes < 2) throw std::invalid_argument("SwarmConfig: nodes >= 2");
+    if (density_per_m2 <= 0.0) throw std::invalid_argument("SwarmConfig: positive density");
+    if (duration <= sim::Duration::zero() || beacon_period <= sim::Duration::zero() ||
+        mobility_tick <= sim::Duration::zero()) {
+        throw std::invalid_argument("SwarmConfig: positive durations");
+    }
+    if (awake_window <= sim::Duration::zero() || awake_window >= beacon_period) {
+        throw std::invalid_argument("SwarmConfig: need 0 < awake_window < beacon_period");
+    }
+    if (min_speed <= 0.0 || max_speed < min_speed) {
+        throw std::invalid_argument("SwarmConfig: need 0 < min_speed <= max_speed");
+    }
+}
+
+namespace {
+
+/// Drives one node's duty cycle: wake at its beacon phase, transmit one
+/// beacon, sleep again once the radio drained its queue. Self-rescheduling.
+class SwarmBeaconer {
+  public:
+    SwarmBeaconer(net::Node& node, const SwarmConfig& config) : node_(node), config_(config) {}
+
+    void start(sim::Duration phase) {
+        node_.simulator().schedule_in(phase, [this] { beacon(); });
+    }
+
+  private:
+    void beacon() {
+        node_.simulator().schedule_in(config_.beacon_period, [this] { beacon(); });
+        mac::Radio& radio = node_.radio();
+        if (radio.is_off() || radio.in_outage()) return;  // fault subsystem owns it
+        radio.wake();
+        net::BeaconPayload payload;
+        payload.anchor_id = node_.id();
+        payload.anchor_position = node_.mobility().position();
+        net::Packet packet;
+        packet.port = net::Port::Beacon;
+        packet.payload_bytes = config_.beacon_bytes;
+        packet.payload = payload;
+        radio.send(std::move(packet));
+        node_.simulator().schedule_in(config_.awake_window, [this] { doze(); });
+    }
+
+    void doze() {
+        mac::Radio& radio = node_.radio();
+        if (radio.is_off() || radio.in_outage() || !radio.awake()) return;
+        if (radio.state() == energy::RadioState::Tx || radio.tx_queue_depth() > 0) {
+            // Congested neighbourhood: the beacon is still queued or on the
+            // air (sleep() mid-transmission is a logic error). Check back in
+            // a little while.
+            node_.simulator().schedule_in(config_.awake_window, [this] { doze(); });
+            return;
+        }
+        radio.sleep();
+    }
+
+    net::Node& node_;
+    const SwarmConfig& config_;
+};
+
+}  // namespace
+
+SwarmResult run_swarm(const SwarmConfig& config) {
+    config.validate();
+    sim::Simulator sim(config.seed);
+    const phy::Channel channel(config.channel);
+
+    mac::MediumConfig medium_config = config.medium;
+    medium_config.register_node_counters = false;
+    net::World world(sim, channel, medium_config);
+
+    const double side = config.area_side_m();
+    mobility::WaypointConfig mobility_config;
+    mobility_config.area = geom::Rect::square(side);
+    mobility_config.min_speed = config.min_speed;
+    mobility_config.max_speed = config.max_speed;
+
+    for (int i = 0; i < config.nodes; ++i) {
+        world.add_node(mobility_config, config.power);
+    }
+
+    // One beacon per node per period, phases spread deterministically across
+    // the period so the air (and the event queue) never sees a global spike.
+    std::vector<std::unique_ptr<SwarmBeaconer>> beaconers;
+    beaconers.reserve(static_cast<std::size_t>(config.nodes));
+    sim::RandomStream phase_rng = sim.rng().stream("swarm.phase");
+    for (int i = 0; i < config.nodes; ++i) {
+        net::Node& node = world.node(static_cast<net::NodeId>(i));
+        beaconers.push_back(std::make_unique<SwarmBeaconer>(node, config));
+        const double phase_s =
+            phase_rng.uniform(0.0, config.beacon_period.to_seconds());
+        beaconers.back()->start(sim::Duration::seconds(phase_s));
+        // Nodes are born asleep: the duty cycle owns all wake windows.
+        node.radio().sleep();
+    }
+
+    // Global mobility tick: advance every node's waypoint motion and migrate
+    // its spatial-index entry — the incremental note_position_moved path, one
+    // O(1) update per node per tick, never a bulk invalidation.
+    struct MobilityTicker {
+        net::World& world;
+        sim::Duration tick;
+        void operator()() {
+            const sim::TimePoint now = world.simulator().now();
+            for (const auto& node : world.nodes()) {
+                node->mobility().advance_to(now);
+                world.medium().note_position_moved(node->radio());
+            }
+            world.simulator().schedule_in(tick, *this);
+        }
+    };
+    sim.schedule_in(config.mobility_tick,
+                    MobilityTicker{world, config.mobility_tick});
+
+    sim.run_until(sim::TimePoint::origin() + config.duration);
+
+    SwarmResult result;
+    result.nodes = config.nodes;
+    result.area_side_m = side;
+    result.sim_seconds = config.duration.to_seconds();
+    result.executed_events = sim.executed_events();
+    result.medium_stats = world.medium().stats();
+    result.index_stats = world.medium().index_stats();
+    result.flat_index_stats = world.medium().flat_index_stats();
+    for (const auto& node : world.nodes()) {
+        result.frames_delivered += node->radio().stats().rx_delivered;
+    }
+    return result;
+}
+
+}  // namespace cocoa::core

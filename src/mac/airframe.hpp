@@ -1,5 +1,6 @@
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -15,12 +16,14 @@ namespace cocoa::mac {
 /// sets `truncated` (Medium::truncate_transmission, the only writer);
 /// per-receiver outcomes (collision corruption) live in the receivers.
 struct AirFrame {
-    /// Verdict block allocator: one frame's sensed_by is always exactly
-    /// `radios` bytes, so Medium hands every frame the same SlabCore and the
-    /// block recycles through its free list. Default-constructed (null core)
-    /// the allocator degrades to plain new, so tests building bare AirFrames
-    /// work unchanged.
-    using SensedBy = std::vector<std::uint8_t, sim::PoolAllocator<std::uint8_t>>;
+    /// Sorted attach indices of the radios that sensed this frame. Sparse on
+    /// purpose: a frame's footprint scales with its radio neighbourhood, not
+    /// with the whole team, which is what keeps a 100k-node swarm from doing
+    /// O(n) work per transmission. Medium hands every frame the same
+    /// SlabCore, so blocks recycle through its free list; default-constructed
+    /// (null core) the allocator degrades to plain new, so tests building
+    /// bare AirFrames work unchanged.
+    using SensedBy = std::vector<std::uint32_t, sim::PoolAllocator<std::uint32_t>>;
 
     net::Packet packet;
     net::NodeId sender = net::kInvalidId;
@@ -30,11 +33,18 @@ struct AirFrame {
     /// The transmitter died mid-frame: the frame stopped at `end` (earlier
     /// than the scheduled airtime) and no receiver can decode it.
     bool truncated = false;
-    /// Per-receiver carrier-sense verdict, indexed by medium attach order,
-    /// fixed at transmission start from the same sampled RSSI the live
-    /// receive path uses. Radios that wake mid-frame consult this instead of
-    /// re-deciding from the mean, so sensing is consistent either way.
+    /// Carrier-sense verdicts, fixed at transmission start from the same
+    /// sampled RSSI the live receive path uses. Radios that wake mid-frame
+    /// consult this instead of re-deciding from the mean, so sensing is
+    /// consistent either way.
     SensedBy sensed_by;
+
+    /// Did the radio at medium attach index `idx` sense this frame? Radios
+    /// attached after the frame launched trivially did not.
+    bool senses(std::size_t idx) const {
+        return std::binary_search(sensed_by.begin(), sensed_by.end(),
+                                  static_cast<std::uint32_t>(idx));
+    }
 };
 
 }  // namespace cocoa::mac

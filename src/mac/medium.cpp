@@ -8,12 +8,27 @@
 
 namespace cocoa::mac {
 
+namespace {
+/// Truncation fan-out slack: a receiver can drift this far between a frame's
+/// launch and its (early) end, so the truncation query widens the cull radius
+/// by it. One metre covers any robot the scenarios model for the few
+/// milliseconds a frame stays on the air.
+constexpr double kTruncateSlackM = 1.0;
+/// Sensed vectors reserve at least this many entries so paper-scale frames
+/// all draw the same-sized block from the slab pool (64 entries * 4 bytes);
+/// denser swarm neighbourhoods fall through to ordinary allocation.
+constexpr std::size_t kSensedReserve = 64;
+}  // namespace
+
 Medium::Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig config)
     : sim_(sim),
       channel_(channel),
       config_(config),
       rssi_seed_base_(sim.rng().derive_seed("medium.rssi", 0)),
-      loss_seed_base_(sim.rng().derive_seed("fault.loss", 0)) {
+      loss_seed_base_(sim.rng().derive_seed("fault.loss", 0)),
+      // Cell side = the largest radius ever queried (the truncation fan-out),
+      // so every query stays within the tree's exact 3x3 neighbourhood bound.
+      tree_((channel.max_influence_range_m() * (1.0 + 1e-9) + 1e-3) + kTruncateSlackM) {
     obs_.counters.add("medium.frames_sent", &stats_.frames_sent);
     obs_.counters.add("medium.missed_asleep", &stats_.missed_asleep);
     // Kernel observability. The queue stats are maintained identically by
@@ -38,16 +53,45 @@ Medium::Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig co
     // Inflate the influence radius by a hair so the bisection rounding in
     // solve_range can never put a should-be-visited radio on the culled side.
     cull_radius_m_ = channel_.max_influence_range_m() * (1.0 + 1e-9) + 1e-3;
+    truncate_radius_m_ = cull_radius_m_ + kTruncateSlackM;
     inv_hash_cell_ = 1.0 / cull_radius_m_;
 }
 
-void Medium::attach(Radio& radio) { radios_.push_back(&radio); }
-
-std::size_t Medium::index_of(const Radio& radio) const {
-    for (std::size_t i = 0; i < radios_.size(); ++i) {
-        if (radios_[i] == &radio) return i;
+std::size_t Medium::attach(Radio& radio) {
+    const std::size_t index = radios_.size();
+    radios_.push_back(&radio);
+    available_.push_back(1);
+    if (hierarchical()) {
+        tree_.insert(static_cast<std::uint32_t>(index), radio.position());
     }
-    return radios_.size();  // never sensed: radio attached after the frame
+    return index;
+}
+
+void Medium::set_radio_available(const Radio& radio, bool available) {
+    const std::size_t index = radio.attach_index();
+    assert(index < radios_.size() && radios_[index] == &radio);
+    if ((available_[index] != 0) == available) return;
+    available_[index] = available ? 1 : 0;
+    if (!hierarchical()) return;
+    if (available) {
+        // Re-enter the index at wherever the robot is *now* — it kept moving
+        // while the radio was dark.
+        tree_.insert(static_cast<std::uint32_t>(index), radio.position());
+    } else {
+        tree_.remove(static_cast<std::uint32_t>(index));
+    }
+}
+
+void Medium::note_position_moved(const Radio& radio) {
+    if (hierarchical()) {
+        // No-op for detached (off / in-outage) radios; they re-enter at
+        // their live position in set_radio_available.
+        tree_.update(static_cast<std::uint32_t>(radio.attach_index()), radio.position());
+    } else {
+        // The flat oracle has no incremental path: any movement invalidates
+        // the whole hash, exactly the pre-hierarchical behaviour.
+        ++position_epoch_;
+    }
 }
 
 void Medium::sweep_expired() {
@@ -68,7 +112,7 @@ void Medium::rebuild_hash_if_stale() {
 #ifndef NDEBUG
         for (std::size_t i = 0; i < radios_.size(); ++i) {
             // A mismatch means something moved a radio without calling
-            // note_positions_moved() — the culling contract.
+            // note_position[s]_moved() — the position contract.
             assert(radios_[i]->position() == hash_positions_[i]);
         }
 #endif
@@ -88,6 +132,25 @@ void Medium::rebuild_hash_if_stale() {
     hash_valid_ = true;
     hash_epoch_ = position_epoch_;
     hash_radio_count_ = radios_.size();
+    ++flat_stats_.full_rebuilds;
+}
+
+void Medium::refresh_tree_if_stale() {
+    if (!bulk_stale_) {
+#ifndef NDEBUG
+        for (std::size_t i = 0; i < radios_.size(); ++i) {
+            // A mismatch means something moved a radio without calling
+            // note_position[s]_moved() — the position contract.
+            assert(!available_[i] ||
+                   tree_.cached_position(static_cast<std::uint32_t>(i)) ==
+                       radios_[i]->position());
+        }
+#endif
+        return;
+    }
+    tree_.refresh_all(
+        [this](std::uint32_t id) { return radios_[id]->position(); });
+    bulk_stale_ = false;
 }
 
 void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
@@ -108,18 +171,17 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
     phy::LossSchedule::Effect loss_effect;
     if (!loss_.empty()) loss_effect = loss_.effect_at(start);
 
-    // Sample each visited receiver's RSSI and fix the carrier-sense verdicts
-    // on the frame, so a radio that wakes mid-flight reads the same answer
-    // the live path acted on. Culled (out-of-influence) radios keep the 0
-    // verdict their clamped draw could never overturn.
-    AirFrame::SensedBy sensed(radios_.size(), 0,
-                              sim::PoolAllocator<std::uint8_t>(sensed_core_));
-    rssi_scratch_.assign(radios_.size(), 0.0);
-    sensed_idx_scratch_.clear();
+    // Sample each visited receiver's RSSI and record the carrier-sense
+    // verdicts sparsely, so a radio that wakes mid-flight reads the same
+    // answer the live path acted on. Culled (out-of-influence) radios keep
+    // the not-sensed verdict their clamped draw could never overturn, and
+    // unavailable (off / in-outage) radios are invisible to propagation.
+    sensed_scratch_.clear();
     std::uint64_t visited = 0;
     const auto visit = [&](std::size_t i) {
         Radio* r = radios_[i];
         if (r == &sender) return;
+        if (available_[i] == 0) return;  // dead air for dead radios
         ++visited;
         const double dist = geom::distance(r->position(), tx_pos);
         sim::SplitMix64 rng(sim::splitmix64_mix(
@@ -144,39 +206,58 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
                 }
             }
         }
-        rssi_scratch_[i] = rssi;
         if (channel_.sensed(rssi)) {
-            sensed[i] = 1;
-            sensed_idx_scratch_.push_back(static_cast<std::uint32_t>(i));
+            sensed_scratch_.push_back(
+                SensedCandidate{static_cast<std::uint32_t>(i), rssi});
         }
     };
 
     if (config_.interference_culling) {
-        rebuild_hash_if_stale();
         const double r2 = cull_radius_m_ * cull_radius_m_;
-        const auto tx_cx = static_cast<std::int64_t>(std::floor(tx_pos.x * inv_hash_cell_));
-        const auto tx_cy = static_cast<std::int64_t>(std::floor(tx_pos.y * inv_hash_cell_));
-        for (std::int64_t cy = tx_cy - 1; cy <= tx_cy + 1; ++cy) {
-            for (std::int64_t cx = tx_cx - 1; cx <= tx_cx + 1; ++cx) {
-                const std::uint64_t key = (static_cast<std::uint64_t>(cx) << 32) ^
-                                          (static_cast<std::uint64_t>(cy) & 0xffffffffull);
-                const auto it = hash_cells_.find(key);
-                if (it == hash_cells_.end()) continue;
-                for (const std::uint32_t i : it->second) {
-                    if (radios_[i] == &sender) continue;
-                    if (geom::distance_sq(radios_[i]->position(), tx_pos) > r2) continue;
+        if (hierarchical()) {
+            refresh_tree_if_stale();
+            tree_.for_each_in_radius(
+                tx_pos, cull_radius_m_, [&](std::uint32_t i, geom::Vec2 /*cached*/) {
+                    if (radios_[i] == &sender) return;
+                    // Exact test against the *live* position: the cached one
+                    // only bucketed the radio, and the cell window is padded
+                    // so every in-radius radio is among the candidates.
+                    if (geom::distance_sq(radios_[i]->position(), tx_pos) > r2) return;
                     visit(i);
+                });
+        } else {
+            rebuild_hash_if_stale();
+            const auto tx_cx = static_cast<std::int64_t>(std::floor(tx_pos.x * inv_hash_cell_));
+            const auto tx_cy = static_cast<std::int64_t>(std::floor(tx_pos.y * inv_hash_cell_));
+            for (std::int64_t cy = tx_cy - 1; cy <= tx_cy + 1; ++cy) {
+                for (std::int64_t cx = tx_cx - 1; cx <= tx_cx + 1; ++cx) {
+                    const std::uint64_t key = (static_cast<std::uint64_t>(cx) << 32) ^
+                                              (static_cast<std::uint64_t>(cy) & 0xffffffffull);
+                    const auto it = hash_cells_.find(key);
+                    if (it == hash_cells_.end()) continue;
+                    for (const std::uint32_t i : it->second) {
+                        if (radios_[i] == &sender) continue;
+                        if (geom::distance_sq(radios_[i]->position(), tx_pos) > r2) continue;
+                        visit(i);
+                    }
                 }
             }
         }
         // The CCA callbacks below must fire in attach order — same-timestamp
         // events are FIFO, and the unculled sweep schedules them ascending.
-        std::sort(sensed_idx_scratch_.begin(), sensed_idx_scratch_.end());
+        std::sort(sensed_scratch_.begin(), sensed_scratch_.end(),
+                  [](const SensedCandidate& a, const SensedCandidate& b) {
+                      return a.idx < b.idx;
+                  });
     } else {
         for (std::size_t i = 0; i < radios_.size(); ++i) visit(i);
     }
     stats_.radios_visited += visited;
     stats_.radios_culled += static_cast<std::uint64_t>(radios_.size()) - 1 - visited;
+
+    AirFrame::SensedBy sensed{sim::PoolAllocator<std::uint32_t>(sensed_core_)};
+    sensed.reserve(std::max(kSensedReserve, sensed_scratch_.size()));
+    for (const SensedCandidate& c : sensed_scratch_) sensed.push_back(c.idx);
 
     // One pooled block carries the shared_ptr control block and the frame;
     // in steady state both it and the sensed_by block above come straight
@@ -189,9 +270,9 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
                         static_cast<std::int64_t>(sender.id()),
                         {{"bytes", static_cast<double>(packet.wire_bytes())}});
 
-    for (const std::uint32_t i : sensed_idx_scratch_) {
-        Radio* r = radios_[i];
-        const double rssi_i = rssi_scratch_[i];
+    for (const SensedCandidate& c : sensed_scratch_) {
+        Radio* r = radios_[c.idx];
+        const double rssi_i = c.rssi_dbm;
         const bool decodable = channel_.decodable(rssi_i);
         // Carrier sensing and receiver lock-on take a CCA delay; radio state
         // is re-checked at that point (the radio may have slept meanwhile).
@@ -219,21 +300,47 @@ void Medium::truncate_transmission(Radio& sender) {
         ++stats_.frames_truncated;
         obs_.trace.instant(now, "mac", "frame_truncated",
                            static_cast<std::int64_t>(sender.id()));
-        // Tell every other radio the air went quiet early: carrier sense
+        // Tell nearby radios the air went quiet early: carrier sense
         // shortens, and a receiver locked on this frame aborts its decode.
-        for (Radio* r : radios_) {
-            if (r == &sender) continue;
-            r->on_frame_truncated(frame);
+        // Radios beyond the (slack-padded) cull radius of the transmit
+        // position never sensed the frame, so notifying them is a no-op both
+        // structures skip identically.
+        const double r2 = truncate_radius_m_ * truncate_radius_m_;
+        const auto in_range = [&](std::uint32_t i) {
+            return radios_[i] != &sender &&
+                   geom::distance_sq(radios_[i]->position(), frame->sender_position) <= r2;
+        };
+        // Notifications restart CSMA (schedule events), so they must run in
+        // ascending attach order — the order the flat sweep produces, and the
+        // FIFO tie-break same-timestamp events rely on.
+        std::vector<std::uint32_t> targets;
+        if (hierarchical()) {
+            refresh_tree_if_stale();
+            tree_.for_each_in_radius(frame->sender_position, truncate_radius_m_,
+                                     [&](std::uint32_t i, geom::Vec2 /*cached*/) {
+                                         if (in_range(i)) targets.push_back(i);
+                                     });
+            std::sort(targets.begin(), targets.end());
+        } else {
+            for (std::size_t i = 0; i < radios_.size(); ++i) {
+                // Unavailable radios mirror the tree's membership: they
+                // rebuild carrier sense from scratch when they come back.
+                if (available_[i] == 0) continue;
+                if (in_range(static_cast<std::uint32_t>(i))) {
+                    targets.push_back(static_cast<std::uint32_t>(i));
+                }
+            }
         }
+        for (const std::uint32_t i : targets) radios_[i]->on_frame_truncated(frame);
     }
 }
 
 sim::TimePoint Medium::sensed_until_for(const Radio& listener) const {
-    const std::size_t idx = index_of(listener);
+    const std::size_t idx = listener.attach_index();
     sim::TimePoint until = sim_.now();
     for (const auto& frame : active_) {
         if (frame->end <= sim_.now() || frame->sender == listener.id()) continue;
-        if (idx < frame->sensed_by.size() && frame->sensed_by[idx] != 0) {
+        if (frame->senses(idx)) {
             until = std::max(until, frame->end);
         }
     }

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "mac/airframe.hpp"
+#include "mac/spatial.hpp"
 #include "obs/obs.hpp"
 #include "phy/channel.hpp"
 #include "phy/loss.hpp"
@@ -16,6 +17,20 @@
 namespace cocoa::mac {
 
 class Radio;
+
+/// Which spatial structure the medium culls receivers with.
+///
+/// `Hierarchical` (the default) is the CellTree in mac/spatial.hpp:
+/// incremental cell migrations per moving radio, detached (off / in-outage)
+/// radios cost nothing, O(neighbors) per transmission. `FlatHash` is the
+/// previous lazily-rebuilt uniform hash, kept as the byte-identity oracle:
+/// configuring with -DCOCOA_FLAT_MEDIUM=ON flips the default so CI can diff
+/// whole-scenario output between the two structures, exactly like the
+/// COCOA_LEGACY_KERNEL gate does for the event queue.
+enum class MediumIndex {
+    Hierarchical,
+    FlatHash,
+};
 
 struct MediumConfig {
     /// An interfering frame within this margin (dB) of the locked frame's
@@ -32,6 +47,18 @@ struct MediumConfig {
     /// shadowing tail bounds the radius conservatively, culling is exact:
     /// the simulation is bit-identical with it on or off.
     bool interference_culling = true;
+    /// Spatial structure behind the culling (see MediumIndex). Both
+    /// structures produce bit-identical simulations; this only selects the
+    /// data structure, and the COCOA_FLAT_MEDIUM build flips the default.
+#ifdef COCOA_FLAT_MEDIUM
+    MediumIndex index = MediumIndex::FlatHash;
+#else
+    MediumIndex index = MediumIndex::Hierarchical;
+#endif
+    /// Register per-node "node.<id>.*" counters (MAC + energy) when radios
+    /// attach. On by default; the 10k–100k-node swarm scenarios turn it off
+    /// so the registry does not hold hundreds of thousands of string names.
+    bool register_node_counters = true;
 };
 
 /// The shared wireless medium: propagates every transmission to all attached
@@ -48,10 +75,11 @@ class Medium {
         /// Frames a sleeping radio would have decoded had it been awake.
         std::uint64_t missed_asleep = 0;
         /// Receivers actually visited (RSSI sampled) across transmissions,
-        /// and receivers skipped by interference culling. Deliberately NOT
-        /// registered in the counter registry: culling must be unobservable,
-        /// and the CI exactness gate diffs `--counters` output between
-        /// culling on and off. Tests read them through stats() instead.
+        /// and receivers skipped by interference culling or radio
+        /// unavailability. Deliberately NOT registered in the counter
+        /// registry: culling must be unobservable, and the CI exactness gate
+        /// diffs `--counters` output between culling on and off. Tests read
+        /// them through stats() instead.
         std::uint64_t radios_visited = 0;
         std::uint64_t radios_culled = 0;
         /// In-flight frames cut short by their transmitter dying, and
@@ -62,13 +90,23 @@ class Medium {
         std::uint64_t fault_rx_dropped = 0;
     };
 
+    /// Flat-hash bookkeeping (oracle build only does real work here).
+    /// Unregistered for the same reason as radios_visited: the hierarchical
+    /// and flat builds must diff clean on `--counters`.
+    struct FlatIndexStats {
+        std::uint64_t full_rebuilds = 0;
+    };
+
     Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig config = {});
 
     Medium(const Medium&) = delete;
     Medium& operator=(const Medium&) = delete;
 
-    /// Registers a radio; the pointer must outlive the medium's use.
-    void attach(Radio& radio);
+    /// Registers a radio and returns its attach index (dense, starting at
+    /// 0); the pointer must outlive the medium's use. Radios are born
+    /// available (powered on) and, under the hierarchical index, enter the
+    /// cell tree at their current position.
+    std::size_t attach(Radio& radio);
 
     /// Starts propagating `packet` from `sender` for `airtime`. Called by
     /// Radio::begin_tx only.
@@ -77,7 +115,7 @@ class Medium {
 
     /// Cuts `sender`'s in-flight frame short at the current time (the
     /// transmitter died or dropped into an outage): the frame becomes
-    /// undecodable, every other radio's carrier-sense state is rebuilt, and
+    /// undecodable, nearby radios' carrier-sense state is rebuilt, and
     /// receivers locked on it abort (counted as rx_aborted). No-op when the
     /// sender has no frame in flight.
     void truncate_transmission(Radio& sender);
@@ -94,13 +132,32 @@ class Medium {
     /// after a radio wakes mid-frame, consistent with the live receive path.
     sim::TimePoint sensed_until_for(const Radio& listener) const;
 
-    /// Invalidates the culling spatial hash. CONTRACT: any code that moves a
-    /// position visible through Radio::position() must call this afterwards
-    /// (CocoaAgent::tick does, right after advancing mobility). The hash is
-    /// reused across transmissions until the epoch changes, which is what
-    /// keeps the per-transmission cost sub-linear; debug builds verify the
-    /// contract by snapshotting positions at rebuild time.
-    void note_positions_moved() { ++position_epoch_; }
+    /// One radio moved: the incremental path behind the position contract.
+    /// Under the hierarchical index this migrates just that radio's cell
+    /// tree entry (an integer compare when it stayed in its cell); under the
+    /// flat hash it invalidates the whole hash, exactly as before.
+    /// CocoaAgent::tick calls this right after advancing its own mobility.
+    void note_position_moved(const Radio& radio);
+
+    /// Coarse fallback: invalidates every cached position at once. Any code
+    /// that moves positions visible through Radio::position() without saying
+    /// whose must call this; the next transmission then refreshes the whole
+    /// structure (a full flat-hash rebuild, or a full cell-tree sweep that
+    /// tests pin to zero in steady state). Prefer note_position_moved().
+    void note_positions_moved() {
+        ++position_epoch_;
+        bulk_stale_ = true;
+    }
+
+    /// Radio availability transitions, called by Radio's power state
+    /// machine: an off / in-outage radio is invisible to propagation (no
+    /// RSSI draw, no sensed verdict, no missed_asleep accounting) and, under
+    /// the hierarchical index, leaves the cell tree entirely so dead robots
+    /// cost nothing per transmission. Idempotent.
+    void set_radio_available(const Radio& radio, bool available);
+    bool radio_available(std::size_t attach_index) const {
+        return available_[attach_index] != 0;
+    }
 
     /// The culling radius actually in use (slightly inflated over the
     /// channel's max-influence range to absorb its bisection rounding).
@@ -108,8 +165,14 @@ class Medium {
 
     const phy::Channel& channel() const { return channel_; }
     double capture_margin_db() const { return config_.capture_margin_db; }
+    const MediumConfig& config() const { return config_; }
     const Stats& stats() const { return stats_; }
     sim::Simulator& simulator() { return sim_; }
+
+    /// Cell-tree traffic statistics (hierarchical index only; zeros under
+    /// the flat oracle). Unregistered — see CellTreeStats.
+    const spatial::CellTreeStats& index_stats() const { return tree_.stats(); }
+    const FlatIndexStats& flat_index_stats() const { return flat_stats_; }
 
     /// Slab pool recycling net::Packet blocks, for components that build
     /// steady-state packets (CocoaAgent's SYNC payloads). Stats surface as
@@ -126,14 +189,19 @@ class Medium {
 
   private:
     void sweep_expired();
-    std::size_t index_of(const Radio& radio) const;
     void rebuild_hash_if_stale();
+    void refresh_tree_if_stale();
     std::uint64_t hash_cell_key(double x, double y) const;
+    bool hierarchical() const { return config_.index == MediumIndex::Hierarchical; }
 
     sim::Simulator& sim_;
     phy::Channel channel_;
     MediumConfig config_;
     std::vector<Radio*> radios_;
+    /// available_[i] mirrors radios_[i]'s power availability (not off, not
+    /// in outage); kept here so the medium can gate propagation and index
+    /// membership without poking radio internals per receiver.
+    std::vector<std::uint8_t> available_;
     /// Non-const so truncate_transmission can pull a frame's end forward;
     /// radios only ever see shared_ptr<const AirFrame>.
     std::vector<std::shared_ptr<AirFrame>> active_;
@@ -148,11 +216,12 @@ class Medium {
     std::uint64_t frame_seq_ = 0;
     phy::LossSchedule loss_;
     Stats stats_;
+    FlatIndexStats flat_stats_;
     obs::Obs obs_;
 
     /// Per-simulation slab pools. Steady-state beacon traffic recycles
     /// AirFrames (control block + object in one pooled block), their
-    /// sensed_by verdict vectors and SYNC Packets, so the transmission fast
+    /// sensed-index vectors and SYNC Packets, so the transmission fast
     /// path performs no heap allocation once warm. Allocator copies hold the
     /// cores via shared_ptr, so pooled blocks safely outlive the Medium
     /// (queue callbacks keep shared_ptr<AirFrame> past world teardown).
@@ -160,10 +229,27 @@ class Medium {
     sim::ObjectPool<net::Packet> packet_pool_;
     std::shared_ptr<sim::SlabCore> sensed_core_ = std::make_shared<sim::SlabCore>();
 
-    // Interference culling: a lazily rebuilt uniform spatial hash over radio
-    // positions, cell side == cull radius so a 3x3 neighbourhood covers every
-    // in-radius receiver.
+    // --- hierarchical index (primary) ---------------------------------------
+    /// Cell side is the cull radius plus the truncation slack, so both the
+    /// fan-out query (radius == cull radius) and the truncation fan-out
+    /// (radius == cull radius + slack) stay within the tree's exact 3x3
+    /// neighbourhood bound.
+    spatial::CellTree tree_;
+    /// Set by note_positions_moved(); the next transmission runs a full
+    /// refresh_all sweep. Steady-state traffic uses note_position_moved()
+    /// and never sets it.
+    bool bulk_stale_ = false;
+
+    // --- flat hash (oracle) -------------------------------------------------
+    // A lazily rebuilt uniform spatial hash over radio positions, cell side
+    // == cull radius so a 3x3 neighbourhood covers every in-radius receiver.
+    // Rebuilt from scratch whenever any position changes — the behaviour the
+    // hierarchical index replaced, kept for the byte-identity gate.
     double cull_radius_m_ = 0.0;
+    /// Receivers farther than this from a truncated frame's transmit
+    /// position cannot have sensed it (cull radius + slack for the distance
+    /// a robot can travel during one frame's airtime).
+    double truncate_radius_m_ = 0.0;
     double inv_hash_cell_ = 0.0;
     std::uint64_t position_epoch_ = 0;
     bool hash_valid_ = false;
@@ -172,13 +258,19 @@ class Medium {
     std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> hash_cells_;
 #ifndef NDEBUG
     /// Positions at the last rebuild, to assert nobody moved a radio without
-    /// calling note_positions_moved().
+    /// calling note_position[s]_moved() — the position contract.
     std::vector<geom::Vec2> hash_positions_;
 #endif
 
-    // Per-transmission scratch, reused across frames to avoid reallocating.
-    std::vector<double> rssi_scratch_;
-    std::vector<std::uint32_t> sensed_idx_scratch_;
+    /// Per-transmission scratch, reused across frames: the sensed receivers
+    /// (attach index + sampled RSSI) of the frame under construction. Sized
+    /// by the neighbourhood, never by the team — the fan-out path carries no
+    /// O(attached radios) work or storage.
+    struct SensedCandidate {
+        std::uint32_t idx;
+        double rssi_dbm;
+    };
+    std::vector<SensedCandidate> sensed_scratch_;
 };
 
 }  // namespace cocoa::mac

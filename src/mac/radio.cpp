@@ -22,16 +22,25 @@ Radio::Radio(sim::Simulator& sim, Medium& medium, net::NodeId id, PositionProvid
     if (config_.bitrate_bps <= 0.0 || config_.cw_min < 0) {
         throw std::invalid_argument("Radio: bad MAC configuration");
     }
-    medium_.attach(*this);
+    attach_index_ = medium_.attach(*this);
 
-    const std::string prefix = "node." + std::to_string(id_) + ".";
-    obs::CounterRegistry& reg = medium_.obs().counters;
-    reg.add(prefix + "mac.tx_frames", &stats_.tx_frames);
-    reg.add(prefix + "mac.rx_delivered", &stats_.rx_delivered);
-    reg.add(prefix + "mac.rx_corrupted", &stats_.rx_corrupted);
-    reg.add(prefix + "mac.rx_captured", &stats_.rx_captured);
-    reg.add(prefix + "mac.rx_aborted", &stats_.rx_aborted);
-    meter_.register_counters(reg, prefix + "energy.");
+    // Swarm-scale scenarios disable the per-node registry names (a 100k-node
+    // team would otherwise hold ~1M counter strings); aggregates and the
+    // meters themselves are unaffected.
+    if (medium_.config().register_node_counters) {
+        const std::string prefix = "node." + std::to_string(id_) + ".";
+        obs::CounterRegistry& reg = medium_.obs().counters;
+        reg.add(prefix + "mac.tx_frames", &stats_.tx_frames);
+        reg.add(prefix + "mac.rx_delivered", &stats_.rx_delivered);
+        reg.add(prefix + "mac.rx_corrupted", &stats_.rx_corrupted);
+        reg.add(prefix + "mac.rx_captured", &stats_.rx_captured);
+        reg.add(prefix + "mac.rx_aborted", &stats_.rx_aborted);
+        meter_.register_counters(reg, prefix + "energy.");
+    }
+}
+
+void Radio::publish_availability() {
+    medium_.set_radio_available(*this, !is_off() && !in_outage());
 }
 
 void Radio::set_state(energy::RadioState next) {
@@ -228,12 +237,14 @@ void Radio::power_off() {
     csma_pending_ = false;
     queue_.clear();
     set_state(energy::RadioState::Off);
+    publish_availability();
 }
 
 void Radio::power_on() {
     if (state_ != energy::RadioState::Off) return;
     outage_ = false;
     set_state(energy::RadioState::Idle);
+    publish_availability();
     sensed_until_ = medium_.sensed_until_for(*this);
     medium_.obs().trace.instant(sim_.now(), "mac", "power_on",
                                 static_cast<std::int64_t>(id_));
@@ -259,6 +270,7 @@ void Radio::begin_outage() {
     csma_pending_ = false;
     queue_.clear();
     set_state(energy::RadioState::Sleep);
+    publish_availability();
     medium_.obs().trace.instant(sim_.now(), "mac", "outage_begin",
                                 static_cast<std::int64_t>(id_));
 }
@@ -268,6 +280,7 @@ void Radio::end_outage() {
     outage_ = false;
     if (state_ == energy::RadioState::Off) return;  // crashed during the outage
     set_state(energy::RadioState::Idle);
+    publish_availability();
     sensed_until_ = medium_.sensed_until_for(*this);
     medium_.obs().trace.instant(sim_.now(), "mac", "outage_end",
                                 static_cast<std::int64_t>(id_));

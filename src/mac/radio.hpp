@@ -51,6 +51,9 @@ class Radio {
     Radio& operator=(const Radio&) = delete;
 
     net::NodeId id() const { return id_; }
+    /// Dense index assigned by Medium::attach — the radio's identity in the
+    /// spatial index, availability table and AirFrame sensed sets.
+    std::size_t attach_index() const { return attach_index_; }
     geom::Vec2 position() const { return position_(); }
     Medium& medium() { return medium_; }
     const Medium& medium() const { return medium_; }
@@ -132,8 +135,13 @@ class Radio {
         bool corrupted = false;
     };
 
+    /// Tells the medium whether this radio can touch the air at all (not
+    /// off, not in an outage); unavailable radios leave the spatial index.
+    void publish_availability();
+
     sim::Simulator& sim_;
     Medium& medium_;
+    std::size_t attach_index_ = 0;
     net::NodeId id_;
     PositionProvider position_;
     MacConfig config_;

@@ -1,0 +1,121 @@
+#include "mac/spatial.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace cocoa::mac::spatial {
+
+CellTree::CellTree(double cell_side_m) : cell_side_m_(cell_side_m) {
+    if (!(cell_side_m > 0.0)) {
+        throw std::invalid_argument("CellTree: cell side must be positive");
+    }
+    inv_cell_ = 1.0 / cell_side_m;
+}
+
+std::int64_t CellTree::cell_coord(double v) const {
+    return static_cast<std::int64_t>(std::floor(v * inv_cell_));
+}
+
+std::uint64_t CellTree::tile_key(std::int64_t tx, std::int64_t ty) {
+    return (static_cast<std::uint64_t>(tx) << 32) ^
+           (static_cast<std::uint64_t>(ty) & 0xffffffffull);
+}
+
+unsigned CellTree::local_cell(std::int64_t cx, std::int64_t cy) {
+    // Low bits select the cell inside the 8x8 tile; arithmetic shift in
+    // cell_coord keeps this consistent for negative coordinates.
+    const unsigned lx = static_cast<unsigned>(cx & (kTileSide - 1));
+    const unsigned ly = static_cast<unsigned>(cy & (kTileSide - 1));
+    return ly * kTileSide + lx;
+}
+
+CellTree::Tile* CellTree::find_tile(std::int64_t tx, std::int64_t ty) const {
+    const auto it = tiles_.find(tile_key(tx, ty));
+    return it == tiles_.end() ? nullptr : it->second.get();
+}
+
+CellTree::Tile& CellTree::tile_for(std::int64_t tx, std::int64_t ty) {
+    std::unique_ptr<Tile>& slot = tiles_[tile_key(tx, ty)];
+    if (slot == nullptr) slot = std::make_unique<Tile>();
+    return *slot;
+}
+
+void CellTree::place(std::uint32_t id, std::int64_t cx, std::int64_t cy,
+                     geom::Vec2 pos) {
+    Tile& tile = tile_for(cx >> kTileShift, cy >> kTileShift);
+    const unsigned local = local_cell(cx, cy);
+    std::vector<Slot>& bucket = tile.cells[local];
+    bucket.push_back(Slot{id, pos});
+    tile.occupancy |= std::uint64_t{1} << local;
+    ++tile.population;
+    Entry& e = entries_[id];
+    e.tile = &tile;
+    e.cx = cx;
+    e.cy = cy;
+    e.slot = static_cast<std::uint32_t>(bucket.size() - 1);
+    e.pos = pos;
+}
+
+void CellTree::unplace(std::uint32_t id) {
+    Entry& e = entries_[id];
+    Tile& tile = *e.tile;
+    const unsigned local = local_cell(e.cx, e.cy);
+    std::vector<Slot>& bucket = tile.cells[local];
+    // Swap-pop; patch the moved entry's back-reference.
+    const std::uint32_t last = static_cast<std::uint32_t>(bucket.size() - 1);
+    if (e.slot != last) {
+        bucket[e.slot] = bucket[last];
+        entries_[bucket[e.slot].id].slot = e.slot;
+    }
+    bucket.pop_back();
+    if (bucket.empty()) tile.occupancy &= ~(std::uint64_t{1} << local);
+    --tile.population;
+    if (tile.population == 0) {
+        // Reclaim the empty tile so a swarm sweeping across a city never
+        // accretes dead tiles along its wake.
+        tiles_.erase(tile_key(e.cx >> kTileShift, e.cy >> kTileShift));
+    }
+    e.tile = nullptr;
+}
+
+void CellTree::insert(std::uint32_t id, geom::Vec2 pos) {
+    if (id >= entries_.size()) entries_.resize(id + 1);
+    assert(entries_[id].tile == nullptr && "CellTree::insert: id already present");
+    if (entries_[id].tile != nullptr) unplace(id);
+    place(id, cell_coord(pos.x), cell_coord(pos.y), pos);
+    ++size_;
+    ++stats_.inserts;
+}
+
+void CellTree::remove(std::uint32_t id) {
+    if (!contains(id)) return;
+    unplace(id);
+    --size_;
+    ++stats_.removes;
+}
+
+void CellTree::update(std::uint32_t id, geom::Vec2 pos) {
+    if (!contains(id)) return;
+    update_present(id, pos);
+}
+
+void CellTree::update_present(std::uint32_t id, geom::Vec2 pos) {
+    Entry& e = entries_[id];
+    const std::int64_t cx = cell_coord(pos.x);
+    const std::int64_t cy = cell_coord(pos.y);
+    if (cx == e.cx && cy == e.cy) {
+        // Same cell: refresh the cached position in place (queries hand the
+        // cached value to callers, and the medium's debug contract check
+        // compares it against the live provider).
+        e.pos = pos;
+        e.tile->cells[local_cell(cx, cy)][e.slot].pos = pos;
+        ++stats_.in_cell_updates;
+        return;
+    }
+    unplace(id);
+    place(id, cx, cy, pos);
+    ++stats_.migrations;
+}
+
+}  // namespace cocoa::mac::spatial

@@ -1,0 +1,175 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "geom/vec2.hpp"
+
+namespace cocoa::mac::spatial {
+
+/// Mutation/traffic statistics for one CellTree. Deliberately not wired into
+/// the obs counter registry: the hierarchical and flat medium builds must
+/// produce byte-identical `--counters` output (the CI oracle gate diffs
+/// them), so index bookkeeping is only visible through Medium::index_stats()
+/// and tests/benches that read it directly.
+struct CellTreeStats {
+    std::uint64_t inserts = 0;
+    std::uint64_t removes = 0;
+    /// update() calls that crossed a cell boundary and moved the entry.
+    std::uint64_t migrations = 0;
+    /// update() calls that stayed inside the entry's current cell.
+    std::uint64_t in_cell_updates = 0;
+    /// refresh_all() sweeps (the coarse note_positions_moved() fallback —
+    /// steady-state simulation traffic must never trigger one).
+    std::uint64_t full_refreshes = 0;
+    std::uint64_t queries = 0;
+    /// Candidate entries inspected by queries before the exact radius test.
+    std::uint64_t candidates_visited = 0;
+};
+
+/// Two-level hierarchical spatial index over point entries with dense
+/// uint32 ids: a sparse hash of *tiles* (level 1), each tile owning an 8x8
+/// block of *cells* (level 0) plus a 64-bit occupancy mask.
+///
+/// The cell side is chosen by the owner (the medium uses its interference
+/// cull radius, so a radius query touches at most a 3x3 cell neighbourhood
+/// = at most 4 tiles). Empty space costs nothing: tiles exist only while
+/// they hold entries, and a query prunes 64 cells at a time through the
+/// occupancy mask before it ever touches a bucket.
+///
+/// All mutations are incremental and O(1) amortized:
+///   - insert/remove keep a per-id back-reference (tile, cell, slot) so
+///     removal is a swap-pop, never a scan;
+///   - update(id, pos) compares the entry's cached cell and migrates only on
+///     a boundary crossing — the steady-state mobility tick does one integer
+///     compare per moving entry, the incremental replacement for the flat
+///     medium's whole-hash rebuild.
+///
+/// Queries visit each candidate exactly once and pass the *cached* position
+/// to the callback; callers that need the live position (the medium, whose
+/// radios answer position() through a provider) re-read it themselves.
+/// Iteration order is deterministic (cell-major over the fixed 3x3 window,
+/// insertion order within a bucket) but NOT sorted by id; order-sensitive
+/// callers sort afterwards, as the medium does for its CCA schedule.
+class CellTree {
+  public:
+    /// `cell_side_m` > 0 is the leaf cell width; queries are exact for any
+    /// radius <= cell_side_m (the 3x3 neighbourhood bound).
+    explicit CellTree(double cell_side_m);
+
+    CellTree(const CellTree&) = delete;
+    CellTree& operator=(const CellTree&) = delete;
+
+    /// Inserts `id` at `pos`. Ids are dense and small (medium attach
+    /// indices); inserting an id already present is a logic error (asserted
+    /// in debug builds, last write wins otherwise).
+    void insert(std::uint32_t id, geom::Vec2 pos);
+
+    /// Removes `id`; no-op when absent (radios can crash during an outage,
+    /// which already detached them).
+    void remove(std::uint32_t id);
+
+    /// Re-buckets `id` for its new position: an integer compare when the
+    /// entry stayed in its cell, a swap-pop + push when it crossed a
+    /// boundary. No-op when the id is not present (detached radios keep
+    /// moving; they re-enter at their current position on power_on()).
+    void update(std::uint32_t id, geom::Vec2 pos);
+
+    bool contains(std::uint32_t id) const {
+        return id < entries_.size() && entries_[id].tile != nullptr;
+    }
+    std::size_t size() const { return size_; }
+
+    /// Calls `fn(id, cached_pos)` for every entry within `radius` of
+    /// `center`, plus boundary candidates up to one cell farther (callers
+    /// apply their exact predicate; the medium re-checks against live
+    /// positions). `radius` must be <= the cell side.
+    template <typename Fn>
+    void for_each_in_radius(geom::Vec2 center, double radius, Fn&& fn) const {
+        ++stats_.queries;
+        const std::int64_t ccx = cell_coord(center.x);
+        const std::int64_t ccy = cell_coord(center.y);
+        (void)radius;  // the 3x3 window covers any radius <= cell_side_m
+        for (std::int64_t cy = ccy - 1; cy <= ccy + 1; ++cy) {
+            for (std::int64_t cx = ccx - 1; cx <= ccx + 1; ++cx) {
+                const Tile* tile = find_tile(cx >> kTileShift, cy >> kTileShift);
+                if (tile == nullptr) continue;
+                const unsigned local =
+                    local_cell(cx, cy);
+                if ((tile->occupancy & (std::uint64_t{1} << local)) == 0) continue;
+                for (const Slot& s : tile->cells[local]) {
+                    ++stats_.candidates_visited;
+                    fn(s.id, s.pos);
+                }
+            }
+        }
+    }
+
+    /// Re-reads every present entry's position through `pos_of(id)` and
+    /// migrates the stale ones — the coarse fallback behind the medium's
+    /// bulk note_positions_moved() contract. O(entries); steady-state code
+    /// paths use update() instead and tests pin full_refreshes to zero.
+    template <typename PosFn>
+    void refresh_all(PosFn&& pos_of) {
+        ++stats_.full_refreshes;
+        for (std::uint32_t id = 0; id < entries_.size(); ++id) {
+            if (entries_[id].tile == nullptr) continue;
+            update_present(id, pos_of(id));
+        }
+    }
+
+    /// Cached position of a present entry (debug/test aid).
+    geom::Vec2 cached_position(std::uint32_t id) const { return entries_[id].pos; }
+
+    const CellTreeStats& stats() const { return stats_; }
+    /// Tiles currently allocated (empty ones are reclaimed lazily on
+    /// removal when their occupancy mask drains).
+    std::size_t tile_count() const { return tiles_.size(); }
+
+  private:
+    /// 8x8 cells per tile: one occupancy word, and tile lookups amortize
+    /// over 64 cells of space.
+    static constexpr int kTileShift = 3;
+    static constexpr int kTileSide = 1 << kTileShift;
+
+    struct Slot {
+        std::uint32_t id;
+        geom::Vec2 pos;
+    };
+
+    struct Tile {
+        std::uint64_t occupancy = 0;
+        std::uint32_t population = 0;
+        std::vector<Slot> cells[kTileSide * kTileSide];
+    };
+
+    /// Back-reference: where an entry currently lives, plus its cached
+    /// bucketing position. tile == nullptr means "not present".
+    struct Entry {
+        Tile* tile = nullptr;
+        std::int64_t cx = 0;
+        std::int64_t cy = 0;
+        std::uint32_t slot = 0;
+        geom::Vec2 pos{};
+    };
+
+    std::int64_t cell_coord(double v) const;
+    static std::uint64_t tile_key(std::int64_t tx, std::int64_t ty);
+    static unsigned local_cell(std::int64_t cx, std::int64_t cy);
+    Tile* find_tile(std::int64_t tx, std::int64_t ty) const;
+    Tile& tile_for(std::int64_t tx, std::int64_t ty);
+    void place(std::uint32_t id, std::int64_t cx, std::int64_t cy, geom::Vec2 pos);
+    void unplace(std::uint32_t id);
+    void update_present(std::uint32_t id, geom::Vec2 pos);
+
+    double inv_cell_ = 0.0;
+    double cell_side_m_ = 0.0;
+    std::size_t size_ = 0;
+    std::vector<Entry> entries_;
+    std::unordered_map<std::uint64_t, std::unique_ptr<Tile>> tiles_;
+    mutable CellTreeStats stats_;
+};
+
+}  // namespace cocoa::mac::spatial

@@ -20,6 +20,7 @@
 
 #include "cli/args.hpp"
 #include "core/scenario.hpp"
+#include "core/swarm.hpp"
 #include "exp/replication.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
@@ -144,6 +145,8 @@ int main(int argc, char** argv) {
     bool profile = false;
     int reps = 1;
     int threads = 0;
+    int swarm_nodes = 0;
+    std::string medium_backend;
     std::string fault_spec;
     std::string fault_file;
     double avail_threshold_m = 10.0;
@@ -197,6 +200,20 @@ int main(int argc, char** argv) {
                     "worker threads for --reps; 0 = all hardware threads "
                     "(default 0)",
                     &threads, 0, 4096)
+        .add_option("nodes",
+                    "run the large-N swarm family instead of the CoCoA "
+                    "scenario: N duty-cycled beaconing radios at fig7 density "
+                    "on a sqrt(N)-sized area (honours --seed, --duration, "
+                    "--no-culling, --medium, --quiet; prints a 'swarm-json:' "
+                    "line for the CI scaling job)",
+                    &swarm_nodes, 0, 1000000)
+        .add_option("medium",
+                    "hier | flat: override the medium's spatial-index "
+                    "backend (default: the build's — flat only with "
+                    "-DCOCOA_FLAT_MEDIUM=ON). Output is bit-identical "
+                    "either way; this exists for the CI oracle gate and "
+                    "perf comparison",
+                    &medium_backend)
         .add_option("fault",
                     "inject faults: ';'-separated specs like "
                     "'crash@300:node=3;loss@600+60:p=0.5' (see docs/faults.md)",
@@ -229,6 +246,69 @@ int main(int argc, char** argv) {
     config.sleep_coordination = !no_sleep;
     config.blind_beaconing = blind_beaconing;
     config.medium.interference_culling = !no_culling;
+    if (!medium_backend.empty()) {
+        if (medium_backend == "hier") {
+            config.medium.index = mac::MediumIndex::Hierarchical;
+        } else if (medium_backend == "flat") {
+            config.medium.index = mac::MediumIndex::FlatHash;
+        } else {
+            return fail("unknown --medium '" + medium_backend + "' (hier | flat)");
+        }
+    }
+
+    if (swarm_nodes > 0) {
+        core::SwarmConfig sc;
+        sc.nodes = swarm_nodes;
+        sc.seed = seed;
+        sc.duration = sim::Duration::seconds(duration_s);
+        sc.medium = config.medium;
+        core::SwarmResult r;
+        const auto t0 = std::chrono::steady_clock::now();
+        try {
+            r = core::run_swarm(sc);
+        } catch (const std::exception& e) {
+            return fail(e.what());
+        }
+        const double wall_s =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+                .count();
+        const double events_per_node =
+            static_cast<double>(r.executed_events) / static_cast<double>(r.nodes);
+        if (!quiet) {
+            metrics::Table table({"swarm metric", "value"});
+            table.add_row({"nodes", std::to_string(r.nodes)});
+            table.add_row({"area side (m)", metrics::fmt(r.area_side_m)});
+            table.add_row({"simulated (s)", metrics::fmt(r.sim_seconds)});
+            table.add_row({"wall (s)", metrics::fmt(wall_s)});
+            table.add_row({"events executed", std::to_string(r.executed_events)});
+            table.add_row({"events per node", metrics::fmt(events_per_node)});
+            table.add_row({"frames on air", std::to_string(r.medium_stats.frames_sent)});
+            table.add_row({"frames delivered", std::to_string(r.frames_delivered)});
+            table.add_row({"missed asleep", std::to_string(r.medium_stats.missed_asleep)});
+            table.add_row({"index migrations", std::to_string(r.index_stats.migrations)});
+            table.add_row(
+                {"index in-cell updates", std::to_string(r.index_stats.in_cell_updates)});
+            table.add_row(
+                {"index full refreshes", std::to_string(r.index_stats.full_refreshes)});
+            table.add_row(
+                {"flat-hash rebuilds", std::to_string(r.flat_index_stats.full_rebuilds)});
+            table.print(std::cout);
+        }
+        // Machine-readable line for tools/check_scaling.py and the CI
+        // scaling-curve artifact. One line, stable keys.
+        std::cout << "swarm-json: {\"nodes\":" << r.nodes
+                  << ",\"area_side_m\":" << r.area_side_m
+                  << ",\"sim_s\":" << r.sim_seconds << ",\"wall_s\":" << wall_s
+                  << ",\"events\":" << r.executed_events
+                  << ",\"events_per_node\":" << events_per_node
+                  << ",\"frames_sent\":" << r.medium_stats.frames_sent
+                  << ",\"frames_delivered\":" << r.frames_delivered
+                  << ",\"index_migrations\":" << r.index_stats.migrations
+                  << ",\"index_full_refreshes\":" << r.index_stats.full_refreshes
+                  << ",\"flat_rebuilds\":" << r.flat_index_stats.full_rebuilds
+                  << "}\n";
+        return 0;
+    }
 
     if (mode == "cocoa") {
         config.mode = core::LocalizationMode::Combined;

@@ -1,0 +1,95 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: diff a fresh BENCH_6.json against the committed
+baseline (bench/baseline/BENCH_baseline.json).
+
+CI boxes and developer machines run at wildly different speeds, so raw ns/op
+is never compared directly. Instead every benchmark's fresh/baseline ratio is
+normalized by the *median* ratio across the whole suite — uniform machine
+speed cancels out, and only benchmarks that moved relative to their peers
+remain. The gate is deliberately generous (default: fail only when a
+benchmark got more than 2x slower after normalization); it exists to catch
+accidental algorithmic regressions, not nanosecond drift.
+
+Usage: perf_compare.py BASELINE FRESH [--tolerance 2.0]
+Exit status: 0 = within tolerance, 1 = regression, 2 = bad input.
+"""
+
+import argparse
+import json
+import statistics
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        sys.exit(f"perf_compare: cannot read {path}: {e}")
+    if doc.get("schema") != "cocoa-perf-1":
+        sys.exit(f"perf_compare: {path}: unexpected schema {doc.get('schema')!r}")
+    series = {}
+    for entry in doc.get("benchmarks", []):
+        series[entry["name"]] = float(entry["ns_per_op"])
+    for entry in doc.get("scenarios", []):
+        # Scenario wall times ride through the same normalization; seconds vs
+        # nanoseconds is irrelevant because only ratios are compared.
+        series["scenario:" + entry["name"]] = float(entry["wall_seconds"])
+    return series
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("fresh")
+    parser.add_argument("--tolerance", type=float, default=2.0,
+                        help="fail when normalized slowdown exceeds this "
+                             "factor (default: %(default)s)")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    fresh = load(args.fresh)
+
+    common = sorted(set(base) & set(fresh))
+    if len(common) < 3:
+        sys.exit(f"perf_compare: only {len(common)} comparable entries "
+                 f"between {args.baseline} and {args.fresh}")
+    for name in sorted(set(base) - set(fresh)):
+        print(f"  note: in baseline only (renamed/removed?): {name}")
+    for name in sorted(set(fresh) - set(base)):
+        print(f"  note: new, no baseline yet: {name}")
+
+    ratios = {n: fresh[n] / base[n] for n in common if base[n] > 0.0}
+    median = statistics.median(ratios.values())
+    print(f"median fresh/baseline ratio (machine-speed normalizer): "
+          f"{median:.3f}")
+
+    regressions = []
+    width = max(len(n) for n in common)
+    for name in common:
+        norm = ratios[name] / median
+        flag = ""
+        if norm > args.tolerance:
+            flag = "  << REGRESSION"
+            regressions.append((name, norm))
+        elif norm < 1.0 / args.tolerance:
+            flag = "  (improved)"
+        print(f"  {name:<{width}}  {base[name]:>12.1f} -> {fresh[name]:>12.1f}"
+              f"  norm x{norm:.2f}{flag}")
+
+    if regressions:
+        print(f"\n{len(regressions)} benchmark(s) regressed beyond "
+              f"{args.tolerance:.1f}x after machine-speed normalization:")
+        for name, norm in regressions:
+            print(f"  {name}: x{norm:.2f}")
+        print("If the slowdown is intended, regenerate the baseline:\n"
+              "  COCOA_BENCH_JSON=bench/baseline/BENCH_baseline.json "
+              "./build/bench/micro_core")
+        return 1
+    print(f"\nall {len(common)} entries within {args.tolerance:.1f}x "
+          f"of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
