@@ -159,9 +159,12 @@ void BM_EventQueue_churn_legacy(benchmark::State& state) {
 BENCHMARK(BM_EventQueue_churn)->Arg(256);
 BENCHMARK(BM_EventQueue_churn_legacy)->Arg(256);
 
-// The radial-kernel fast path and the sqrt+exp reference path, at three grid
-// resolutions (the range arg is the cell side in metres). The ratio between
-// the two is the kernel speedup the acceptance criteria track.
+// The radial-kernel fast path (blocked SIMD-dispatched kernels), its serial
+// pre-blocking twin (`_scalar`, the gridk::ForcePath::Serial path), and the
+// sqrt+exp reference path, at three grid resolutions (the range arg is the
+// cell side in metres). The SIMD-vs-_scalar ratio is the speedup the
+// acceptance criteria track; both include the fused normalize+moments pass,
+// so the comparison is pass-for-pass.
 void BM_GridApplyConstraint(benchmark::State& state) {
     core::GridConfig cfg;
     cfg.area = geom::Rect::square(200.0);
@@ -173,8 +176,25 @@ void BM_GridApplyConstraint(benchmark::State& state) {
     }
     state.SetItemsProcessed(state.iterations() *
                             static_cast<std::int64_t>(grid.cell_count()));
+    state.SetLabel(core::gridk::active_isa());
 }
 BENCHMARK(BM_GridApplyConstraint)->Arg(1)->Arg(2)->Arg(4);
+
+void BM_GridApplyConstraint_scalar(benchmark::State& state) {
+    core::GridConfig cfg;
+    cfg.area = geom::Rect::square(200.0);
+    cfg.cell_m = static_cast<double>(state.range(0));
+    core::BayesGrid grid(cfg);
+    const phy::DistancePdf* pdf = shared_table().lookup(-65.0);
+    core::gridk::set_force_path(core::gridk::ForcePath::Serial);
+    for (auto _ : state) {
+        grid.apply_constraint({100.0, 100.0}, *pdf);
+    }
+    core::gridk::set_force_path(core::gridk::ForcePath::None);
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(grid.cell_count()));
+}
+BENCHMARK(BM_GridApplyConstraint_scalar)->Arg(1)->Arg(2)->Arg(4);
 
 void BM_GridApplyConstraintExact(benchmark::State& state) {
     core::GridConfig cfg;
@@ -189,21 +209,6 @@ void BM_GridApplyConstraintExact(benchmark::State& state) {
                             static_cast<std::int64_t>(grid.cell_count()));
 }
 BENCHMARK(BM_GridApplyConstraintExact)->Arg(1)->Arg(2)->Arg(4);
-
-void BM_GridMean(benchmark::State& state) {
-    core::GridConfig cfg;
-    cfg.area = geom::Rect::square(200.0);
-    cfg.cell_m = 2.0;
-    core::BayesGrid grid(cfg);
-    for (auto _ : state) {
-        // Re-apply so every iteration recomputes the fused stats pass rather
-        // than serving the (then-valid) cache.
-        grid.apply_constraint({100.0, 100.0}, *shared_table().lookup(-65.0));
-        benchmark::DoNotOptimize(grid.mean());
-        benchmark::DoNotOptimize(grid.spread());
-    }
-}
-BENCHMARK(BM_GridMean);
 
 // Transmission fan-out through the medium at three network sizes, with
 // interference culling on (arg 1 == 1) or off. The area grows with the node
@@ -485,8 +490,38 @@ void BM_FullFix25Anchors(benchmark::State& state) {
         benchmark::DoNotOptimize(loc.compute_fix(obs));
     }
     state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(obs.size()));
+    state.SetLabel(core::gridk::active_isa());
 }
 BENCHMARK(BM_FullFix25Anchors);
+
+// Serial twin of BM_FullFix25Anchors: the whole fix on the pre-blocking
+// sequential grid path. The ratio to BM_FullFix25Anchors is the end-to-end
+// SIMD speedup of a localization fix.
+void BM_FullFix25Anchors_scalar(benchmark::State& state) {
+    core::GridConfig cfg;
+    cfg.area = geom::Rect::square(200.0);
+    cfg.cell_m = 2.0;
+    auto table = std::make_shared<const phy::PdfTable>(shared_table());
+    core::RfLocalizer loc(cfg, table);
+    const phy::Channel ch;
+    sim::RandomStream rng(8);
+    std::vector<core::BeaconObservation> obs;
+    const geom::Vec2 truth{100.0, 100.0};
+    for (int a = 0; a < 25; ++a) {
+        const geom::Vec2 anchor{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+        for (int k = 0; k < 3; ++k) {
+            const double rssi = ch.sample_rssi_dbm(geom::distance(anchor, truth), rng);
+            if (rssi >= ch.config().rx_sensitivity_dbm) obs.push_back({anchor, rssi});
+        }
+    }
+    core::gridk::set_force_path(core::gridk::ForcePath::Serial);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(loc.compute_fix(obs));
+    }
+    core::gridk::set_force_path(core::gridk::ForcePath::None);
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(obs.size()));
+}
+BENCHMARK(BM_FullFix25Anchors_scalar);
 
 /// google-benchmark <= 1.7 flags failed runs with `Run::error_occurred`;
 /// 1.8+ replaced it with the `Run::skipped` enum. Detect whichever member

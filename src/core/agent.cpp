@@ -56,6 +56,12 @@ CocoaAgent::CocoaAgent(net::Node& node, const AgentConfig& config,
     localizer_.register_counters(reg, prefix + "localizer.");
 }
 
+CocoaAgent::~CocoaAgent() {
+    // The worker writes into this object; join (and fold in) any in-flight
+    // job before members start dying.
+    resolve_pending_fix();
+}
+
 void CocoaAgent::start() {
     tick();
     // Odometry starts anchored either at the true pose (the paper provides
@@ -89,12 +95,21 @@ void CocoaAgent::start() {
 }
 
 void CocoaAgent::tick() {
+    // A pooled fix from the last window folds in before anything else: the
+    // agent's observable state must be exactly what the inline computation
+    // would have left at this point of the event time-line.
+    resolve_pending();
     const auto increments = node_.mobility().advance_to(node_.simulator().now());
-    if (!increments.empty()) {
+    bool moved = false;
+    for (const auto& inc : increments) moved = moved || inc.forward_m != 0.0;
+    if (moved) {
         // The medium's spatial index keys off positions; a transmission later
         // in this same timestamp must not reuse pre-movement cells. Only this
         // node moved, so the incremental per-radio path suffices (an O(1)
-        // cell migration, vs the bulk note that forces a full sweep).
+        // cell migration, vs the bulk note that forces a full sweep). Pure
+        // rotation or a waypoint pause leaves the position untouched, so
+        // those increments don't warrant a note at all — under the flat
+        // oracle an unwarranted note rebuilds the entire hash.
         node_.radio().medium().note_position_moved(node_.radio());
     }
     const bool runs_odometry = config_.mode != LocalizationMode::RfOnly &&
@@ -289,37 +304,35 @@ void CocoaAgent::on_window_end(std::uint32_t seq) {
 
     if (config_.role == Role::Blind && config_.mode != LocalizationMode::OdometryOnly &&
         config_.mode != LocalizationMode::Ekf) {
-        const std::optional<Fix> fix = localizer_.compute_fix(window_beacons_);
-        window_beacons_.clear();
-        if (fix.has_value()) {
-            ever_fixed_ = true;
-            last_fix_spread_m_ = fix->posterior_spread_m;
-            ++stats_.fixes;
-            node_.radio().medium().obs().trace.instant(
-                node_.simulator().now(), "cocoa", "fix",
-                static_cast<std::int64_t>(node_.id()),
-                {{"x", fix->position.x},
-                 {"y", fix->position.y},
-                 {"beacons", static_cast<double>(fix->beacons_used)},
-                 {"err_m", (fix->position - true_position()).norm()}});
-            if (config_.mode == LocalizationMode::RfOnly) {
-                rf_position_ = fix->position;
-            } else {
-                // CoCoA: re-anchor dead reckoning at the fix. Heading is
-                // re-anchored too when heading_correction_at_fix is set
-                // (see AgentConfig for the modelling rationale).
-                const double heading = config_.heading_correction_at_fix
-                                           ? node_.mobility().heading()
-                                           : odometry_.heading();
-                odometry_.reset(fix->position, heading);
-            }
+        // Heading is sampled at window end either way (see AgentConfig for
+        // the heading_correction_at_fix rationale): a deferred fix must
+        // re-anchor with the heading the inline computation would have used.
+        const double heading = config_.heading_correction_at_fix
+                                   ? node_.mobility().heading()
+                                   : odometry_.heading();
+        if (config_.fix_pool != nullptr &&
+            !node_.radio().medium().obs().trace.enabled()) {
+            // Batched path: snapshot the window's beacons and hand the pure
+            // grid update (no RNG, no shared state beyond this agent's own
+            // localizer) to the pool. Everything after this branch —
+            // failover, sleep, scheduling the next period — is independent
+            // of the fix outcome, so the event time-line continues at once
+            // and the other robots' window_end events at this timestamp get
+            // their updates in flight alongside this one.
+            fix_pending_ = true;
+            pending_ready_.store(false, std::memory_order_relaxed);
+            pending_heading_ = heading;
+            config_.fix_pool->submit(
+                [this, beacons = std::move(window_beacons_)] {
+                    pending_fix_ = localizer_.compute_fix(beacons);
+                    pending_ready_.store(true, std::memory_order_release);
+                    pending_ready_.notify_one();
+                });
+            window_beacons_.clear();  // moved-from: make it empty again
         } else {
-            // "If certain robots do not receive any beacons, they continue
-            // with their old estimated position" (§2.3).
-            ++stats_.windows_without_fix;
-            node_.radio().medium().obs().trace.instant(
-                node_.simulator().now(), "cocoa", "no_fix",
-                static_cast<std::int64_t>(node_.id()));
+            const std::optional<Fix> fix = localizer_.compute_fix(window_beacons_);
+            window_beacons_.clear();
+            apply_fix_outcome(fix, heading);
         }
     }
 
@@ -342,6 +355,47 @@ void CocoaAgent::on_window_end(std::uint32_t seq) {
     }
     period_start_ += config_.period;
     schedule_period(seq + 1);
+}
+
+void CocoaAgent::apply_fix_outcome(const std::optional<Fix>& fix, double heading) {
+    if (fix.has_value()) {
+        ever_fixed_ = true;
+        last_fix_spread_m_ = fix->posterior_spread_m;
+        ++stats_.fixes;
+        node_.radio().medium().obs().trace.instant(
+            node_.simulator().now(), "cocoa", "fix",
+            static_cast<std::int64_t>(node_.id()),
+            {{"x", fix->position.x},
+             {"y", fix->position.y},
+             {"beacons", static_cast<double>(fix->beacons_used)},
+             {"err_m", (fix->position - true_position()).norm()}});
+        if (config_.mode == LocalizationMode::RfOnly) {
+            rf_position_ = fix->position;
+        } else {
+            // CoCoA: re-anchor dead reckoning at the fix. Heading is
+            // re-anchored too when heading_correction_at_fix is set
+            // (see AgentConfig for the modelling rationale).
+            odometry_.reset(fix->position, heading);
+        }
+    } else {
+        // "If certain robots do not receive any beacons, they continue
+        // with their old estimated position" (§2.3).
+        ++stats_.windows_without_fix;
+        node_.radio().medium().obs().trace.instant(
+            node_.simulator().now(), "cocoa", "no_fix",
+            static_cast<std::int64_t>(node_.id()));
+    }
+}
+
+void CocoaAgent::resolve_pending_fix() {
+    if (!fix_pending_) return;
+    // Block until the worker publishes the result (usually long done: a
+    // whole inter-window period of events separates submission from the
+    // first resolution point).
+    pending_ready_.wait(false, std::memory_order_acquire);
+    fix_pending_ = false;
+    apply_fix_outcome(pending_fix_, pending_heading_);
+    pending_fix_.reset();
 }
 
 void CocoaAgent::on_mcast_deliver(const net::Packet& inner) {
@@ -367,6 +421,7 @@ void CocoaAgent::on_mcast_deliver(const net::Packet& inner) {
 }
 
 geom::Vec2 CocoaAgent::estimate() const {
+    resolve_pending();
     if (config_.role == Role::Anchor) {
         return true_position();  // from the localization device
     }

@@ -1,5 +1,6 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <limits>
 #include <memory>
@@ -12,6 +13,7 @@
 #include "multicast/odmrp.hpp"
 #include "net/node.hpp"
 #include "net/packet.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace cocoa::core {
 
@@ -114,6 +116,19 @@ struct AgentConfig {
     /// across fixes). Disable for the drifting-heading ablation.
     bool heading_correction_at_fix = true;
 
+    /// When set, window-end Bayesian grid updates run as pool tasks instead
+    /// of inline on the event thread: the window's beacons are snapshotted,
+    /// the fix computes on a worker, and its side effects are folded in at
+    /// the agent's next deterministic resolution point (tick, estimate or
+    /// stats read — whichever the event time-line reaches first). During a
+    /// beacon round every blind robot's grid update is in flight at once, so
+    /// the per-round grid cost drops from sum-over-robots to roughly
+    /// max-over-robots. Results are byte-identical to inline fixes at any
+    /// pool size; see docs/performance.md. Ignored (fixes stay inline) while
+    /// an event trace is recording, because deferral would reorder trace
+    /// rows against other events at the same timestamp.
+    sim::ThreadPool* fix_pool = nullptr;
+
     net::GroupId sync_group = 1;
     /// Sync-robot failover rank: -1 = not a candidate, 0 = primary (set via
     /// the constructor's is_sync_robot), k > 0 = k-th backup. A backup that
@@ -146,6 +161,11 @@ class CocoaAgent {
 
     CocoaAgent(const CocoaAgent&) = delete;
     CocoaAgent& operator=(const CocoaAgent&) = delete;
+
+    /// Joins any in-flight pooled fix job: the worker writes into this
+    /// object, so destruction must wait for it (the result is then folded in
+    /// normally, keeping stats exact even at teardown).
+    ~CocoaAgent();
 
     /// Schedules the agent's first period; call once before running.
     void start();
@@ -190,9 +210,18 @@ class CocoaAgent {
     /// Localization error: |estimate - truth|.
     double error() const { return geom::distance(estimate(), true_position()); }
 
-    const Stats& stats() const { return stats_; }
-    const RfLocalizer::Stats& localizer_stats() const { return localizer_.stats(); }
-    bool ever_fixed() const { return ever_fixed_; }
+    const Stats& stats() const {
+        resolve_pending();
+        return stats_;
+    }
+    const RfLocalizer::Stats& localizer_stats() const {
+        resolve_pending();
+        return localizer_.stats();
+    }
+    bool ever_fixed() const {
+        resolve_pending();
+        return ever_fixed_;
+    }
     bool is_sync_robot() const { return is_sync_robot_; }
     sim::Duration period() const { return config_.period; }
     sim::Duration window() const { return config_.window; }
@@ -205,6 +234,20 @@ class CocoaAgent {
     void on_beacon(const net::Packet& packet, const net::RxInfo& info);
     void on_mcast_deliver(const net::Packet& inner);
     sim::Duration clock_offset() const { return sim::Duration::seconds(clock_offset_s_); }
+
+    /// Folds a pooled fix job's outcome into the agent (blocking on the
+    /// worker if it has not finished). Every externally observable read goes
+    /// through a resolution point, so *when* the worker ran is invisible:
+    /// the fold always happens at the same event-time-line position as the
+    /// inline computation would have, making pooled runs byte-identical to
+    /// `fix_pool == nullptr` runs. No-op when no job is outstanding.
+    void resolve_pending_fix();
+    /// Const-accessor shim: resolution mutates bookkeeping, never the
+    /// logically observable state the caller asked about.
+    void resolve_pending() const {
+        if (fix_pending_) const_cast<CocoaAgent*>(this)->resolve_pending_fix();
+    }
+    void apply_fix_outcome(const std::optional<Fix>& fix, double heading);
 
     net::Node& node_;
     AgentConfig config_;
@@ -219,6 +262,13 @@ class CocoaAgent {
     sim::RandomStream noise_rng_;
 
     std::vector<BeaconObservation> window_beacons_;
+
+    // --- deferred pooled fix (config_.fix_pool; see resolve_pending_fix) ---
+    bool fix_pending_ = false;        ///< event thread: job submitted, unfolded
+    std::atomic<bool> pending_ready_{false};  ///< worker -> event thread handoff
+    std::optional<Fix> pending_fix_;  ///< worker-written result slot
+    double pending_heading_ = 0.0;    ///< re-anchor heading, captured at window end
+
     geom::Vec2 rf_position_;        ///< RfOnly estimate (held between fixes)
     bool ever_fixed_ = false;
     double last_fix_spread_m_ = std::numeric_limits<double>::infinity();

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/grid_kernels.hpp"
 #include "core/radial_kernel.hpp"
 #include "geom/rect.hpp"
 #include "geom/vec2.hpp"
@@ -35,18 +36,26 @@ struct GridConfig {
 ///  - mean()                 : Eq. (3) — the position estimate as the
 ///                             posterior mean.
 ///
-/// apply_constraint runs on precomputed radial kernels (see RadialKernel):
-/// the grid is swept in squared-distance space with incremental row/column
-/// deltas, so the per-cell work is a table interpolation plus a multiply.
-/// Kernels are cached per (mean, sigma) — the PDF table has a few dozen
-/// distinct bins, so after warmup every beacon hits the cache.
+/// apply_constraint runs on precomputed radial kernels (see RadialKernel)
+/// through the blocked SIMD-dispatched kernels in core/grid_kernels: rows are
+/// padded to a multiple of gridk::kBlock doubles (padding cells carry zero
+/// mass forever), per-column/per-row operands live in separate SoA arrays,
+/// and the constraint sweep and the fused normalize+moments pass both run
+/// whole blocks at a time. Kernels are cached per (mean, sigma) — the PDF
+/// table has a few dozen distinct bins, so after warmup every beacon hits
+/// the cache.
+///
+/// Posterior statistics (mean, spread) are recomputed eagerly inside every
+/// mutating call, fused into the normalization pass; mean()/spread() are
+/// plain reads. That makes concurrent const reads race-free — required once
+/// grids are filled in by a worker pool and read from the sim thread.
 class BayesGrid {
   public:
     explicit BayesGrid(const GridConfig& config);
 
     std::size_t nx() const { return nx_; }
     std::size_t ny() const { return ny_; }
-    std::size_t cell_count() const { return cells_.size(); }
+    std::size_t cell_count() const { return nx_ * ny_; }
     const geom::Rect& area() const { return config_.area; }
     double cell_width() const { return cell_w_; }
     double cell_height() const { return cell_h_; }
@@ -57,7 +66,7 @@ class BayesGrid {
     /// Posterior probability mass of cell (ix, iy).
     double mass_at(std::size_t ix, std::size_t iy) const {
         assert(ix < nx_ && iy < ny_);
-        return cells_[iy * nx_ + ix];
+        return cells_[iy * stride_ + ix];
     }
 
     /// Resets to the uniform prior (robot equally likely anywhere).
@@ -75,15 +84,15 @@ class BayesGrid {
                                 const phy::DistancePdf& pdf);
 
     /// Eq. (3): posterior mean position.
-    geom::Vec2 mean() const;
+    geom::Vec2 mean() const { return stats_mean_; }
 
     /// Centre of the highest-mass cell (diagnostic / MAP estimate).
     geom::Vec2 map_estimate() const;
 
     /// RMS distance of the posterior from its mean — a confidence measure
     /// (large after bad beacons, small after three good ones). Computed in
-    /// the same fused pass as mean() and cached until the grid next mutates.
-    double spread() const;
+    /// the same fused pass that normalizes each update.
+    double spread() const { return stats_spread_; }
 
     /// Total probability mass (== 1 up to rounding; exposed for tests).
     double total_mass() const;
@@ -96,16 +105,39 @@ class BayesGrid {
     std::size_t kernel_cache_size() const { return kernel_cache_.size(); }
 
   private:
-    void normalize();
     void apply_kernel(const geom::Vec2& anchor_position, const RadialKernel& kernel);
-    void compute_stats() const;
+    /// The blocked (SIMD-dispatched) sweep + fused normalize/moments.
+    void apply_blocked(const geom::Vec2& anchor_position, const RadialKernel& kernel);
+    /// The pre-blocking sequential sweep (incremental squared-distance
+    /// deltas, one scalar Neumaier chain). Selected by
+    /// gridk::ForcePath::Serial; the `_scalar` twin benches measure it.
+    void apply_serial(const geom::Vec2& anchor_position, const RadialKernel& kernel);
+    /// Turns raw centred moments into stats_mean_ / stats_spread_.
+    void finish_stats(const gridk::Moments& moments);
+    /// Normalizes by 1/total via the fused pass and refreshes the stats.
+    void scale_and_refresh_stats(double total);
 
     GridConfig config_;
     std::size_t nx_ = 0;
     std::size_t ny_ = 0;
+    std::size_t stride_ = 0;  ///< row stride: nx_ padded to gridk::kBlock
     double cell_w_ = 0.0;
     double cell_h_ = 0.0;
-    std::vector<double> cells_;  ///< row-major [iy * nx + ix] probability masses
+    std::vector<double> cells_;  ///< row-major [iy * stride + ix]; padding == 0
+
+    // Static SoA operands of the fused normalize+moments pass: centred
+    // cell-centre x and x² per column (padding zero), y and y² per row.
+    std::vector<double> colx_;
+    std::vector<double> colx2_;
+    std::vector<double> row_y_;
+    std::vector<double> row_y2_;
+    // Per-apply scratch for the constraint sweep: squared x-offset per
+    // column (padding +inf so padded lanes stay at the kernel floor), its
+    // min/max per block, and the squared y-offset per row.
+    std::vector<double> colq_;
+    std::vector<double> blk_qmin_;
+    std::vector<double> blk_qmax_;
+    std::vector<double> row_qy_;
 
     /// Tiny LRU over recently used kernels, keyed on the exact (mean, sigma)
     /// pair. PDF-table bins recur constantly, so 16 slots give a near-perfect
@@ -119,11 +151,14 @@ class BayesGrid {
     std::vector<KernelSlot> kernel_cache_;
     std::uint64_t kernel_cache_tick_ = 0;
 
-    // Fused posterior statistics (mean + spread in one grid pass), cached
-    // until the next mutation.
-    mutable bool stats_valid_ = false;
-    mutable geom::Vec2 stats_mean_;
-    mutable double stats_spread_ = 0.0;
+    // Posterior statistics, refreshed eagerly by every mutating call (no
+    // lazy mutable cache: const reads must stay race-free).
+    geom::Vec2 stats_mean_;
+    double stats_spread_ = 0.0;
+    // The uniform prior's statistics, computed once at construction so
+    // reset_uniform() is a fill plus a restore.
+    geom::Vec2 uniform_mean_;
+    double uniform_spread_ = 0.0;
 };
 
 }  // namespace cocoa::core

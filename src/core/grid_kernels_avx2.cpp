@@ -1,0 +1,10 @@
+// AVX2 instantiation of the blocked grid kernels. Compiled with -mavx2 (per
+// file, from src/core/CMakeLists.txt) and only ever called after the runtime
+// dispatcher has checked __builtin_cpu_supports("avx2"). See
+// grid_kernels_impl.hpp for the byte-identity contract.
+#if defined(__x86_64__) || defined(_M_X64)
+
+#define COCOA_GRIDK_ISA_NS avx2
+#include "core/grid_kernels_impl.hpp"
+
+#endif

@@ -72,6 +72,14 @@ class RadialKernel {
     double q_hi() const { return q_hi_; }
     double q_exact() const { return q_exact_; }
 
+    // Raw table access for the blocked grid kernels (core/grid_kernels): the
+    // vector paths evaluate the same Hermite segments lane-wise, so they need
+    // the SoA node arrays and the lattice constants directly.
+    double inv_dq() const { return inv_dq_; }
+    std::size_t interval_count() const { return interval_count_; }
+    const double* values() const { return value_.data(); }
+    const double* slopes() const { return slope_.data(); }
+
   private:
     double eval_exact_q(double q) const;
 

@@ -64,6 +64,10 @@ Scenario::Scenario(const ScenarioConfig& config)
     grid.cell_m = config_.cell_m;
     grid.floor_fraction = config_.floor_fraction;
 
+    if (config_.grid_update_threads != 0) {
+        fix_pool_ = std::make_unique<sim::ThreadPool>(config_.grid_update_threads);
+    }
+
     for (int i = 0; i < config_.num_robots; ++i) {
         AgentConfig ac;
         ac.role = is_anchor(static_cast<net::NodeId>(i)) ? Role::Anchor : Role::Blind;
@@ -95,6 +99,7 @@ Scenario::Scenario(const ScenarioConfig& config)
         ac.blind_beacon_max_spread_m = config_.blind_beacon_max_spread_m;
         ac.initial_pose_known =
             config_.initial_pose_known || config_.mode == LocalizationMode::OdometryOnly;
+        ac.fix_pool = fix_pool_.get();
 
         multicast::MulticastNode* mcast_node =
             use_mrmm ? &mcast_->at(static_cast<net::NodeId>(i)) : nullptr;

@@ -15,6 +15,7 @@
 #include "obs/obs.hpp"
 #include "phy/channel.hpp"
 #include "phy/pdf_table.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace cocoa::core {
 
@@ -78,6 +79,14 @@ struct ScenarioConfig {
     /// Robustness extension: this many robots (after the primary, node 0)
     /// act as ranked Sync-robot backups and take over if SYNCs go silent.
     int sync_backups = 2;
+
+    /// Worker threads for batched window-end grid updates: each blind
+    /// robot's Bayesian fix runs as a pool task, so a beacon round costs
+    /// roughly the slowest robot's grid update instead of the sum over
+    /// robots. 0 = compute fixes inline on the event thread (the default);
+    /// < 0 = one worker per hardware thread. Every setting produces
+    /// byte-identical results (see AgentConfig::fix_pool).
+    int grid_update_threads = 0;
 
     /// Throws std::invalid_argument on inconsistent settings.
     void validate() const;
@@ -175,6 +184,9 @@ class Scenario {
     std::shared_ptr<const phy::PdfTable> table_;
     std::unique_ptr<net::World> world_;
     std::optional<multicast::MulticastFleet> mcast_;
+    /// Declared before agents_: an agent's destructor may still be waiting
+    /// on (and folding in) a pooled fix job, so the pool must outlive them.
+    std::unique_ptr<sim::ThreadPool> fix_pool_;
     std::vector<std::unique_ptr<CocoaAgent>> agents_;
 
     metrics::TimeSeries avg_error_;

@@ -27,6 +27,9 @@ void SwarmConfig::validate() const {
     if (min_speed <= 0.0 || max_speed < min_speed) {
         throw std::invalid_argument("SwarmConfig: need 0 < min_speed <= max_speed");
     }
+    if (min_pause.is_negative() || max_pause < min_pause) {
+        throw std::invalid_argument("SwarmConfig: need 0 <= min_pause <= max_pause");
+    }
 }
 
 namespace {
@@ -91,6 +94,8 @@ SwarmResult run_swarm(const SwarmConfig& config) {
     mobility_config.area = geom::Rect::square(side);
     mobility_config.min_speed = config.min_speed;
     mobility_config.max_speed = config.max_speed;
+    mobility_config.min_pause = config.min_pause;
+    mobility_config.max_pause = config.max_pause;
 
     for (int i = 0; i < config.nodes; ++i) {
         world.add_node(mobility_config, config.power);
@@ -120,8 +125,12 @@ SwarmResult run_swarm(const SwarmConfig& config) {
         void operator()() {
             const sim::TimePoint now = world.simulator().now();
             for (const auto& node : world.nodes()) {
-                node->mobility().advance_to(now);
-                world.medium().note_position_moved(node->radio());
+                const auto increments = node->mobility().advance_to(now);
+                bool moved = false;
+                for (const auto& inc : increments) moved = moved || inc.forward_m != 0.0;
+                // Paused (or turn-in-place) robots kept their position: no
+                // index work to do, and no reason to touch the tree entry.
+                if (moved) world.medium().note_position_moved(node->radio());
             }
             world.simulator().schedule_in(tick, *this);
         }

@@ -36,6 +36,12 @@ struct SwarmConfig {
     double density_per_m2 = 50.0 / (200.0 * 200.0);
     double min_speed = 0.5;   ///< m/s
     double max_speed = 2.0;   ///< m/s
+    /// Waypoint "task" pause at each destination (zero = continuous motion,
+    /// the default). Resting robots produce zero-forward increments, which
+    /// the mobility ticker skips entirely — a resting robot costs no
+    /// spatial-index traffic.
+    sim::Duration min_pause = sim::Duration::zero();
+    sim::Duration max_pause = sim::Duration::zero();
     std::size_t beacon_bytes = 24;
     /// Low-power swarm radios: -5 dBm tx keeps the influence radius ~127 m
     /// (~60 sense-range neighbours at fig7 density) instead of the paper

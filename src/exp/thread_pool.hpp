@@ -1,52 +1,10 @@
 #pragma once
 
-#include <condition_variable>
-#include <cstddef>
-#include <deque>
-#include <functional>
-#include <mutex>
-#include <thread>
-#include <vector>
+// The pool moved to sim/ so core (which exp depends on) can use it for
+// batched grid updates without a dependency cycle. This forwarder keeps the
+// historical include path and name working for experiment-level code.
+#include "sim/thread_pool.hpp"
 
 namespace cocoa::exp {
-
-/// A fixed-size pool of worker threads draining a FIFO task queue.
-///
-/// This is the parallelism substrate of the replication engine: each task is
-/// one whole shared-nothing simulation, so workers contend only on the queue
-/// itself. Tasks must not throw — wrap the body and capture exceptions into
-/// a per-task slot instead (see replication.cpp).
-class ThreadPool {
-  public:
-    /// `n_threads <= 0` uses every hardware thread.
-    explicit ThreadPool(int n_threads = 0);
-    /// Waits for all queued tasks, then joins the workers.
-    ~ThreadPool();
-
-    ThreadPool(const ThreadPool&) = delete;
-    ThreadPool& operator=(const ThreadPool&) = delete;
-
-    int size() const { return static_cast<int>(workers_.size()); }
-
-    void submit(std::function<void()> task);
-
-    /// Blocks until the queue is empty and every worker is idle.
-    void wait_idle();
-
-    /// Maps a requested thread count to an effective one: values <= 0 mean
-    /// std::thread::hardware_concurrency(), floored at 1.
-    static int resolve_threads(int requested);
-
-  private:
-    void worker_loop();
-
-    std::mutex mu_;
-    std::condition_variable work_cv_;  ///< signals workers: task or stop
-    std::condition_variable idle_cv_;  ///< signals wait_idle(): all drained
-    std::deque<std::function<void()>> queue_;
-    std::size_t active_ = 0;  ///< tasks currently executing
-    bool stop_ = false;
-    std::vector<std::thread> workers_;
-};
-
+using ThreadPool = sim::ThreadPool;
 }  // namespace cocoa::exp

@@ -61,6 +61,7 @@ std::size_t Medium::attach(Radio& radio) {
     const std::size_t index = radios_.size();
     radios_.push_back(&radio);
     available_.push_back(1);
+    note_stamp_.push_back(kNeverNoted);
     if (hierarchical()) {
         tree_.insert(static_cast<std::uint32_t>(index), radio.position());
     }
@@ -83,6 +84,15 @@ void Medium::set_radio_available(const Radio& radio, bool available) {
 }
 
 void Medium::note_position_moved(const Radio& radio) {
+    // Coalesce duplicate notes within one timestamp: mobility advances a
+    // radio's position at most once per simulation instant (a second
+    // advance_to the same time is a no-op), so a second note at the same
+    // time can only repeat the first — but under the flat oracle it would
+    // invalidate the whole hash again, and under the tree it pays an
+    // in-cell update per duplicate caller.
+    const std::int64_t now_ns = sim_.now().to_nanos();
+    if (note_stamp_[radio.attach_index()] == now_ns) return;
+    note_stamp_[radio.attach_index()] = now_ns;
     if (hierarchical()) {
         // No-op for detached (off / in-outage) radios; they re-enter at
         // their live position in set_radio_available.

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -137,6 +138,9 @@ class Medium {
     /// tree entry (an integer compare when it stayed in its cell); under the
     /// flat hash it invalidates the whole hash, exactly as before.
     /// CocoaAgent::tick calls this right after advancing its own mobility.
+    /// Duplicate notes for the same radio within one simulation instant are
+    /// coalesced (a position changes at most once per instant — callers that
+    /// move a radio twice at one timestamp must use note_positions_moved()).
     void note_position_moved(const Radio& radio);
 
     /// Coarse fallback: invalidates every cached position at once. Any code
@@ -202,6 +206,11 @@ class Medium {
     /// in outage); kept here so the medium can gate propagation and index
     /// membership without poking radio internals per receiver.
     std::vector<std::uint8_t> available_;
+    /// note_stamp_[i]: sim time (ns) of radio i's last note_position_moved,
+    /// for coalescing duplicate same-timestamp notes (a position changes at
+    /// most once per instant). kNeverNoted never collides with a real time.
+    static constexpr std::int64_t kNeverNoted = std::numeric_limits<std::int64_t>::min();
+    std::vector<std::int64_t> note_stamp_;
     /// Non-const so truncate_transmission can pull a frame's end forward;
     /// radios only ever see shared_ptr<const AirFrame>.
     std::vector<std::shared_ptr<AirFrame>> active_;

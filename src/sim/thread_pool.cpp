@@ -1,8 +1,8 @@
-#include "exp/thread_pool.hpp"
+#include "sim/thread_pool.hpp"
 
 #include <algorithm>
 
-namespace cocoa::exp {
+namespace cocoa::sim {
 
 int ThreadPool::resolve_threads(int requested) {
     if (requested > 0) return requested;
@@ -59,4 +59,4 @@ void ThreadPool::worker_loop() {
     }
 }
 
-}  // namespace cocoa::exp
+}  // namespace cocoa::sim

@@ -1,0 +1,54 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cocoa::sim {
+
+/// A fixed-size pool of worker threads draining a FIFO task queue.
+///
+/// The parallelism substrate for both the replication engine (each task one
+/// whole shared-nothing simulation, exp/replication.cpp) and batched
+/// intra-run grid updates (each task one robot's Bayesian fix,
+/// core/agent.cpp); workers contend only on the queue itself. Tasks must not
+/// throw — wrap the body and capture exceptions into a per-task slot
+/// instead.
+class ThreadPool {
+  public:
+    /// `n_threads <= 0` uses every hardware thread.
+    explicit ThreadPool(int n_threads = 0);
+    /// Waits for all queued tasks, then joins the workers.
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    int size() const { return static_cast<int>(workers_.size()); }
+
+    void submit(std::function<void()> task);
+
+    /// Blocks until the queue is empty and every worker is idle.
+    void wait_idle();
+
+    /// Maps a requested thread count to an effective one: values <= 0 mean
+    /// std::thread::hardware_concurrency(), floored at 1.
+    static int resolve_threads(int requested);
+
+  private:
+    void worker_loop();
+
+    std::mutex mu_;
+    std::condition_variable work_cv_;  ///< signals workers: task or stop
+    std::condition_variable idle_cv_;  ///< signals wait_idle(): all drained
+    std::deque<std::function<void()>> queue_;
+    std::size_t active_ = 0;  ///< tasks currently executing
+    bool stop_ = false;
+    std::vector<std::thread> workers_;
+};
+
+}  // namespace cocoa::sim

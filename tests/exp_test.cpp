@@ -7,9 +7,11 @@
 #include <cmath>
 #include <cstring>
 #include <stdexcept>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "core/bayes_grid.hpp"
 #include "exp/replication.hpp"
 #include "exp/thread_pool.hpp"
 #include "sim/random.hpp"
@@ -278,6 +280,48 @@ TEST(ThreadPool, DestructorDrainsQueue) {
         // No wait_idle: ~ThreadPool must finish queued work before joining.
     }
     EXPECT_EQ(count.load(), 50);
+}
+
+// Regression: posterior statistics used to live in a lazily filled mutable
+// cache, so the first concurrent mean()/spread() readers after a mutation
+// raced on the cache fill. Stats are now recomputed eagerly inside every
+// mutating call; const reads are plain loads. This test runs in the TSan CI
+// job — no thread may read before the constraint below is applied, and no
+// main-thread read primes anything before the workers start.
+TEST(ThreadPool, ConcurrentGridStatReadsAreRaceFree) {
+    core::GridConfig config;
+    config.area = geom::Rect::square(120.0);
+    config.cell_m = 2.0;
+    core::BayesGrid grid(config);
+
+    phy::DistancePdf pdf;
+    pdf.mean_m = 40.0;
+    pdf.sigma_m = 4.0;
+    pdf.gaussian_fit_ok = true;
+    pdf.sample_count = 1000;
+    grid.apply_constraint({10.0, 20.0}, pdf);
+
+    constexpr std::size_t kReaders = 32;
+    std::vector<geom::Vec2> means(kReaders);
+    std::vector<double> spreads(kReaders);
+    std::vector<double> masses(kReaders);
+    {
+        exp::ThreadPool pool(4);
+        for (std::size_t i = 0; i < kReaders; ++i) {
+            pool.submit([&, i] {
+                means[i] = grid.mean();
+                spreads[i] = grid.spread();
+                masses[i] = grid.mass_at(grid.nx() / 2, grid.ny() / 2);
+            });
+        }
+    }
+    for (std::size_t i = 1; i < kReaders; ++i) {
+        EXPECT_EQ(means[i].x, means[0].x) << "reader " << i;
+        EXPECT_EQ(means[i].y, means[0].y) << "reader " << i;
+        EXPECT_EQ(spreads[i], spreads[0]) << "reader " << i;
+        EXPECT_EQ(masses[i], masses[0]) << "reader " << i;
+    }
+    EXPECT_GT(spreads[0], 0.0);
 }
 
 TEST(ThreadPool, ResolveThreads) {

@@ -76,6 +76,48 @@ TEST(Scenario, KernelFastPathStaysAllocationFree) {
     EXPECT_EQ(frame_oversize, 0u);
 }
 
+/// Batched window-end grid updates (grid_update_threads) are invisible in
+/// the results: every error sample, every counter and the event count are
+/// byte-identical at any pool size — the fold-at-resolution-point contract.
+TEST(Scenario, BatchedGridUpdatesAreByteIdentical) {
+    const auto inline_fixes = run_scenario(quick(LocalizationMode::Combined));
+    for (const int threads : {1, 4}) {
+        ScenarioConfig c = quick(LocalizationMode::Combined);
+        c.grid_update_threads = threads;
+        const auto batched = run_scenario(c);
+        ASSERT_EQ(batched.avg_error.size(), inline_fixes.avg_error.size());
+        for (std::size_t i = 0; i < batched.avg_error.size(); ++i) {
+            ASSERT_DOUBLE_EQ(batched.avg_error.samples()[i].value,
+                             inline_fixes.avg_error.samples()[i].value)
+                << "sample " << i << " with " << threads << " grid threads";
+        }
+        EXPECT_EQ(batched.executed_events, inline_fixes.executed_events);
+        EXPECT_EQ(batched.agent_totals.fixes, inline_fixes.agent_totals.fixes);
+        ASSERT_EQ(batched.counters.size(), inline_fixes.counters.size());
+        for (std::size_t i = 0; i < batched.counters.size(); ++i) {
+            EXPECT_EQ(batched.counters[i], inline_fixes.counters[i])
+                << "counter " << batched.counters[i].first << " with "
+                << threads << " grid threads";
+        }
+    }
+}
+
+/// RfOnly holds the estimate between fixes, so a deferred fix result is
+/// observable directly through estimate(); it must still resolve before any
+/// read. Also covers the mode x batching matrix beyond Combined.
+TEST(Scenario, BatchedRfOnlyMatchesInline) {
+    const auto inline_fixes = run_scenario(quick(LocalizationMode::RfOnly));
+    ScenarioConfig c = quick(LocalizationMode::RfOnly);
+    c.grid_update_threads = 2;
+    const auto batched = run_scenario(c);
+    ASSERT_EQ(batched.avg_error.size(), inline_fixes.avg_error.size());
+    for (std::size_t i = 0; i < batched.avg_error.size(); ++i) {
+        ASSERT_DOUBLE_EQ(batched.avg_error.samples()[i].value,
+                         inline_fixes.avg_error.samples()[i].value);
+    }
+    EXPECT_EQ(batched.agent_totals.fixes, inline_fixes.agent_totals.fixes);
+}
+
 TEST(Scenario, DifferentSeedsDiffer) {
     auto cfg = quick(LocalizationMode::Combined);
     const auto a = run_scenario(cfg);

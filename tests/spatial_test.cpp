@@ -305,6 +305,42 @@ TEST_F(SpatialMediumFixture, BulkInvalidationTriggersExactlyOneRefresh) {
     EXPECT_EQ(medium_->index_stats().full_refreshes, 1u);
 }
 
+/// Duplicate note_position_moved calls within one simulation instant are
+/// coalesced: a radio's position changes at most once per instant, so the
+/// index does that radio's update work at most once per timestamp (repeated
+/// per-tick notes used to pay an in-cell update each, and a whole hash
+/// invalidation under the flat oracle).
+TEST_F(SpatialMediumFixture, DuplicateSameInstantNotesCoalesce) {
+    medium(MediumIndex::Hierarchical);
+    auto pos = std::make_shared<Vec2>(Vec2{0.0, 0.0});
+    const auto id = static_cast<net::NodeId>(radios_.size());
+    radios_.push_back(std::make_unique<Radio>(
+        sim_, *medium_, id, [pos] { return *pos; }, PowerProfile::wavelan(),
+        sim_.rng().stream("backoff", id)));
+    Radio& mover = *radios_.back();
+    const auto updates = [this] {
+        return medium_->index_stats().in_cell_updates +
+               medium_->index_stats().migrations;
+    };
+
+    sim_.schedule_at(TimePoint::from_seconds(1.0), [&] {
+        *pos = {3.0, 0.0};
+        medium_->note_position_moved(mover);
+        const auto after_first = updates();
+        EXPECT_EQ(after_first, 1u);
+        medium_->note_position_moved(mover);  // duplicate at the same instant
+        EXPECT_EQ(updates(), after_first);
+    });
+    sim_.schedule_at(TimePoint::from_seconds(2.0), [&] {
+        const auto before = updates();
+        *pos = {6.0, 0.0};
+        medium_->note_position_moved(mover);  // new instant: real work again
+        EXPECT_EQ(updates(), before + 1);
+    });
+    sim_.run();
+    EXPECT_EQ(medium_->index_stats().full_refreshes, 0u);
+}
+
 // --- Scenario-level guarantees ----------------------------------------------
 
 core::SwarmConfig small_swarm() {
@@ -327,6 +363,24 @@ TEST(SwarmScenario, SteadyStateDoesZeroFullRebuilds) {
     EXPECT_GT(r.index_stats.in_cell_updates + r.index_stats.migrations, 0u);
     EXPECT_EQ(r.index_stats.full_refreshes, 0u);
     EXPECT_EQ(r.flat_index_stats.full_rebuilds, 0u);
+}
+
+/// Resting robots cost no index traffic: waypoint pauses produce
+/// zero-forward increments, and the mobility ticker skips the note for them
+/// — so a pause-heavy swarm performs strictly fewer per-radio updates than
+/// robots x ticks (the old behaviour's exact count).
+TEST(SwarmScenario, RestingRobotsCostNoIndexTraffic) {
+    core::SwarmConfig config = small_swarm();
+    config.medium.index = MediumIndex::Hierarchical;
+    config.min_speed = config.max_speed = 50.0;  // reach the waypoint fast...
+    config.min_pause = config.max_pause = Duration::seconds(5.0);  // ...then rest
+    const core::SwarmResult r = core::run_swarm(config);
+    const auto ticks = static_cast<std::uint64_t>(r.sim_seconds);  // 1 s mobility tick
+    const std::uint64_t updates =
+        r.index_stats.in_cell_updates + r.index_stats.migrations;
+    EXPECT_GT(updates, 0u);
+    EXPECT_LT(updates, static_cast<std::uint64_t>(config.nodes) * ticks);
+    EXPECT_EQ(r.index_stats.full_refreshes, 0u);
 }
 
 /// The whole swarm scenario is bit-identical across index backends.

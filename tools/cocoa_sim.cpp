@@ -145,6 +145,7 @@ int main(int argc, char** argv) {
     bool profile = false;
     int reps = 1;
     int threads = 0;
+    int grid_threads = 0;
     int swarm_nodes = 0;
     std::string medium_backend;
     std::string fault_spec;
@@ -200,6 +201,12 @@ int main(int argc, char** argv) {
                     "worker threads for --reps; 0 = all hardware threads "
                     "(default 0)",
                     &threads, 0, 4096)
+        .add_option("grid-threads",
+                    "worker threads for batched window-end grid updates "
+                    "inside a run; 0 = inline fixes, -1 = all hardware "
+                    "threads. Output is byte-identical at any value "
+                    "(default 0)",
+                    &grid_threads, -1, 4096)
         .add_option("nodes",
                     "run the large-N swarm family instead of the CoCoA "
                     "scenario: N duty-cycled beaconing radios at fig7 density "
@@ -245,6 +252,7 @@ int main(int argc, char** argv) {
     config.area_side_m = area_m;
     config.sleep_coordination = !no_sleep;
     config.blind_beaconing = blind_beaconing;
+    config.grid_update_threads = grid_threads;
     config.medium.interference_culling = !no_culling;
     if (!medium_backend.empty()) {
         if (medium_backend == "hier") {

@@ -59,14 +59,27 @@ def main():
     for name in sorted(set(fresh) - set(base)):
         print(f"  note: new, no baseline yet: {name}")
 
+    # A zero (or negative) baseline has no meaningful ratio — it usually means
+    # a truncated or hand-edited baseline file. Skip such entries loudly
+    # instead of dividing by zero or KeyError-ing in the loop below.
+    for name in (n for n in common if base[n] <= 0.0):
+        print(f"  note: baseline value is {base[name]} (not positive), "
+              f"skipped: {name}")
     ratios = {n: fresh[n] / base[n] for n in common if base[n] > 0.0}
+    if len(ratios) < 3:
+        sys.exit(f"perf_compare: only {len(ratios)} usable ratio(s) after "
+                 f"skipping non-positive baselines — too few to normalize. "
+                 f"Regenerate the baseline:\n"
+                 f"  COCOA_BENCH_JSON=bench/baseline/BENCH_baseline.json "
+                 f"./build/bench/micro_core")
     median = statistics.median(ratios.values())
     print(f"median fresh/baseline ratio (machine-speed normalizer): "
           f"{median:.3f}")
 
     regressions = []
-    width = max(len(n) for n in common)
-    for name in common:
+    names = sorted(ratios)
+    width = max(len(n) for n in names)
+    for name in names:
         norm = ratios[name] / median
         flag = ""
         if norm > args.tolerance:
@@ -86,7 +99,7 @@ def main():
               "  COCOA_BENCH_JSON=bench/baseline/BENCH_baseline.json "
               "./build/bench/micro_core")
         return 1
-    print(f"\nall {len(common)} entries within {args.tolerance:.1f}x "
+    print(f"\nall {len(ratios)} entries within {args.tolerance:.1f}x "
           f"of baseline")
     return 0
 

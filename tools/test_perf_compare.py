@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Unit tests for perf_compare.py (run via ctest as perf_compare_unit).
+
+perf_compare is the CI perf gate; a crash in the gate script reads as a perf
+regression and blocks unrelated PRs, so its failure modes are pinned here:
+zero-valued baseline entries must be skipped with a note (not divide or
+KeyError), and a baseline with too few usable entries must exit with an
+actionable message instead of a traceback.
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+TOOL = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                    "perf_compare.py")
+
+
+def doc(benchmarks, scenarios=()):
+    return {
+        "schema": "cocoa-perf-1",
+        "benchmarks": [{"name": n, "ns_per_op": v} for n, v in benchmarks],
+        "scenarios": [{"name": n, "wall_seconds": v} for n, v in scenarios],
+    }
+
+
+class PerfCompareTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory()
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, content):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w") as f:
+            json.dump(content, f)
+        return path
+
+    def run_tool(self, baseline, fresh, *extra):
+        return subprocess.run(
+            [sys.executable, TOOL, baseline, fresh, *extra],
+            capture_output=True, text=True)
+
+    def test_clean_pass(self):
+        entries = [("BM_A", 100.0), ("BM_B", 200.0), ("BM_C", 50.0)]
+        base = self.write("base.json", doc(entries))
+        fresh = self.write("fresh.json", doc(entries))
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("all 3 entries within", result.stdout)
+
+    def test_regression_detected(self):
+        base = self.write("base.json", doc(
+            [("BM_A", 100.0), ("BM_B", 200.0), ("BM_C", 50.0)]))
+        fresh = self.write("fresh.json", doc(
+            [("BM_A", 100.0), ("BM_B", 200.0), ("BM_C", 500.0)]))
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 1, result.stdout)
+        self.assertIn("REGRESSION", result.stdout)
+        self.assertIn("BM_C", result.stdout)
+
+    def test_zero_baseline_entry_skipped_not_crash(self):
+        # A zero ns_per_op in the baseline used to KeyError inside the report
+        # loop (the entry was dropped from the ratio map but still iterated).
+        base = self.write("base.json", doc(
+            [("BM_A", 100.0), ("BM_B", 0.0), ("BM_C", 50.0), ("BM_D", 75.0)]))
+        fresh = self.write("fresh.json", doc(
+            [("BM_A", 100.0), ("BM_B", 10.0), ("BM_C", 50.0), ("BM_D", 75.0)]))
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 0,
+                         result.stdout + result.stderr)
+        self.assertNotIn("Traceback", result.stderr)
+        self.assertIn("skipped: BM_B", result.stdout)
+        self.assertIn("all 3 entries within", result.stdout)
+
+    def test_all_zero_baseline_exits_with_guidance(self):
+        # All-zero baseline: no usable ratios. Must exit 2-ish with the
+        # regenerate hint, not a StatisticsError traceback.
+        base = self.write("base.json", doc(
+            [("BM_A", 0.0), ("BM_B", 0.0), ("BM_C", 0.0)]))
+        fresh = self.write("fresh.json", doc(
+            [("BM_A", 1.0), ("BM_B", 1.0), ("BM_C", 1.0)]))
+        result = self.run_tool(base, fresh)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertNotIn("Traceback", result.stderr)
+        self.assertIn("usable ratio", result.stderr)
+        self.assertIn("COCOA_BENCH_JSON", result.stderr)
+
+    def test_too_few_common_entries(self):
+        base = self.write("base.json", doc([("BM_A", 100.0)]))
+        fresh = self.write("fresh.json", doc([("BM_A", 100.0)]))
+        result = self.run_tool(base, fresh)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertNotIn("Traceback", result.stderr)
+        self.assertIn("comparable entries", result.stderr)
+
+    def test_scenarios_ride_through(self):
+        base = self.write("base.json", doc(
+            [("BM_A", 100.0), ("BM_B", 200.0)], [("fig7", 2.0)]))
+        fresh = self.write("fresh.json", doc(
+            [("BM_A", 100.0), ("BM_B", 200.0)], [("fig7", 2.0)]))
+        result = self.run_tool(base, fresh)
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("scenario:fig7", result.stdout)
+
+    def test_bad_schema_rejected(self):
+        base = self.write("base.json", {"schema": "other", "benchmarks": []})
+        fresh = self.write("fresh.json", doc([("BM_A", 1.0)]))
+        result = self.run_tool(base, fresh)
+        self.assertNotEqual(result.returncode, 0)
+        self.assertIn("unexpected schema", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main()
