@@ -1,6 +1,6 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the simulator and
 // the localization core, plus one end-to-end fig7 scenario. The custom main
-// captures every result and writes the perf-regression artifact BENCH_6.json
+// captures every result and writes the perf-regression artifact BENCH_8.json
 // (path override: COCOA_BENCH_JSON) via bench/perf_json.hpp. CI diffs that
 // artifact against bench/baseline/BENCH_baseline.json with tools/perf_compare.py.
 //
@@ -20,6 +20,8 @@
 
 #include "bench/perf_json.hpp"
 #include "core/bayes_grid.hpp"
+#include "core/swarm.hpp"
+#include "mac/fanout_kernels.hpp"
 #include "core/rf_localizer.hpp"
 #include "core/scenario.hpp"
 #include "energy/energy.hpp"
@@ -413,6 +415,111 @@ void BM_MediumFanoutMobile_flat(benchmark::State& state) {
 BENCHMARK(BM_MediumFanoutMobile)->Arg(256)->Arg(1024)->Arg(4096);
 BENCHMARK(BM_MediumFanoutMobile_flat)->Arg(256)->Arg(1024);
 
+/// The vectorized-fanout acceptance pair: mobile fan-out from a small dense
+/// cluster ringed by `range(0)` radios that sit inside the sender's 3x3 query
+/// window but beyond the cull radius — the dense-hotspot shape (a swarm core
+/// crossing a crowded junction) where the per-transmission cost is the
+/// candidate cull itself rather than the per-receiver RSSI draws. `_scalar`
+/// forces the pre-batching per-candidate loop (fanout::ForcePath::Serial,
+/// byte-identical output): one position() indirect call plus a scalar
+/// distance test per candidate, versus the SoA gather + blocked SIMD cull.
+/// The simd/_scalar ns/op ratio is the speedup the acceptance criteria track.
+void medium_fanout_mobile_kernel(benchmark::State& state,
+                                 mac::fanout::ForcePath path) {
+    const int ring = static_cast<int>(state.range(0));
+    const int cluster = 2;
+
+    sim::Simulator sim(7);
+    phy::ChannelConfig chcfg;
+    chcfg.tx_power_dbm = -5.0;  // swarm-family influence radius (~127 m)
+    mac::Medium medium(sim, phy::Channel{chcfg}, mac::MediumConfig{});
+    sim::RandomStream place(42);
+    // Interferers on an annulus at ~150 m: inside the window of every cell
+    // the cluster wanders through, outside the ~127.6 m cull radius.
+    const geom::Vec2 center{64.0, 64.0};
+    std::vector<geom::Vec2> pos;
+    std::vector<std::unique_ptr<mac::Radio>> radios;
+    radios.reserve(static_cast<std::size_t>(ring + cluster));
+    pos.reserve(static_cast<std::size_t>(ring + cluster));
+    const auto add_radio = [&](geom::Vec2 p0) {
+        pos.push_back(p0);
+        const geom::Vec2* p = &pos.back();
+        const auto id = static_cast<net::NodeId>(radios.size());
+        radios.push_back(std::make_unique<mac::Radio>(
+            sim, medium, id, [p] { return *p; },
+            energy::PowerProfile::wavelan(),
+            sim.rng().stream("bench.backoff", static_cast<std::uint64_t>(id))));
+        radios.back()->sleep();  // visible to propagation, no rx machinery
+    };
+    for (int i = 0; i < cluster; ++i) {
+        add_radio(center + geom::Vec2{place.uniform(-5.0, 5.0),
+                                      place.uniform(-5.0, 5.0)});
+    }
+    for (int i = 0; i < ring; ++i) {
+        const double theta = place.uniform(0.0, 2.0 * 3.14159265358979323846);
+        add_radio(center + geom::Vec2::from_heading(theta) *
+                               place.uniform(145.0, 155.0));
+    }
+
+    net::Packet packet;
+    packet.payload_bytes = 24;
+    sim::RandomStream walk(43);
+    std::size_t sender = 0;
+    mac::fanout::set_force_path(path);
+    for (auto _ : state) {
+        // Bounded jitter (not a drifting walk): the cluster must stay inside
+        // the ring for the whole run.
+        pos[sender] = center + geom::Vec2{walk.uniform(-5.0, 5.0),
+                                          walk.uniform(-5.0, 5.0)};
+        medium.note_position_moved(*radios[sender]);
+        medium.begin_transmission(*radios[sender], packet,
+                                  sim::Duration::micros(100));
+        sender = (sender + 1) % static_cast<std::size_t>(cluster);
+        sim.run_until(sim.now() + sim::Duration::millis(1));
+    }
+    mac::fanout::set_force_path(mac::fanout::ForcePath::None);
+    state.SetItemsProcessed(state.iterations());
+    state.counters["visited_per_tx"] =
+        static_cast<double>(medium.stats().radios_visited) /
+        static_cast<double>(std::max<std::uint64_t>(1, medium.stats().frames_sent));
+}
+void BM_MediumFanoutMobile_simd(benchmark::State& state) {
+    medium_fanout_mobile_kernel(state, mac::fanout::ForcePath::None);
+    state.SetLabel(mac::fanout::active_isa());
+}
+void BM_MediumFanoutMobile_scalar(benchmark::State& state) {
+    medium_fanout_mobile_kernel(state, mac::fanout::ForcePath::Serial);
+}
+BENCHMARK(BM_MediumFanoutMobile_simd)->Arg(4096);
+BENCHMARK(BM_MediumFanoutMobile_scalar)->Arg(4096);
+
+/// Whole swarm runs through the sharded mobility tick (`_serial` = the inline
+/// single-thread path). Identical output either way; the ratio is wall-clock
+/// only, and on single-core CI runners the two are expected to tie — the pair
+/// exists so multi-core machines can read the sharding win from the same
+/// artifact.
+void swarm_tick(benchmark::State& state, int mobility_threads) {
+    core::SwarmConfig cfg;
+    cfg.nodes = 1000;
+    cfg.seed = 7;
+    cfg.duration = sim::Duration::seconds(4.0);
+    cfg.mobility_threads = mobility_threads;
+    std::uint64_t events = 0;
+    for (auto _ : state) {
+        const core::SwarmResult r = core::run_swarm(cfg);
+        events = r.executed_events;
+        benchmark::DoNotOptimize(events);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(events));
+}
+void BM_SwarmTick(benchmark::State& state) {
+    swarm_tick(state, -1);  // all hardware threads
+}
+void BM_SwarmTick_serial(benchmark::State& state) { swarm_tick(state, 0); }
+BENCHMARK(BM_SwarmTick)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SwarmTick_serial)->Unit(benchmark::kMillisecond);
+
 void BM_PdfTableLookup(benchmark::State& state) {
     const phy::PdfTable& table = shared_table();
     sim::RandomStream rng(2);
@@ -591,7 +698,7 @@ int main(int argc, char** argv) {
     json.add_scenario("fig7_cocoa_50robots_30min", wall);
 
     const char* override_path = std::getenv("COCOA_BENCH_JSON");
-    const std::string path = override_path != nullptr ? override_path : "BENCH_6.json";
+    const std::string path = override_path != nullptr ? override_path : "BENCH_8.json";
     if (!json.write(path)) {
         std::cerr << "failed to write " << path << "\n";
         return 1;

@@ -7,6 +7,7 @@
 #include "mobility/waypoint.hpp"
 #include "net/node.hpp"
 #include "sim/simulator.hpp"
+#include "sim/thread_pool.hpp"
 
 namespace cocoa::core {
 
@@ -29,6 +30,9 @@ void SwarmConfig::validate() const {
     }
     if (min_pause.is_negative() || max_pause < min_pause) {
         throw std::invalid_argument("SwarmConfig: need 0 <= min_pause <= max_pause");
+    }
+    if (mobility_threads < -1) {
+        throw std::invalid_argument("SwarmConfig: mobility_threads >= -1");
     }
 }
 
@@ -119,24 +123,66 @@ SwarmResult run_swarm(const SwarmConfig& config) {
     // Global mobility tick: advance every node's waypoint motion and migrate
     // its spatial-index entry — the incremental note_position_moved path, one
     // O(1) update per node per tick, never a bulk invalidation.
+    //
+    // With mobility_threads != 0 the position integration is sharded across a
+    // thread pool: workers advance disjoint contiguous node ranges (per-robot
+    // state + per-robot RNG only, so no sharing) and record who moved; the
+    // index migrations — the only shared-state side effect — are then folded
+    // on the simulation thread in ascending node order, exactly the sequence
+    // the inline path produces. Byte-identical at any worker count.
+    std::unique_ptr<sim::ThreadPool> mobility_pool;
+    std::vector<std::uint8_t> moved_flags;
+    if (config.mobility_threads != 0) {
+        mobility_pool = std::make_unique<sim::ThreadPool>(
+            sim::ThreadPool::resolve_threads(config.mobility_threads));
+        moved_flags.resize(static_cast<std::size_t>(config.nodes), 0);
+    }
     struct MobilityTicker {
         net::World& world;
         sim::Duration tick;
+        sim::ThreadPool* pool;
+        std::vector<std::uint8_t>* moved;
         void operator()() {
             const sim::TimePoint now = world.simulator().now();
-            for (const auto& node : world.nodes()) {
-                const auto increments = node->mobility().advance_to(now);
-                bool moved = false;
-                for (const auto& inc : increments) moved = moved || inc.forward_m != 0.0;
-                // Paused (or turn-in-place) robots kept their position: no
-                // index work to do, and no reason to touch the tree entry.
-                if (moved) world.medium().note_position_moved(node->radio());
+            const auto& nodes = world.nodes();
+            if (pool == nullptr) {
+                for (const auto& node : nodes) {
+                    // Paused (or turn-in-place) robots kept their position:
+                    // no index work to do, no reason to touch the tree entry.
+                    if (node->mobility().advance_position_to(now)) {
+                        world.medium().note_position_moved(node->radio());
+                    }
+                }
+            } else {
+                const std::size_t n = nodes.size();
+                const std::size_t chunk =
+                    (n + pool->size() - 1) / pool->size();
+                const auto* nodes_p = &nodes;
+                auto* flags = moved;
+                for (std::size_t begin = 0; begin < n; begin += chunk) {
+                    const std::size_t end = std::min(n, begin + chunk);
+                    pool->submit([nodes_p, flags, begin, end, now] {
+                        for (std::size_t i = begin; i < end; ++i) {
+                            (*flags)[i] =
+                                (*nodes_p)[i]->mobility().advance_position_to(now)
+                                    ? 1
+                                    : 0;
+                        }
+                    });
+                }
+                pool->wait_idle();
+                for (std::size_t i = 0; i < n; ++i) {
+                    if ((*flags)[i] != 0) {
+                        world.medium().note_position_moved(nodes[i]->radio());
+                    }
+                }
             }
             world.simulator().schedule_in(tick, *this);
         }
     };
     sim.schedule_in(config.mobility_tick,
-                    MobilityTicker{world, config.mobility_tick});
+                    MobilityTicker{world, config.mobility_tick,
+                                   mobility_pool.get(), &moved_flags});
 
     sim.run_until(sim::TimePoint::origin() + config.duration);
 
@@ -148,8 +194,15 @@ SwarmResult run_swarm(const SwarmConfig& config) {
     result.medium_stats = world.medium().stats();
     result.index_stats = world.medium().index_stats();
     result.flat_index_stats = world.medium().flat_index_stats();
+    result.radius_cache_stats = world.medium().radius_cache_stats();
     for (const auto& node : world.nodes()) {
         result.frames_delivered += node->radio().stats().rx_delivered;
+    }
+    if (config.collect_final_positions) {
+        result.final_positions.reserve(static_cast<std::size_t>(config.nodes));
+        for (const auto& node : world.nodes()) {
+            result.final_positions.push_back(node->mobility().position());
+        }
     }
     return result;
 }

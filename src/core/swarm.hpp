@@ -1,8 +1,10 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "energy/energy.hpp"
+#include "geom/vec2.hpp"
 #include "mac/medium.hpp"
 #include "phy/channel.hpp"
 #include "sim/time.hpp"
@@ -43,6 +45,16 @@ struct SwarmConfig {
     sim::Duration min_pause = sim::Duration::zero();
     sim::Duration max_pause = sim::Duration::zero();
     std::size_t beacon_bytes = 24;
+    /// Workers for the sharded mobility tick (`cocoa_sim --swarm-threads`):
+    /// 0 = inline (no pool), -1 = all hardware threads, N = N workers.
+    /// Workers integrate disjoint node ranges' positions concurrently; the
+    /// spatial-index migrations are folded afterwards in ascending node
+    /// order, so output is byte-identical at any value — the same
+    /// resolution-point pattern as ScenarioConfig::grid_update_threads.
+    int mobility_threads = 0;
+    /// Record every node's final position in SwarmResult::final_positions
+    /// (identity tests compare them across thread counts and backends).
+    bool collect_final_positions = false;
     /// Low-power swarm radios: -5 dBm tx keeps the influence radius ~127 m
     /// (~60 sense-range neighbours at fig7 density) instead of the paper
     /// rig's 1.3 km, so "O(neighbors)" is a local quantity and the family
@@ -67,7 +79,10 @@ struct SwarmResult {
     mac::Medium::Stats medium_stats;
     mac::spatial::CellTreeStats index_stats;
     mac::Medium::FlatIndexStats flat_index_stats;
+    mac::spatial::RadiusCacheStats radius_cache_stats;
     std::uint64_t frames_delivered = 0;  ///< rx_delivered summed over nodes
+    /// Filled only when SwarmConfig::collect_final_positions is set.
+    std::vector<geom::Vec2> final_positions;
 };
 
 /// Runs one swarm scenario to completion. Deterministic for a given config

@@ -18,6 +18,12 @@ constexpr double kTruncateSlackM = 1.0;
 /// all draw the same-sized block from the slab pool (64 entries * 4 bytes);
 /// denser swarm neighbourhoods fall through to ordinary allocation.
 constexpr std::size_t kSensedReserve = 64;
+/// Radius-cache sizing: 4096 masks cover a ~16 km x 16 km active area of
+/// 126 m cells at the 4x4 sub-cell quantization before the LRU recycles, a
+/// few hundred KB; tiles below 16 radios skip the cache (scanning a handful
+/// of candidates outright is cheaper than the mask lookup).
+constexpr std::size_t kRadiusCacheCapacity = 4096;
+constexpr std::uint32_t kRadiusCacheDensePopulation = 16;
 }  // namespace
 
 Medium::Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig config)
@@ -55,6 +61,11 @@ Medium::Medium(sim::Simulator& sim, const phy::Channel& channel, MediumConfig co
     cull_radius_m_ = channel_.max_influence_range_m() * (1.0 + 1e-9) + 1e-3;
     truncate_radius_m_ = cull_radius_m_ + kTruncateSlackM;
     inv_hash_cell_ = 1.0 / cull_radius_m_;
+    radius_cache_.configure(tree_.cell_side_m(), cull_radius_m_,
+                            kRadiusCacheCapacity, kRadiusCacheDensePopulation);
+    // Steady-state scratch: sized once here so paper-scale neighbourhoods
+    // never grow it again (swarm densities warm it within a few frames).
+    sensed_scratch_.reserve(kSensedReserve);
 }
 
 std::size_t Medium::attach(Radio& radio) {
@@ -188,15 +199,19 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
     // unavailable (off / in-outage) radios are invisible to propagation.
     sensed_scratch_.clear();
     std::uint64_t visited = 0;
-    const auto visit = [&](std::size_t i) {
+    // The stochastic tail of one receiver's evaluation, shared by the scalar
+    // and vectorized paths: given the deterministic channel terms at the
+    // receiver's distance, perform the counter-based draws and record the
+    // sensed verdict. Keeping the draws here (scalar, ascending candidate
+    // order) is what makes the vectorized fanout bitwise-neutral — the
+    // kernels only batch the deterministic prefix.
+    const auto draw = [&](std::size_t i, double mean_dbm, double sigma_db,
+                          double fade_db) {
         Radio* r = radios_[i];
-        if (r == &sender) return;
-        if (available_[i] == 0) return;  // dead air for dead radios
         ++visited;
-        const double dist = geom::distance(r->position(), tx_pos);
         sim::SplitMix64 rng(sim::splitmix64_mix(
             frame_key ^ sim::splitmix64_mix(static_cast<std::uint64_t>(r->id()) + 0x51ed2701)));
-        double rssi = channel_.sample_rssi_dbm(dist, rng);
+        double rssi = channel_.sample_rssi_from(mean_dbm, sigma_db, fade_db, rng);
         if (loss_effect.active) {
             rssi -= loss_effect.attenuation_db;
             if (loss_effect.drop_prob > 0.0) {
@@ -221,20 +236,77 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
                 SensedCandidate{static_cast<std::uint32_t>(i), rssi});
         }
     };
+    // Scalar per-receiver evaluation (flat oracle, unculled sweep, and the
+    // Serial force path): live-position distance, then the draw tail. The
+    // channel terms here and in the kernels are the same out-of-line
+    // functions over the same IEEE distance, so both routes feed draw()
+    // identical inputs.
+    const auto visit = [&](std::size_t i) {
+        Radio* r = radios_[i];
+        if (r == &sender) return;
+        if (available_[i] == 0) return;  // dead air for dead radios
+        const double dist = geom::distance(r->position(), tx_pos);
+        draw(i, channel_.mean_rssi_dbm(dist), channel_.shadowing_sigma_db(dist),
+             channel_.fade_mean_db(dist));
+    };
 
     if (config_.interference_culling) {
         const double r2 = cull_radius_m_ * cull_radius_m_;
         if (hierarchical()) {
             refresh_tree_if_stale();
-            tree_.for_each_in_radius(
-                tx_pos, cull_radius_m_, [&](std::uint32_t i, geom::Vec2 /*cached*/) {
-                    if (radios_[i] == &sender) return;
-                    // Exact test against the *live* position: the cached one
-                    // only bucketed the radio, and the cell window is padded
-                    // so every in-radius radio is among the candidates.
-                    if (geom::distance_sq(radios_[i]->position(), tx_pos) > r2) return;
-                    visit(i);
-                });
+            if (fanout::force_path() == fanout::ForcePath::Serial) {
+                // Scalar twin of the batch path below, candidate for
+                // candidate: the benches' regression anchor, byte-identical
+                // by the shared-draw construction.
+                tree_.for_each_in_radius(
+                    tx_pos, cull_radius_m_, [&](std::uint32_t i, geom::Vec2 /*cached*/) {
+                        if (radios_[i] == &sender) return;
+                        // Exact test against the *live* position: the cached
+                        // one only bucketed the radio, and the cell window is
+                        // padded so every in-radius radio is a candidate.
+                        if (geom::distance_sq(radios_[i]->position(), tx_pos) > r2) return;
+                        visit(i);
+                    });
+            } else {
+                // Vectorized fanout: gather the window's candidates (cached
+                // slot positions — equal to the live ones under the
+                // note_position_moved contract the Debug sweep above just
+                // verified) into the SoA batch, run the blocked cull +
+                // channel-term kernel, then the scalar draw tail in ascending
+                // lane order. The radius cache prunes provably-out-of-disk
+                // window cells before the gather in dense neighbourhoods.
+                fanout_batch_.clear();
+                const auto sender_idx =
+                    static_cast<std::uint32_t>(sender.attach_index());
+                // The sender is gathered like any candidate (no per-candidate
+                // branch on the hot gather) and filtered below, where the
+                // check runs once per *kept* lane instead of once per lane.
+                tree_.for_each_in_radius(
+                    tx_pos, cull_radius_m_, &radius_cache_,
+                    [&](std::uint32_t i, geom::Vec2 cached) {
+                        fanout_batch_.push(i, cached.x, cached.y);
+                    });
+                fanout_batch_.seal();
+                const std::size_t kept = fanout::cull_and_prepare(
+                    fanout::make_plan(fanout_batch_, tx_pos, r2, channel_));
+                for (std::size_t k = 0; k < kept; ++k) {
+                    const std::size_t l = fanout_batch_.kept_lanes[k];
+                    if (fanout_batch_.idx[l] == sender_idx) continue;
+#ifndef NDEBUG
+                    // Decodability-threshold invariant: every kept lane lies
+                    // within the influence radius, where the mean plus the
+                    // maximum clamped shadowing boost reaches carrier sense
+                    // (the 1e-2 dB tolerance absorbs the radius inflation
+                    // sliver the cull radius adds over the influence range).
+                    assert(fanout_batch_.mean_dbm[l] +
+                               channel_.config().shadowing_clamp_sigmas *
+                                   fanout_batch_.sigma_db[l] >=
+                           channel_.config().carrier_sense_dbm - 1e-2);
+#endif
+                    draw(fanout_batch_.idx[l], fanout_batch_.mean_dbm[l],
+                         fanout_batch_.sigma_db[l], fanout_batch_.fade_db[l]);
+                }
+            }
         } else {
             rebuild_hash_if_stale();
             const auto tx_cx = static_cast<std::int64_t>(std::floor(tx_pos.x * inv_hash_cell_));
@@ -332,14 +404,35 @@ void Medium::truncate_transmission(Radio& sender) {
                                      });
             std::sort(targets.begin(), targets.end());
         } else {
-            for (std::size_t i = 0; i < radios_.size(); ++i) {
-                // Unavailable radios mirror the tree's membership: they
-                // rebuild carrier sense from scratch when they come back.
-                if (available_[i] == 0) continue;
-                if (in_range(static_cast<std::uint32_t>(i))) {
-                    targets.push_back(static_cast<std::uint32_t>(i));
+            // Window scan over the spatial hash instead of the old
+            // all-radios sweep: the truncation radius exceeds the hash cell
+            // side (cull radius) by the slack, so a 5x5 window bounds it.
+            rebuild_hash_if_stale();
+            const geom::Vec2 pos = frame->sender_position;
+            const auto tx_cx =
+                static_cast<std::int64_t>(std::floor(pos.x * inv_hash_cell_));
+            const auto tx_cy =
+                static_cast<std::int64_t>(std::floor(pos.y * inv_hash_cell_));
+            const auto reach = static_cast<std::int64_t>(
+                std::ceil(truncate_radius_m_ * inv_hash_cell_));
+            for (std::int64_t cy = tx_cy - reach; cy <= tx_cy + reach; ++cy) {
+                for (std::int64_t cx = tx_cx - reach; cx <= tx_cx + reach; ++cx) {
+                    const std::uint64_t key =
+                        (static_cast<std::uint64_t>(cx) << 32) ^
+                        (static_cast<std::uint64_t>(cy) & 0xffffffffull);
+                    const auto it = hash_cells_.find(key);
+                    if (it == hash_cells_.end()) continue;
+                    for (const std::uint32_t i : it->second) {
+                        // Unavailable radios mirror the tree's membership:
+                        // they rebuild carrier sense when they come back.
+                        if (available_[i] == 0) continue;
+                        if (in_range(i)) targets.push_back(i);
+                    }
                 }
             }
+            // Hash cells iterate in map order; the notification contract
+            // below needs ascending attach order, like the tree path.
+            std::sort(targets.begin(), targets.end());
         }
         for (const std::uint32_t i : targets) radios_[i]->on_frame_truncated(frame);
     }

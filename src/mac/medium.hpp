@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mac/airframe.hpp"
+#include "mac/fanout_kernels.hpp"
 #include "mac/spatial.hpp"
 #include "obs/obs.hpp"
 #include "phy/channel.hpp"
@@ -178,6 +179,17 @@ class Medium {
     const spatial::CellTreeStats& index_stats() const { return tree_.stats(); }
     const FlatIndexStats& flat_index_stats() const { return flat_stats_; }
 
+    /// The spatial.radius_cache.* family (hierarchical fanout only; zeros
+    /// under the flat oracle or the Serial force path). Unregistered — see
+    /// RadiusCacheStats.
+    const spatial::RadiusCacheStats& radius_cache_stats() const {
+        return radius_cache_.stats();
+    }
+
+    /// The fanout gather batch, exposed for tests that pin the steady-state
+    /// fast path as allocation-free (capacity stops growing once warm).
+    const fanout::Batch& fanout_scratch() const { return fanout_batch_; }
+
     /// Slab pool recycling net::Packet blocks, for components that build
     /// steady-state packets (CocoaAgent's SYNC payloads). Stats surface as
     /// kernel.pool.packet.* counters.
@@ -248,6 +260,14 @@ class Medium {
     /// refresh_all sweep. Steady-state traffic uses note_position_moved()
     /// and never sets it.
     bool bulk_stale_ = false;
+    /// LRU-cached 3x3 window masks for the hot cull-radius query (the
+    /// density-adaptive query radius); armed in the constructor for exactly
+    /// cull_radius_m_.
+    spatial::RadiusCache radius_cache_;
+    /// SoA gather target of the vectorized fanout (candidate indices +
+    /// cached positions in, per-lane cull verdicts and channel terms out);
+    /// recycled across transmissions so steady-state fanout never allocates.
+    fanout::Batch fanout_batch_;
 
     // --- flat hash (oracle) -------------------------------------------------
     // A lazily rebuilt uniform spatial hash over radio positions, cell side

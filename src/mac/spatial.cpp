@@ -1,10 +1,121 @@
 #include "mac/spatial.hpp"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 #include <stdexcept>
 
 namespace cocoa::mac::spatial {
+
+namespace {
+
+/// Conservative geometry pad (metres) for window classification: entries are
+/// bucketed by floor(pos * inv_cell), whose rounding can park a boundary
+/// point a few ulps outside its cell's nominal box, and the query center's
+/// sub-cell offset carries the same slop. A micron of padding dwarfs both
+/// (coordinates are metres, worlds are kilometres) while being statistically
+/// invisible against the ~100 m cull radius.
+constexpr double kGeometryPadM = 1e-6;
+
+/// Packs (cell, sub-cell quantum) into the LRU key: 28 signed bits per cell
+/// coordinate (aliasing would need ~2.7e8 cells of ~100 m each — a 2.7e10 m
+/// world), 2 bits per quantum axis.
+std::uint64_t mask_key(std::int64_t ccx, std::int64_t ccy, int sx, int sy) {
+    const std::uint64_t x = static_cast<std::uint64_t>(ccx) & 0xfffffffull;
+    const std::uint64_t y = static_cast<std::uint64_t>(ccy) & 0xfffffffull;
+    return (x << 36) | (y << 8) | (static_cast<std::uint64_t>(sx) << 2) |
+           static_cast<std::uint64_t>(sy);
+}
+
+}  // namespace
+
+void RadiusCache::configure(double cell_side_m, double radius_m,
+                            std::size_t capacity,
+                            std::uint32_t dense_population) {
+    if (capacity == 0) {  // disarm
+        capacity_ = 0;
+        radius_m_ = -1.0;
+        lru_.clear();
+        map_.clear();
+        return;
+    }
+    if (!(cell_side_m > 0.0) || !(radius_m > 0.0) || radius_m > cell_side_m) {
+        throw std::invalid_argument(
+            "RadiusCache: need 0 < radius <= cell side for 3x3 window masks");
+    }
+    cell_side_m_ = cell_side_m;
+    quantum_m_ = cell_side_m / kQuantaPerSide;
+    radius_m_ = radius_m;
+    capacity_ = capacity;
+    dense_population_ = dense_population;
+    lru_.clear();
+    map_.clear();
+}
+
+std::uint16_t RadiusCache::window_mask(std::int64_t ccx, std::int64_t ccy,
+                                       geom::Vec2 center) {
+    ++stats_.lookups;
+    // Quantize the center's offset within its cell. The clamp keeps FP slop
+    // in the offset from escaping the cell; classify() pads the quantum
+    // square so the mask stays conservative either way.
+    const int sx = std::clamp(
+        static_cast<int>(std::floor(
+            (center.x - static_cast<double>(ccx) * cell_side_m_) / quantum_m_)),
+        0, kQuantaPerSide - 1);
+    const int sy = std::clamp(
+        static_cast<int>(std::floor(
+            (center.y - static_cast<double>(ccy) * cell_side_m_) / quantum_m_)),
+        0, kQuantaPerSide - 1);
+    const std::uint64_t key = mask_key(ccx, ccy, sx, sy);
+    if (const auto it = map_.find(key); it != map_.end()) {
+        ++stats_.hits;
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return it->second->second;
+    }
+    ++stats_.misses;
+    const std::uint16_t mask = classify(ccx, ccy, sx, sy);
+    lru_.emplace_front(key, mask);
+    map_.emplace(key, lru_.begin());
+    if (map_.size() > capacity_) {
+        ++stats_.evictions;
+        map_.erase(lru_.back().first);
+        lru_.pop_back();
+    }
+    return mask;
+}
+
+std::uint16_t RadiusCache::classify(std::int64_t ccx, std::int64_t ccy, int sx,
+                                    int sy) const {
+    // The quantum square every center mapping to this key lies in, padded so
+    // one mask is valid for all of them (conservative over the quantum).
+    const double qlo_x =
+        static_cast<double>(ccx) * cell_side_m_ + sx * quantum_m_ - kGeometryPadM;
+    const double qhi_x = qlo_x + quantum_m_ + 2.0 * kGeometryPadM;
+    const double qlo_y =
+        static_cast<double>(ccy) * cell_side_m_ + sy * quantum_m_ - kGeometryPadM;
+    const double qhi_y = qlo_y + quantum_m_ + 2.0 * kGeometryPadM;
+    const double r2 = radius_m_ * radius_m_;
+
+    std::uint16_t mask = 0;
+    int bit = 0;
+    for (std::int64_t dy = -1; dy <= 1; ++dy) {
+        for (std::int64_t dx = -1; dx <= 1; ++dx, ++bit) {
+            // Nearest per-axis gap between the (padded) window cell's box and
+            // the quantum square; the cell is prunable only when even that
+            // nearest approach lies beyond the radius.
+            const double clo_x =
+                static_cast<double>(ccx + dx) * cell_side_m_ - kGeometryPadM;
+            const double chi_x = clo_x + cell_side_m_ + 2.0 * kGeometryPadM;
+            const double clo_y =
+                static_cast<double>(ccy + dy) * cell_side_m_ - kGeometryPadM;
+            const double chi_y = clo_y + cell_side_m_ + 2.0 * kGeometryPadM;
+            const double gx = std::max({0.0, clo_x - qhi_x, qlo_x - chi_x});
+            const double gy = std::max({0.0, clo_y - qhi_y, qlo_y - chi_y});
+            if (gx * gx + gy * gy <= r2) mask |= std::uint16_t{1} << bit;
+        }
+    }
+    return mask;
+}
 
 CellTree::CellTree(double cell_side_m) : cell_side_m_(cell_side_m) {
     if (!(cell_side_m > 0.0)) {
@@ -98,6 +209,33 @@ void CellTree::remove(std::uint32_t id) {
 void CellTree::update(std::uint32_t id, geom::Vec2 pos) {
     if (!contains(id)) return;
     update_present(id, pos);
+}
+
+std::uint32_t CellTree::tile_population_at(geom::Vec2 pos) const {
+    const Tile* tile = find_tile(cell_coord(pos.x) >> kTileShift,
+                                 cell_coord(pos.y) >> kTileShift);
+    return tile == nullptr ? 0 : tile->population;
+}
+
+std::int64_t CellTree::window_reach(double radius) const {
+    // radius * inv_cell rounds either way; the (1 - 1e-12) shave keeps the
+    // medium's hot case (radius == cell side minus the truncation slack, or
+    // exactly equal for truncation queries) at reach 1 instead of tipping to
+    // 2 on an upward rounding, while any real overshoot past a cell boundary
+    // still widens the window.
+    return std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::floor(radius * inv_cell_ * (1.0 - 1e-12))) + 1);
+}
+
+bool CellTree::cell_outside_disk(std::int64_t cx, std::int64_t cy,
+                                 geom::Vec2 center, double r2) const {
+    const double lo_x = static_cast<double>(cx) * cell_side_m_ - kGeometryPadM;
+    const double hi_x = lo_x + cell_side_m_ + 2.0 * kGeometryPadM;
+    const double lo_y = static_cast<double>(cy) * cell_side_m_ - kGeometryPadM;
+    const double hi_y = lo_y + cell_side_m_ + 2.0 * kGeometryPadM;
+    const double gx = std::max({0.0, lo_x - center.x, center.x - hi_x});
+    const double gy = std::max({0.0, lo_y - center.y, center.y - hi_y});
+    return gx * gx + gy * gy > r2;
 }
 
 void CellTree::update_present(std::uint32_t id, geom::Vec2 pos) {

@@ -100,6 +100,34 @@ std::vector<MotionIncrement> WaypointMobility::advance_to(sim::TimePoint t) {
     return out;
 }
 
+bool WaypointMobility::advance_position_to(sim::TimePoint t) {
+    if (t < now_) {
+        throw std::logic_error("WaypointMobility::advance_position_to: time went backwards");
+    }
+    // Mirrors advance_to exactly (same plan boundaries, same FP position
+    // updates, same finish_plan RNG draws) minus the increment vector.
+    bool moved = false;
+    while (now_ < t) {
+        const sim::TimePoint until = std::min(t, plan_end_);
+        const sim::Duration dt = until - now_;
+        if (dt > sim::Duration::zero()) {
+            if (!resting_) {
+                const double forward = speed_ * dt.to_seconds();
+                if (until == plan_end_) {
+                    position_ = destination_;  // land exactly, no numeric drift
+                } else {
+                    position_ += geom::Vec2::from_heading(heading_) * forward;
+                }
+                moved = moved || forward != 0.0;
+            }
+            pending_turn_ = 0.0;
+            now_ = until;
+        }
+        if (now_ == plan_end_) finish_plan();
+    }
+    return moved;
+}
+
 geom::Vec2 WaypointMobility::velocity() const {
     if (resting_) return {};
     return geom::Vec2::from_heading(heading_) * speed_;

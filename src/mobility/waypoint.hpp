@@ -50,6 +50,14 @@ class WaypointMobility {
     /// returns the increments travelled, in order.
     std::vector<MotionIncrement> advance_to(sim::TimePoint t);
 
+    /// Position-only advance_to: identical motion, RNG consumption and final
+    /// state, but no increment vector — returns whether the position changed.
+    /// The swarm mobility tick's allocation-free path (its robots have no
+    /// odometry consumer, and the sharded tick runs this from worker
+    /// threads — per-robot state only, so disjoint robots are safe to
+    /// advance concurrently).
+    bool advance_position_to(sim::TimePoint t);
+
     sim::TimePoint time() const { return now_; }
     geom::Vec2 position() const { return position_; }
     /// Radians, CCW from +x.

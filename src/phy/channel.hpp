@@ -57,21 +57,31 @@ class Channel {
     /// Mean deep-fade attenuation (dB) at this distance (0 below breakpoint).
     double fade_mean_db(double distance_m) const;
 
+    /// One stochastic RSSI observation from precomputed channel terms — the
+    /// exact operation sequence of sample_rssi_dbm, split out so callers that
+    /// batch-compute mean/sigma/fade over many receivers (the medium's fanout
+    /// kernels) draw bitwise-identical values to the distance-based overload.
+    template <typename Rng>
+    double sample_rssi_from(double mean_dbm, double sigma_db, double fade_db,
+                            Rng& rng) const {
+        const double cap = config_.shadowing_clamp_sigmas * sigma_db;
+        const double shadow = std::clamp(rng.gaussian(0.0, sigma_db), -cap, cap);
+        double rssi = mean_dbm + shadow;
+        if (fade_db > 0.0) {
+            rssi -= rng.exponential(fade_db);  // deep fades only ever attenuate
+        }
+        return rssi;
+    }
+
     /// One stochastic RSSI observation. Templated over the generator so the
     /// same draw logic serves both the long-lived mt19937_64 streams (PDF
     /// calibration) and the throwaway counter-based SplitMix64 generators the
     /// medium constructs per (frame, receiver).
     template <typename Rng>
     double sample_rssi_dbm(double distance_m, Rng& rng) const {
-        const double sigma = shadowing_sigma_db(distance_m);
-        const double cap = config_.shadowing_clamp_sigmas * sigma;
-        const double shadow = std::clamp(rng.gaussian(0.0, sigma), -cap, cap);
-        double rssi = mean_rssi_dbm(distance_m) + shadow;
-        const double fade = fade_mean_db(distance_m);
-        if (fade > 0.0) {
-            rssi -= rng.exponential(fade);  // deep fades only ever attenuate
-        }
-        return rssi;
+        return sample_rssi_from(mean_rssi_dbm(distance_m),
+                                shadowing_sigma_db(distance_m),
+                                fade_mean_db(distance_m), rng);
     }
 
     /// Distance at which the mean RSSI equals the receive sensitivity: the

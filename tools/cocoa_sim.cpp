@@ -146,6 +146,7 @@ int main(int argc, char** argv) {
     int reps = 1;
     int threads = 0;
     int grid_threads = 0;
+    int swarm_threads = 0;
     int swarm_nodes = 0;
     std::string medium_backend;
     std::string fault_spec;
@@ -207,12 +208,18 @@ int main(int argc, char** argv) {
                     "threads. Output is byte-identical at any value "
                     "(default 0)",
                     &grid_threads, -1, 4096)
+        .add_option("swarm-threads",
+                    "worker threads for the swarm family's sharded mobility "
+                    "tick (--nodes runs); 0 = inline, -1 = all hardware "
+                    "threads. Output is byte-identical at any value "
+                    "(default 0)",
+                    &swarm_threads, -1, 4096)
         .add_option("nodes",
                     "run the large-N swarm family instead of the CoCoA "
                     "scenario: N duty-cycled beaconing radios at fig7 density "
                     "on a sqrt(N)-sized area (honours --seed, --duration, "
-                    "--no-culling, --medium, --quiet; prints a 'swarm-json:' "
-                    "line for the CI scaling job)",
+                    "--no-culling, --medium, --swarm-threads, --quiet; prints "
+                    "a 'swarm-json:' line for the CI scaling job)",
                     &swarm_nodes, 0, 1000000)
         .add_option("medium",
                     "hier | flat: override the medium's spatial-index "
@@ -270,6 +277,7 @@ int main(int argc, char** argv) {
         sc.seed = seed;
         sc.duration = sim::Duration::seconds(duration_s);
         sc.medium = config.medium;
+        sc.mobility_threads = swarm_threads;
         core::SwarmResult r;
         const auto t0 = std::chrono::steady_clock::now();
         try {
