@@ -1,6 +1,6 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the simulator and
 // the localization core, plus one end-to-end fig7 scenario. The custom main
-// captures every result and writes the perf-regression artifact BENCH_8.json
+// captures every result and writes the perf-regression artifact BENCH_9.json
 // (path override: COCOA_BENCH_JSON) via bench/perf_json.hpp. CI diffs that
 // artifact against bench/baseline/BENCH_baseline.json with tools/perf_compare.py.
 //
@@ -24,6 +24,7 @@
 #include "mac/fanout_kernels.hpp"
 #include "core/rf_localizer.hpp"
 #include "core/scenario.hpp"
+#include "est/estimator.hpp"
 #include "energy/energy.hpp"
 #include "geom/motion.hpp"
 #include "mac/medium.hpp"
@@ -630,6 +631,58 @@ void BM_FullFix25Anchors_scalar(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFix25Anchors_scalar);
 
+// One window-end fix through the est::Estimator interface, per backend: the
+// accuracy/CPU trade-off's denominator. Same 25-anchor window as
+// BM_FullFix25Anchors; grid pays the Bayesian fold, EKF-CL and LinCvx a
+// handful of multiply-adds.
+void estimator_fix_bench(benchmark::State& state, est::Backend backend) {
+    est::Config ec;
+    ec.backend = backend;
+    ec.grid.area = geom::Rect::square(200.0);
+    ec.grid.cell_m = 2.0;
+    auto table = std::make_shared<const phy::PdfTable>(shared_table());
+    mobility::OdometryEstimator odometry({}, sim::RandomStream(8));
+    odometry.reset(ec.grid.area.center(), 0.0);
+    const std::unique_ptr<est::Estimator> estimator =
+        est::make_estimator(ec, table, &odometry);
+    estimator->reset(ec.grid.area.center(), false);
+
+    const phy::Channel ch;
+    sim::RandomStream rng(8);
+    std::vector<core::BeaconObservation> obs;
+    const geom::Vec2 truth{100.0, 100.0};
+    for (int a = 0; a < 25; ++a) {
+        const geom::Vec2 anchor{rng.uniform(0.0, 200.0), rng.uniform(0.0, 200.0)};
+        for (int k = 0; k < 3; ++k) {
+            const double rssi = ch.sample_rssi_dbm(geom::distance(anchor, truth), rng);
+            if (rssi >= ch.config().rx_sensitivity_dbm) obs.push_back({anchor, rssi});
+        }
+    }
+    for (auto _ : state) {
+        estimator->predict({0.1, -0.05}, 1.0);
+        if (estimator->collects_window_beacons()) {
+            estimator->apply_fix(estimator->compute_fix(obs), 0.0);
+        } else {
+            for (const core::BeaconObservation& o : obs) estimator->observe_beacon(o);
+            benchmark::DoNotOptimize(estimator->end_window());
+        }
+        benchmark::DoNotOptimize(estimator->estimate());
+    }
+    state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(obs.size()));
+}
+void BM_EstimatorFix_grid(benchmark::State& state) {
+    estimator_fix_bench(state, est::Backend::Grid);
+}
+void BM_EstimatorFix_ekf(benchmark::State& state) {
+    estimator_fix_bench(state, est::Backend::Ekf);
+}
+void BM_EstimatorFix_lincvx(benchmark::State& state) {
+    estimator_fix_bench(state, est::Backend::LinCvx);
+}
+BENCHMARK(BM_EstimatorFix_grid);
+BENCHMARK(BM_EstimatorFix_ekf);
+BENCHMARK(BM_EstimatorFix_lincvx);
+
 /// google-benchmark <= 1.7 flags failed runs with `Run::error_occurred`;
 /// 1.8+ replaced it with the `Run::skipped` enum. Detect whichever member
 /// the headers we are built against provide (system install vs the CI
@@ -698,7 +751,7 @@ int main(int argc, char** argv) {
     json.add_scenario("fig7_cocoa_50robots_30min", wall);
 
     const char* override_path = std::getenv("COCOA_BENCH_JSON");
-    const std::string path = override_path != nullptr ? override_path : "BENCH_8.json";
+    const std::string path = override_path != nullptr ? override_path : "BENCH_9.json";
     if (!json.write(path)) {
         std::cerr << "failed to write " << path << "\n";
         return 1;

@@ -1,5 +1,6 @@
 #include "cli/args.hpp"
 
+#include <algorithm>
 #include <charconv>
 #include <ostream>
 #include <sstream>
@@ -15,7 +16,7 @@ ArgParser& ArgParser::add(const std::string& name, const std::string& descriptio
     if (name.empty() || name.rfind("--", 0) == 0) {
         throw std::invalid_argument("ArgParser: register names without leading --");
     }
-    if (!specs_.emplace(name, Spec{description, target}).second) {
+    if (!specs_.emplace(name, Spec{description, target, false, 0, 0, {}}).second) {
         throw std::logic_error("ArgParser: duplicate option --" + name);
     }
     order_.push_back(name);
@@ -54,6 +55,37 @@ ArgParser& ArgParser::add_option(const std::string& name, const std::string& des
                                  std::string* target) {
     return add(name, description, target);
 }
+ArgParser& ArgParser::add_option(const std::string& name, const std::string& description,
+                                 std::string* target,
+                                 std::vector<std::string> choices) {
+    if (choices.empty()) {
+        throw std::invalid_argument("ArgParser: empty choice set for --" + name);
+    }
+    add(name, description, target);
+    specs_.at(name).choices = std::move(choices);
+    return *this;
+}
+
+namespace {
+
+/// Plain Levenshtein distance, small strings only (choice names).
+std::size_t edit_distance(const std::string& a, const std::string& b) {
+    std::vector<std::size_t> row(b.size() + 1);
+    for (std::size_t j = 0; j <= b.size(); ++j) row[j] = j;
+    for (std::size_t i = 1; i <= a.size(); ++i) {
+        std::size_t diag = row[0];
+        row[0] = i;
+        for (std::size_t j = 1; j <= b.size(); ++j) {
+            const std::size_t next_diag = row[j];
+            const std::size_t subst = diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+            row[j] = std::min({row[j] + 1, row[j - 1] + 1, subst});
+            diag = next_diag;
+        }
+    }
+    return row[b.size()];
+}
+
+}  // namespace
 
 bool ArgParser::assign(Target target, const std::string& value) {
     const auto from_chars_ok = [&](auto* out) {
@@ -143,6 +175,26 @@ bool ArgParser::parse(int argc, const char* const* argv, std::ostream& out,
                 return false;
             }
         }
+        if (const auto& choices = it->second.choices; !choices.empty()) {
+            if (std::find(choices.begin(), choices.end(), value) == choices.end()) {
+                err << program_ << ": bad value '" << value << "' for --" << arg
+                    << " (choices:";
+                for (const std::string& c : choices) err << " " << c;
+                err << ")";
+                // Near-miss? Offer the closest choice.
+                const auto closest = std::min_element(
+                    choices.begin(), choices.end(),
+                    [&](const std::string& a, const std::string& b) {
+                        return edit_distance(value, a) < edit_distance(value, b);
+                    });
+                if (edit_distance(value, *closest) <= 2) {
+                    err << " — did you mean '" << *closest << "'?";
+                }
+                err << "\n";
+                failed_ = true;
+                return false;
+            }
+        }
     }
     return true;
 }
@@ -154,7 +206,13 @@ std::string ArgParser::help() const {
         const Spec& spec = specs_.at(name);
         const bool is_flag = std::holds_alternative<bool*>(spec.target);
         ss << "  --" << name << (is_flag ? "" : " <value>") << "\n      "
-           << spec.description << "\n";
+           << spec.description;
+        if (!spec.choices.empty()) {
+            ss << " (choices:";
+            for (const std::string& c : spec.choices) ss << " " << c;
+            ss << ")";
+        }
+        ss << "\n";
     }
     ss << "  --help\n      show this message\n";
     return ss.str();

@@ -32,6 +32,12 @@ class ArgParser {
                           std::uint64_t* target);
     ArgParser& add_option(const std::string& name, const std::string& description,
                           std::string* target);
+    /// String option restricted to an enumerated set of choices. A value
+    /// outside the set fails parse() with an error listing the choices and —
+    /// when the input is a near-miss (edit distance <= 2) — a "did you mean"
+    /// suggestion. The choices are appended to the help text.
+    ArgParser& add_option(const std::string& name, const std::string& description,
+                          std::string* target, std::vector<std::string> choices);
 
     /// Parses argv. Returns true when the program should proceed; false on
     /// `--help` (help printed to `out`) or on error (message to `err`).
@@ -51,6 +57,7 @@ class ArgParser {
         bool has_range = false;  ///< int targets only
         int min_value = 0;
         int max_value = 0;
+        std::vector<std::string> choices;  ///< string targets only; empty = free
     };
 
     ArgParser& add(const std::string& name, const std::string& description,

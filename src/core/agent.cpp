@@ -13,16 +13,9 @@ CocoaAgent::CocoaAgent(net::Node& node, const AgentConfig& config,
       config_(config),
       mcast_(mcast),
       is_sync_robot_(is_sync_robot),
-      table_(table),
-      localizer_(config.grid, std::move(table),
-                 RfLocalizer::Options{.technique = config.technique,
-                                      .min_beacons = config.min_beacons_for_fix,
-                                      .rssi_cutoff_dbm = config.beacon_rssi_cutoff_dbm,
-                                      .use_non_gaussian_bins =
-                                          config.use_non_gaussian_bins}),
+      table_(std::move(table)),
       odometry_(config.odometry, node.simulator().rng().stream("odometry", node.id())),
-      noise_rng_(node.simulator().rng().stream("agent.noise", node.id())),
-      rf_position_(config.grid.area.center()) {
+      noise_rng_(node.simulator().rng().stream("agent.noise", node.id())) {
     if (config_.beacons_per_window < 1) {
         throw std::invalid_argument("CocoaAgent: beacons_per_window must be >= 1");
     }
@@ -32,6 +25,33 @@ CocoaAgent::CocoaAgent(net::Node& node, const AgentConfig& config,
     if (config_.sync == SyncMode::Mrmm && mcast_ == nullptr) {
         throw std::invalid_argument("CocoaAgent: Mrmm sync requires a multicast node");
     }
+    if (config_.estimator != est::Backend::Grid &&
+        config_.mode != LocalizationMode::Combined) {
+        throw std::invalid_argument(
+            "CocoaAgent: non-grid estimator backends require Combined mode");
+    }
+
+    est::Config ec;
+    // LocalizationMode::Ekf predates the interface; it maps to the EKF
+    // backend in its bit-exact legacy-continuous flavour.
+    ec.backend = config_.mode == LocalizationMode::Ekf ? est::Backend::Ekf
+                                                       : config_.estimator;
+    ec.legacy_continuous = config_.mode == LocalizationMode::Ekf;
+    ec.hold_fixes = config_.mode == LocalizationMode::RfOnly;
+    ec.grid = config_.grid;
+    ec.technique = config_.technique;
+    ec.min_beacons_for_fix = config_.min_beacons_for_fix;
+    ec.beacon_rssi_cutoff_dbm = config_.beacon_rssi_cutoff_dbm;
+    ec.use_non_gaussian_bins = config_.use_non_gaussian_bins;
+    ec.ekf_q_displacement_frac = config_.ekf_q_displacement_frac;
+    ec.ekf_q_floor_var_per_s = config_.ekf_q_floor_var_per_s;
+    ec.ekf_gate_sigmas = config_.ekf_gate_sigmas;
+    ec.ekf_use_non_gaussian_bins = config_.ekf_use_non_gaussian_bins;
+    ec.ekf_min_range_sigma_m = config_.ekf_min_range_sigma_m;
+    ec.ekf_reject_inflation_var = config_.ekf_reject_inflation_var;
+    ec.ekf_missed_window_var = config_.ekf_missed_window_var;
+    ec.lincvx_min_beacons = config_.lincvx_min_beacons;
+    estimator_ = est::make_estimator(ec, table_, &odometry_);
 
     node_.host().register_handler(
         net::Port::Beacon,
@@ -53,7 +73,7 @@ CocoaAgent::CocoaAgent(net::Node& node, const AgentConfig& config,
     reg.add(prefix + "agent.windows_without_fix", &stats_.windows_without_fix);
     reg.add(prefix + "agent.syncs_received", &stats_.syncs_received);
     reg.add(prefix + "agent.sync_takeovers", &stats_.sync_takeovers);
-    localizer_.register_counters(reg, prefix + "localizer.");
+    estimator_->register_counters(reg, prefix);
 }
 
 CocoaAgent::~CocoaAgent() {
@@ -69,21 +89,14 @@ void CocoaAgent::start() {
     // area centre until the first RF fix replaces it.
     if (config_.initial_pose_known) {
         odometry_.reset(true_position(), node_.mobility().heading());
-        ever_fixed_ = true;
     } else {
         odometry_.reset(config_.grid.area.center(), node_.mobility().heading());
     }
     last_odometry_position_ = odometry_.position();
     last_predict_time_ = node_.simulator().now();
-    if (config_.mode == LocalizationMode::Ekf) {
-        if (config_.initial_pose_known) {
-            ekf_.reset(true_position(), 1.0);
-        } else {
-            // Unknown anywhere in the area.
-            const double half = 0.5 * config_.grid.area.width();
-            ekf_.reset(config_.grid.area.center(), half * half);
-        }
-    }
+    estimator_->reset(config_.initial_pose_known ? true_position()
+                                                 : config_.grid.area.center(),
+                      config_.initial_pose_known);
 
     if (config_.mode == LocalizationMode::OdometryOnly) {
         return;  // no RF activity at all: radio idles, no windows
@@ -117,17 +130,12 @@ void CocoaAgent::tick() {
     if (runs_odometry) {
         odometry_.observe_all(increments);
     }
-    if (config_.mode == LocalizationMode::Ekf && config_.role == Role::Blind) {
-        // EKF prediction from the *measured* (noisy) odometry displacement.
+    if (config_.role == Role::Blind && estimator_->integrates_odometry()) {
+        // Prediction from the *measured* (noisy) odometry displacement.
         const geom::Vec2 delta = odometry_.position() - last_odometry_position_;
         const double dt =
             (node_.simulator().now() - last_predict_time_).to_seconds();
-        if (dt > 0.0 || delta.norm_sq() > 0.0) {
-            const double q = config_.ekf_q_displacement_frac *
-                                 config_.ekf_q_displacement_frac * delta.norm_sq() +
-                             config_.ekf_q_floor_var_per_s * dt;
-            ekf_.predict(delta, q);
-        }
+        estimator_->predict(delta, dt);
     }
     last_odometry_position_ = odometry_.position();
     last_predict_time_ = node_.simulator().now();
@@ -144,13 +152,7 @@ void CocoaAgent::reboot() {
     last_odometry_position_ = odometry_.position();
     last_predict_time_ = node_.simulator().now();
     window_beacons_.clear();
-    rf_position_ = config_.grid.area.center();
-    ever_fixed_ = false;
-    last_fix_spread_m_ = std::numeric_limits<double>::infinity();
-    if (config_.mode == LocalizationMode::Ekf) {
-        const double half = 0.5 * config_.grid.area.width();
-        ekf_.reset(config_.grid.area.center(), half * half);
-    }
+    estimator_->reset(config_.grid.area.center(), /*position_known=*/false);
     if (config_.sync == SyncMode::Mrmm && !is_sync_robot_) {
         clock_offset_s_ = noise_rng_.gaussian(0.0, config_.clock_skew_sigma_s);
     } else {
@@ -211,8 +213,9 @@ void CocoaAgent::on_wake(std::uint32_t seq) {
     }
 
     const bool blind_beacons_now =
-        config_.role == Role::Blind && config_.blind_beaconing && ever_fixed_ &&
-        last_fix_spread_m_ <= config_.blind_beacon_max_spread_m &&
+        config_.role == Role::Blind && config_.blind_beaconing &&
+        estimator_->ever_fixed() &&
+        estimator_->last_fix_spread_m() <= config_.blind_beacon_max_spread_m &&
         config_.mode == LocalizationMode::Combined;
     if (config_.role == Role::Anchor || blind_beacons_now) {
         // k beacons spread across the transmit window t (§2.3 uses k = 3 for
@@ -278,22 +281,10 @@ void CocoaAgent::on_beacon(const net::Packet& packet, const net::RxInfo& info) {
         {{"from", static_cast<double>(beacon->anchor_id)},
          {"rssi_dbm", info.rssi_dbm}});
 
-    if (config_.mode == LocalizationMode::Ekf) {
-        // Continuous fusion: every beacon range updates the filter at once.
+    if (!estimator_->collects_window_beacons()) {
+        // Continuous fusion: every beacon range updates the belief at once.
         tick();  // bring the prediction up to the beacon's arrival time
-        if (info.rssi_dbm < config_.beacon_rssi_cutoff_dbm) return;
-        const phy::DistancePdf* pdf = table_->lookup(info.rssi_dbm);
-        if (pdf == nullptr) return;
-        if (!pdf->gaussian_fit_ok && !config_.ekf_use_non_gaussian_bins) return;
-        const double sigma = std::max(pdf->sigma_m, config_.ekf_min_range_sigma_m);
-        if (ekf_.update_range(beacon->anchor_position, pdf->mean_m, sigma,
-                              config_.ekf_gate_sigmas)) {
-            ever_fixed_ = true;
-        } else {
-            // Gated out: if the belief keeps disagreeing with measurements it
-            // must lose confidence, or it will coast away for good.
-            ekf_.predict({}, config_.ekf_reject_inflation_var);
-        }
+        estimator_->observe_beacon({beacon->anchor_position, info.rssi_dbm});
         return;
     }
     window_beacons_.push_back({beacon->anchor_position, info.rssi_dbm});
@@ -302,37 +293,63 @@ void CocoaAgent::on_beacon(const net::Packet& packet, const net::RxInfo& info) {
 void CocoaAgent::on_window_end(std::uint32_t seq) {
     tick();
 
-    if (config_.role == Role::Blind && config_.mode != LocalizationMode::OdometryOnly &&
-        config_.mode != LocalizationMode::Ekf) {
-        // Heading is sampled at window end either way (see AgentConfig for
-        // the heading_correction_at_fix rationale): a deferred fix must
-        // re-anchor with the heading the inline computation would have used.
-        const double heading = config_.heading_correction_at_fix
-                                   ? node_.mobility().heading()
-                                   : odometry_.heading();
-        if (config_.fix_pool != nullptr &&
-            !node_.radio().medium().obs().trace.enabled()) {
-            // Batched path: snapshot the window's beacons and hand the pure
-            // grid update (no RNG, no shared state beyond this agent's own
-            // localizer) to the pool. Everything after this branch —
-            // failover, sleep, scheduling the next period — is independent
-            // of the fix outcome, so the event time-line continues at once
-            // and the other robots' window_end events at this timestamp get
-            // their updates in flight alongside this one.
-            fix_pending_ = true;
-            pending_ready_.store(false, std::memory_order_relaxed);
-            pending_heading_ = heading;
-            config_.fix_pool->submit(
-                [this, beacons = std::move(window_beacons_)] {
-                    pending_fix_ = localizer_.compute_fix(beacons);
-                    pending_ready_.store(true, std::memory_order_release);
-                    pending_ready_.notify_one();
-                });
-            window_beacons_.clear();  // moved-from: make it empty again
+    if (config_.role == Role::Blind && config_.mode != LocalizationMode::OdometryOnly) {
+        if (estimator_->collects_window_beacons()) {
+            // Heading is sampled at window end either way (see AgentConfig
+            // for the heading_correction_at_fix rationale): a deferred fix
+            // must re-anchor with the heading the inline computation would
+            // have used.
+            const double heading = config_.heading_correction_at_fix
+                                       ? node_.mobility().heading()
+                                       : odometry_.heading();
+            if (config_.fix_pool != nullptr && estimator_->pool_safe_fix() &&
+                !node_.radio().medium().obs().trace.enabled()) {
+                // Batched path: snapshot the window's beacons and hand the
+                // pure fix computation (no RNG, no shared state beyond this
+                // agent's own estimator) to the pool. Everything after this
+                // branch — failover, sleep, scheduling the next period — is
+                // independent of the fix outcome, so the event time-line
+                // continues at once and the other robots' window_end events
+                // at this timestamp get their updates in flight alongside
+                // this one.
+                fix_pending_ = true;
+                pending_ready_.store(false, std::memory_order_relaxed);
+                pending_heading_ = heading;
+                config_.fix_pool->submit(
+                    [this, beacons = std::move(window_beacons_)] {
+                        pending_fix_ = estimator_->compute_fix(beacons);
+                        pending_ready_.store(true, std::memory_order_release);
+                        pending_ready_.notify_one();
+                    });
+                window_beacons_.clear();  // moved-from: make it empty again
+            } else {
+                const std::optional<Fix> fix =
+                    estimator_->compute_fix(window_beacons_);
+                window_beacons_.clear();
+                apply_fix_outcome(fix, heading);
+            }
         } else {
-            const std::optional<Fix> fix = localizer_.compute_fix(window_beacons_);
-            window_beacons_.clear();
-            apply_fix_outcome(fix, heading);
+            // Continuous-fusion backend: close this window's books. The
+            // legacy LocalizationMode::Ekf keeps none (tracked == false).
+            const est::WindowSummary summary = estimator_->end_window();
+            if (summary.tracked) {
+                if (summary.fixed) {
+                    ++stats_.fixes;
+                    const geom::Vec2 position = estimator_->estimate();
+                    node_.radio().medium().obs().trace.instant(
+                        node_.simulator().now(), "cocoa", "fix",
+                        static_cast<std::int64_t>(node_.id()),
+                        {{"x", position.x},
+                         {"y", position.y},
+                         {"beacons", static_cast<double>(summary.beacons_used)},
+                         {"err_m", (position - true_position()).norm()}});
+                } else {
+                    ++stats_.windows_without_fix;
+                    node_.radio().medium().obs().trace.instant(
+                        node_.simulator().now(), "cocoa", "no_fix",
+                        static_cast<std::int64_t>(node_.id()));
+                }
+            }
         }
     }
 
@@ -358,9 +375,8 @@ void CocoaAgent::on_window_end(std::uint32_t seq) {
 }
 
 void CocoaAgent::apply_fix_outcome(const std::optional<Fix>& fix, double heading) {
+    estimator_->apply_fix(fix, heading);
     if (fix.has_value()) {
-        ever_fixed_ = true;
-        last_fix_spread_m_ = fix->posterior_spread_m;
         ++stats_.fixes;
         node_.radio().medium().obs().trace.instant(
             node_.simulator().now(), "cocoa", "fix",
@@ -369,14 +385,10 @@ void CocoaAgent::apply_fix_outcome(const std::optional<Fix>& fix, double heading
              {"y", fix->position.y},
              {"beacons", static_cast<double>(fix->beacons_used)},
              {"err_m", (fix->position - true_position()).norm()}});
-        if (config_.mode == LocalizationMode::RfOnly) {
-            rf_position_ = fix->position;
-        } else {
-            // CoCoA: re-anchor dead reckoning at the fix. Heading is
-            // re-anchored too when heading_correction_at_fix is set
-            // (see AgentConfig for the modelling rationale).
-            odometry_.reset(fix->position, heading);
-        }
+        // A fix that re-anchors the dead reckoning must not be double-counted
+        // as odometry displacement by the next predict() (invisible to the
+        // grid backend, which never predicts).
+        last_odometry_position_ = odometry_.position();
     } else {
         // "If certain robots do not receive any beacons, they continue
         // with their old estimated position" (§2.3).
@@ -425,17 +437,10 @@ geom::Vec2 CocoaAgent::estimate() const {
     if (config_.role == Role::Anchor) {
         return true_position();  // from the localization device
     }
-    switch (config_.mode) {
-        case LocalizationMode::OdometryOnly:
-            return odometry_.position();
-        case LocalizationMode::RfOnly:
-            return rf_position_;
-        case LocalizationMode::Combined:
-            return ever_fixed_ ? odometry_.position() : config_.grid.area.center();
-        case LocalizationMode::Ekf:
-            return config_.grid.area.clamp(ekf_.mean());
+    if (config_.mode == LocalizationMode::OdometryOnly) {
+        return odometry_.position();
     }
-    return odometry_.position();
+    return estimator_->estimate();
 }
 
 }  // namespace cocoa::core

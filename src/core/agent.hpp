@@ -7,8 +7,8 @@
 #include <optional>
 #include <vector>
 
-#include "core/ekf.hpp"
 #include "core/rf_localizer.hpp"
+#include "est/estimator.hpp"
 #include "mobility/odometry.hpp"
 #include "multicast/odmrp.hpp"
 #include "net/node.hpp"
@@ -49,6 +49,12 @@ struct AgentConfig {
     mobility::OdometryConfig odometry;
     /// Which RF technique turns window beacons into a fix (§5 pluggability).
     RfTechnique technique = RfTechnique::BayesianGrid;
+    /// Which belief backend a Combined-mode blind robot runs behind the
+    /// est::Estimator interface (grid = the paper's Bayesian grid; see
+    /// docs/estimators.md for the EKF-CL and LinCvx alternatives). Modes
+    /// other than Combined pin their own backend: RfOnly/OdometryOnly use the
+    /// grid path, LocalizationMode::Ekf the legacy continuous EKF.
+    est::Backend estimator = est::Backend::Grid;
     /// EKF mode process noise: fractional error on each dead-reckoned
     /// displacement, plus a floor variance accrued per second. The floor is
     /// deliberately generous: odometry drift is bias-driven (grows faster
@@ -71,6 +77,11 @@ struct AgentConfig {
     /// Covariance inflation (m^2) applied whenever the gate rejects a
     /// measurement: persistent disagreement must reopen the filter.
     double ekf_reject_inflation_var = 2.0;
+    /// EKF-CL backend: covariance inflation (m^2) at the end of a window in
+    /// which no measurement was accepted (loss burst / anchor outage).
+    double ekf_missed_window_var = 4.0;
+    /// LinCvx backend: minimum usable beacons for an opportunistic fix.
+    int lincvx_min_beacons = 1;
     /// Ignore beacons weaker than this RSSI (on top of the PDF-table rules).
     double beacon_rssi_cutoff_dbm = -std::numeric_limits<double>::infinity();
     /// Admit beacons whose PDF bin failed the Gaussian fit (the paper's "bad
@@ -216,11 +227,16 @@ class CocoaAgent {
     }
     const RfLocalizer::Stats& localizer_stats() const {
         resolve_pending();
-        return localizer_.stats();
+        return estimator_->localizer_stats();
     }
     bool ever_fixed() const {
         resolve_pending();
-        return ever_fixed_;
+        return estimator_->ever_fixed();
+    }
+    /// The belief backend (tests/benches peek at backend-specific state).
+    const est::Estimator& estimator() const {
+        resolve_pending();
+        return *estimator_;
     }
     bool is_sync_robot() const { return is_sync_robot_; }
     sim::Duration period() const { return config_.period; }
@@ -254,9 +270,10 @@ class CocoaAgent {
     multicast::MulticastNode* mcast_;
     bool is_sync_robot_;
     std::shared_ptr<const phy::PdfTable> table_;
-    RfLocalizer localizer_;
     mobility::OdometryEstimator odometry_;
-    RangeEkf ekf_;
+    /// Belief backend; constructed in the ctor (after validation), never
+    /// null afterwards. Owns the grid localizer in the default backend.
+    std::unique_ptr<est::Estimator> estimator_;
     geom::Vec2 last_odometry_position_;
     sim::TimePoint last_predict_time_;
     sim::RandomStream noise_rng_;
@@ -269,9 +286,6 @@ class CocoaAgent {
     std::optional<Fix> pending_fix_;  ///< worker-written result slot
     double pending_heading_ = 0.0;    ///< re-anchor heading, captured at window end
 
-    geom::Vec2 rf_position_;        ///< RfOnly estimate (held between fixes)
-    bool ever_fixed_ = false;
-    double last_fix_spread_m_ = std::numeric_limits<double>::infinity();
     double clock_offset_s_ = 0.0;   ///< this robot's clock error vs true time
     /// Nominal (sync-robot clock) start of the period being scheduled;
     /// advanced by the current T at each window end, re-anchored by SYNCs.

@@ -27,6 +27,10 @@ void ScenarioConfig::validate() const {
     if (min_speed <= 0.0 || max_speed < min_speed) {
         throw std::invalid_argument("ScenarioConfig: need 0 < min_speed <= max_speed");
     }
+    if (estimator != est::Backend::Grid && mode != LocalizationMode::Combined) {
+        throw std::invalid_argument(
+            "ScenarioConfig: non-grid estimator backends require Combined mode");
+    }
 }
 
 Scenario::Scenario(const ScenarioConfig& config)
@@ -80,12 +84,15 @@ Scenario::Scenario(const ScenarioConfig& config)
         ac.grid = grid;
         ac.odometry = config_.odometry;
         ac.technique = config_.technique;
+        ac.estimator = config_.estimator;
         ac.ekf_q_displacement_frac = config_.ekf_q_displacement_frac;
         ac.ekf_q_floor_var_per_s = config_.ekf_q_floor_var_per_s;
         ac.ekf_gate_sigmas = config_.ekf_gate_sigmas;
         ac.ekf_use_non_gaussian_bins = config_.ekf_use_non_gaussian_bins;
         ac.ekf_min_range_sigma_m = config_.ekf_min_range_sigma_m;
         ac.ekf_reject_inflation_var = config_.ekf_reject_inflation_var;
+        ac.ekf_missed_window_var = config_.ekf_missed_window_var;
+        ac.lincvx_min_beacons = config_.lincvx_min_beacons;
         ac.beacon_rssi_cutoff_dbm = config_.beacon_rssi_cutoff_dbm;
         ac.use_non_gaussian_bins = config_.use_non_gaussian_bins;
         ac.sleep_coordination = config_.sleep_coordination;

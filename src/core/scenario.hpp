@@ -43,6 +43,9 @@ struct ScenarioConfig {
     int min_beacons_for_fix = 3;
 
     RfTechnique technique = RfTechnique::BayesianGrid;
+    /// Combined-mode belief backend (see AgentConfig::estimator and
+    /// docs/estimators.md). Non-grid backends require mode == Combined.
+    est::Backend estimator = est::Backend::Grid;
     double cell_m = 2.0;
     double floor_fraction = 0.01;
     /// EKF-mode tuning (see AgentConfig).
@@ -52,6 +55,8 @@ struct ScenarioConfig {
     bool ekf_use_non_gaussian_bins = true;
     double ekf_min_range_sigma_m = 2.0;
     double ekf_reject_inflation_var = 2.0;
+    double ekf_missed_window_var = 4.0;
+    int lincvx_min_beacons = 1;
     double beacon_rssi_cutoff_dbm = -std::numeric_limits<double>::infinity();
     bool use_non_gaussian_bins = true;
 

@@ -1,0 +1,46 @@
+#include "est/estimator.hpp"
+
+#include <utility>
+
+#include "est/ekf_cl.hpp"
+#include "est/grid.hpp"
+#include "est/lincvx.hpp"
+
+namespace cocoa::est {
+
+const char* to_string(Backend backend) {
+    switch (backend) {
+        case Backend::Grid: return "grid";
+        case Backend::Ekf: return "ekf";
+        case Backend::LinCvx: return "lincvx";
+    }
+    return "?";
+}
+
+std::optional<Backend> parse_backend(std::string_view name) {
+    if (name == "grid") return Backend::Grid;
+    if (name == "ekf") return Backend::Ekf;
+    if (name == "lincvx") return Backend::LinCvx;
+    return std::nullopt;
+}
+
+const core::RfLocalizer::Stats& Estimator::localizer_stats() const {
+    static const core::RfLocalizer::Stats kZero{};
+    return kZero;
+}
+
+std::unique_ptr<Estimator> make_estimator(
+    const Config& config, std::shared_ptr<const phy::PdfTable> table,
+    mobility::OdometryEstimator* odometry) {
+    switch (config.backend) {
+        case Backend::Ekf:
+            return std::make_unique<EkfClEstimator>(config, std::move(table));
+        case Backend::LinCvx:
+            return std::make_unique<LinCvxEstimator>(config, std::move(table));
+        case Backend::Grid:
+            break;
+    }
+    return std::make_unique<GridEstimator>(config, std::move(table), odometry);
+}
+
+}  // namespace cocoa::est

@@ -148,6 +148,57 @@ TEST(ArgParser, PositionalRejected) {
     EXPECT_NE(r.err.find("positional"), std::string::npos);
 }
 
+TEST(ArgParser, ChoiceAcceptsListedValues) {
+    std::string s = "grid";
+    ArgParser p("prog", "test");
+    p.add_option("estimator", "", &s, {"grid", "ekf", "lincvx"});
+    const auto r = run(p, {"--estimator", "ekf"});
+    EXPECT_TRUE(r.ok);
+    EXPECT_EQ(s, "ekf");
+}
+
+TEST(ArgParser, ChoiceRejectsUnlistedValueAndListsChoices) {
+    std::string s = "grid";
+    ArgParser p("prog", "test");
+    p.add_option("estimator", "", &s, {"grid", "ekf", "lincvx"});
+    const auto r = run(p, {"--estimator", "kalman"});
+    EXPECT_FALSE(r.ok);
+    EXPECT_TRUE(r.failed);
+    EXPECT_NE(r.err.find("bad value 'kalman' for --estimator"), std::string::npos);
+    EXPECT_NE(r.err.find("choices: grid ekf lincvx"), std::string::npos);
+}
+
+TEST(ArgParser, ChoiceSuggestsNearMiss) {
+    std::string s = "grid";
+    ArgParser p("prog", "test");
+    p.add_option("estimator", "", &s, {"grid", "ekf", "lincvx"});
+    const auto r = run(p, {"--estimator", "gird"});
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.err.find("did you mean 'grid'?"), std::string::npos);
+}
+
+TEST(ArgParser, ChoiceFarMissGetsNoSuggestion) {
+    std::string s = "flat";
+    ArgParser p("prog", "test");
+    p.add_option("medium", "", &s, {"flat", "hier"});
+    const auto r = run(p, {"--medium", "quadtree"});
+    EXPECT_FALSE(r.ok);
+    EXPECT_EQ(r.err.find("did you mean"), std::string::npos);
+}
+
+TEST(ArgParser, ChoicesAppearInHelp) {
+    std::string s = "grid";
+    ArgParser p("prog", "test");
+    p.add_option("estimator", "belief backend", &s, {"grid", "ekf", "lincvx"});
+    EXPECT_NE(p.help().find("(choices: grid ekf lincvx)"), std::string::npos);
+}
+
+TEST(ArgParser, EmptyChoiceSetThrows) {
+    std::string s;
+    ArgParser p("prog", "test");
+    EXPECT_THROW(p.add_option("x", "", &s, {}), std::invalid_argument);
+}
+
 TEST(ArgParser, DuplicateRegistrationThrows) {
     int i = 0;
     ArgParser p("prog", "test");

@@ -21,6 +21,8 @@
 #include "cli/args.hpp"
 #include "core/scenario.hpp"
 #include "core/swarm.hpp"
+#include "est/estimator.hpp"
+#include "exp/backend_sweep.hpp"
 #include "exp/replication.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
@@ -132,6 +134,7 @@ int main(int argc, char** argv) {
     std::string mode = "cocoa";
     std::string sync = "mrmm";
     std::string technique = "bayes";
+    std::string estimator = "grid";
     bool no_sleep = false;
     bool blind_beaconing = false;
     bool no_culling = false;
@@ -153,6 +156,7 @@ int main(int argc, char** argv) {
     std::string fault_file;
     double avail_threshold_m = 10.0;
     int resilience_sweep = -1;
+    bool backend_sweep = false;
 
     cli::ArgParser parser("cocoa_sim", "CoCoA mobile-robot localization simulator");
     parser.add_option("robots", "team size (default 50)", &robots)
@@ -164,9 +168,16 @@ int main(int argc, char** argv) {
         .add_option("k", "beacons per window (default 3)", &beacons_k)
         .add_option("vmax", "maximum robot speed m/s (default 2)", &vmax)
         .add_option("area", "deployment area side in metres (default 200)", &area_m)
-        .add_option("mode", "cocoa | rf | odo (default cocoa)", &mode)
-        .add_option("sync", "mrmm | perfect (default mrmm)", &sync)
-        .add_option("technique", "bayes | centroid | ls (default bayes)", &technique)
+        .add_option("mode", "localization mode (default cocoa)", &mode,
+                    {"cocoa", "rf", "odo"})
+        .add_option("sync", "clock synchronization (default mrmm)", &sync,
+                    {"mrmm", "perfect"})
+        .add_option("technique", "RF fix technique (default bayes)", &technique,
+                    {"bayes", "centroid", "ls"})
+        .add_option("estimator",
+                    "belief backend for --mode cocoa (default grid; see "
+                    "docs/estimators.md)",
+                    &estimator, {"grid", "ekf", "lincvx"})
         .add_flag("no-sleep", "disable sleep coordination (energy baseline)", &no_sleep)
         .add_flag("blind-beaconing", "localized blind robots also beacon", &blind_beaconing)
         .add_flag("no-culling",
@@ -184,7 +195,8 @@ int main(int argc, char** argv) {
                     "write a sim-time event trace to <file> (frame/beacon/fix "
                     "events; Chrome about:tracing format by default)",
                     &trace_file)
-        .add_option("trace-format", "chrome | jsonl (default chrome)", &trace_format)
+        .add_option("trace-format", "event-trace format (default chrome)",
+                    &trace_format, {"chrome", "jsonl"})
         .add_flag("counters",
                   "print the counter registry summed over nodes (and over "
                   "replications with --reps)",
@@ -222,12 +234,11 @@ int main(int argc, char** argv) {
                     "a 'swarm-json:' line for the CI scaling job)",
                     &swarm_nodes, 0, 1000000)
         .add_option("medium",
-                    "hier | flat: override the medium's spatial-index "
-                    "backend (default: the build's — flat only with "
-                    "-DCOCOA_FLAT_MEDIUM=ON). Output is bit-identical "
-                    "either way; this exists for the CI oracle gate and "
-                    "perf comparison",
-                    &medium_backend)
+                    "override the medium's spatial-index backend (default: "
+                    "the build's — flat only with -DCOCOA_FLAT_MEDIUM=ON). "
+                    "Output is bit-identical either way; this exists for the "
+                    "CI oracle gate and perf comparison",
+                    &medium_backend, {"hier", "flat"})
         .add_option("fault",
                     "inject faults: ';'-separated specs like "
                     "'crash@300:node=3;loss@600+60:p=0.5' (see docs/faults.md)",
@@ -242,7 +253,14 @@ int main(int argc, char** argv) {
         .add_option("resilience-sweep",
                     "crash 0..K anchors at 25% of the run and tabulate error/"
                     "availability per K (uses --reps/--threads)",
-                    &resilience_sweep, 0, 1000);
+                    &resilience_sweep, 0, 1000)
+        .add_flag("backend-sweep",
+                  "run every estimator backend across the standard fault "
+                  "plans (baseline, loss bursts, anchor crashes) and tabulate "
+                  "accuracy/availability/per-fix CPU per cell; honours "
+                  "--reps/--threads/--avail-threshold; prints one "
+                  "'backend-json:' line per cell",
+                  &backend_sweep);
     if (!parser.parse(argc, argv, std::cout, std::cerr)) {
         return parser.failed() ? 2 : 0;
     }
@@ -262,13 +280,9 @@ int main(int argc, char** argv) {
     config.grid_update_threads = grid_threads;
     config.medium.interference_culling = !no_culling;
     if (!medium_backend.empty()) {
-        if (medium_backend == "hier") {
-            config.medium.index = mac::MediumIndex::Hierarchical;
-        } else if (medium_backend == "flat") {
-            config.medium.index = mac::MediumIndex::FlatHash;
-        } else {
-            return fail("unknown --medium '" + medium_backend + "' (hier | flat)");
-        }
+        // Parser-validated choice: hier | flat.
+        config.medium.index = medium_backend == "hier" ? mac::MediumIndex::Hierarchical
+                                                       : mac::MediumIndex::FlatHash;
     }
 
     if (swarm_nodes > 0) {
@@ -326,30 +340,18 @@ int main(int argc, char** argv) {
         return 0;
     }
 
-    if (mode == "cocoa") {
-        config.mode = core::LocalizationMode::Combined;
-    } else if (mode == "rf") {
-        config.mode = core::LocalizationMode::RfOnly;
-    } else if (mode == "odo") {
-        config.mode = core::LocalizationMode::OdometryOnly;
-    } else {
-        return fail("unknown --mode '" + mode + "' (cocoa | rf | odo)");
-    }
-    if (sync == "mrmm") {
-        config.sync = core::SyncMode::Mrmm;
-    } else if (sync == "perfect") {
-        config.sync = core::SyncMode::PerfectClock;
-    } else {
-        return fail("unknown --sync '" + sync + "' (mrmm | perfect)");
-    }
-    if (technique == "bayes") {
-        config.technique = core::RfTechnique::BayesianGrid;
-    } else if (technique == "centroid") {
-        config.technique = core::RfTechnique::WeightedCentroid;
-    } else if (technique == "ls") {
-        config.technique = core::RfTechnique::LeastSquares;
-    } else {
-        return fail("unknown --technique '" + technique + "' (bayes | centroid | ls)");
+    // All enum-valued flags are parser-validated choices; only the mapping
+    // remains here.
+    config.mode = mode == "cocoa"  ? core::LocalizationMode::Combined
+                  : mode == "rf"   ? core::LocalizationMode::RfOnly
+                                   : core::LocalizationMode::OdometryOnly;
+    config.sync = sync == "mrmm" ? core::SyncMode::Mrmm : core::SyncMode::PerfectClock;
+    config.technique = technique == "bayes"      ? core::RfTechnique::BayesianGrid
+                       : technique == "centroid" ? core::RfTechnique::WeightedCentroid
+                                                 : core::RfTechnique::LeastSquares;
+    config.estimator = *est::parse_backend(estimator);
+    if (config.estimator != est::Backend::Grid && mode != "cocoa") {
+        return fail("--estimator " + estimator + " requires --mode cocoa");
     }
 
     fault::FaultPlan plan;
@@ -373,6 +375,13 @@ int main(int argc, char** argv) {
     if (resilience_sweep > anchors) {
         return fail("--resilience-sweep cannot crash more anchors than --anchors");
     }
+    if (backend_sweep && (!plan.empty() || resilience_sweep >= 0)) {
+        return fail("--backend-sweep builds its own plans; drop "
+                    "--fault/--fault-file/--resilience-sweep");
+    }
+    if (backend_sweep && mode != "cocoa") {
+        return fail("--backend-sweep requires --mode cocoa");
+    }
 
     if (pos_trace_interval_s > 0.0 && csv_prefix.empty()) {
         return fail("--pos-trace requires --csv <prefix>");
@@ -391,6 +400,57 @@ int main(int argc, char** argv) {
     }
     if (profile) {
         obs::Profiler::set_enabled(true);
+    }
+
+    if (backend_sweep) {
+        exp::BackendSweepOptions opt;
+        opt.n_reps = reps;
+        opt.n_threads = threads;
+        opt.avail_threshold_m = avail_threshold_m;
+        // Keep the crash axis inside the scenario's anchor budget.
+        std::erase_if(opt.crashed_anchors, [&](int k) { return k > anchors; });
+        std::vector<exp::BackendCell> cells;
+        try {
+            config.validate();
+            cells = exp::run_backend_sweep(config, opt);
+        } catch (const std::exception& e) {
+            return fail(e.what());
+        }
+
+        metrics::Table table({"backend", "plan", "steady err (m)", "avail",
+                              "avail during", "reacquire (s)", "fixes",
+                              "fix cpu (us)"});
+        for (const exp::BackendCell& cell : cells) {
+            table.add_row({est::to_string(cell.backend), cell.plan,
+                           metrics::fmt(cell.steady_error_m),
+                           cell.has_resilience ? metrics::fmt(cell.availability) : "-",
+                           cell.has_resilience && cell.avail_during > 0.0
+                               ? metrics::fmt(cell.avail_during)
+                               : "-",
+                           cell.has_resilience && cell.reacquire_s > 0.0
+                               ? metrics::fmt(cell.reacquire_s)
+                               : "-",
+                           std::to_string(cell.fixes),
+                           metrics::fmt(cell.fix_cpu_ns / 1000.0)});
+        }
+        std::cout << "backend sweep: " << reps
+                  << " reps per cell, availability threshold " << avail_threshold_m
+                  << " m\n";
+        table.print(std::cout);
+        // One machine-readable record per cell for scripts/CI artifacts.
+        for (const exp::BackendCell& cell : cells) {
+            std::cout << "backend-json: " << cell.json() << "\n";
+        }
+        if (!csv_prefix.empty()) {
+            std::ofstream out(csv_prefix + "_backends.csv");
+            if (!out) return fail("cannot write " + csv_prefix + "_backends.csv");
+            table.print_csv(out);
+            std::cout << "wrote " << csv_prefix << "_backends.csv\n";
+        }
+        if (profile) {
+            obs::Profiler::instance().report(std::cerr);
+        }
+        return 0;
     }
 
     if (resilience_sweep >= 0) {
