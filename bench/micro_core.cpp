@@ -1,6 +1,6 @@
 // Micro-benchmarks (google-benchmark) for the hot paths of the simulator and
 // the localization core, plus one end-to-end fig7 scenario. The custom main
-// captures every result and writes the perf-regression artifact BENCH_9.json
+// captures every result and writes the perf-regression artifact BENCH_10.json
 // (path override: COCOA_BENCH_JSON) via bench/perf_json.hpp. CI diffs that
 // artifact against bench/baseline/BENCH_baseline.json with tools/perf_compare.py.
 //
@@ -25,6 +25,10 @@
 #include "core/rf_localizer.hpp"
 #include "core/scenario.hpp"
 #include "est/estimator.hpp"
+#include "exp/checkpoint.hpp"
+#include "fault/fault_injector.hpp"
+#include "fault/fault_plan.hpp"
+#include "sim/checkpoint.hpp"
 #include "energy/energy.hpp"
 #include "geom/motion.hpp"
 #include "mac/medium.hpp"
@@ -683,6 +687,92 @@ BENCHMARK(BM_EstimatorFix_grid);
 BENCHMARK(BM_EstimatorFix_ekf);
 BENCHMARK(BM_EstimatorFix_lincvx);
 
+// Full checkpoint round-trip on a warm mid-run fig7-scale scenario with an
+// armed fault plan: serialize the complete simulation state and rebuild a
+// scenario from the blob. The restore half is what every forked sweep cell
+// pays instead of re-simulating its warm prefix, so restore ns directly
+// bounds the fork win.
+void BM_CheckpointSaveRestore(benchmark::State& state) {
+    core::ScenarioConfig cfg;
+    cfg.seed = 7;
+    cfg.num_robots = 20;
+    cfg.num_anchors = 12;
+    cfg.area_side_m = 150.0;
+    cfg.duration = sim::Duration::seconds(300.0);
+    cfg.period = sim::Duration::seconds(20.0);
+    cfg.window = sim::Duration::seconds(3.0);
+    const fault::FaultPlan plan = fault::FaultPlan::parse("crash@200:node=15");
+
+    core::Scenario prefix(cfg);
+    fault::FaultInjector injector(prefix, plan);
+    injector.arm();
+    prefix.run_until(sim::TimePoint::origin() + sim::Duration::seconds(120.0));
+
+    std::size_t blob_bytes = 0;
+    for (auto _ : state) {
+        const std::string blob = cocoa::exp::save_scenario_checkpoint(prefix, &injector);
+        blob_bytes = blob.size();
+        cocoa::exp::RestoredScenario restored =
+            cocoa::exp::restore_scenario_checkpoint(blob, prefix.pdf_table_ptr());
+        benchmark::DoNotOptimize(restored.scenario);
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(blob_bytes));
+}
+BENCHMARK(BM_CheckpointSaveRestore)->Unit(benchmark::kMillisecond);
+
+// The forked sweep's per-cell warm start: build a scenario around a shared
+// PDF table and load the shared prefix blob, versus BM_ForkedSweepPrefix_cold
+// which re-simulates the same prefix from scratch (what --no-fork pays per
+// cell). The cold/warm ratio is the per-cell prefix win; the sweep-level
+// speedup is gated end-to-end in CI.
+void BM_ForkedSweepPrefix(benchmark::State& state) {
+    core::ScenarioConfig cfg;
+    cfg.seed = 7;
+    cfg.num_robots = 20;
+    cfg.num_anchors = 12;
+    cfg.area_side_m = 150.0;
+    cfg.duration = sim::Duration::seconds(300.0);
+    cfg.period = sim::Duration::seconds(20.0);
+    cfg.window = sim::Duration::seconds(3.0);
+
+    core::Scenario prefix(cfg);
+    prefix.run_until(sim::TimePoint::origin() + sim::Duration::seconds(120.0));
+    // Bare scenario section, exactly what run_sweep's prefix phase shares
+    // with its forked members (no exp-level header/config framing).
+    sim::ckpt::Writer w;
+    prefix.save_state(w);
+    const std::string blob = w.take();
+    const auto table = prefix.pdf_table_ptr();
+
+    for (auto _ : state) {
+        core::Scenario cell(cfg, table);
+        sim::ckpt::Reader r(blob);
+        cell.load_state(r);
+        benchmark::DoNotOptimize(cell.simulator().now());
+    }
+    state.SetBytesProcessed(state.iterations() *
+                            static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_ForkedSweepPrefix)->Unit(benchmark::kMillisecond);
+
+void BM_ForkedSweepPrefix_cold(benchmark::State& state) {
+    core::ScenarioConfig cfg;
+    cfg.seed = 7;
+    cfg.num_robots = 20;
+    cfg.num_anchors = 12;
+    cfg.area_side_m = 150.0;
+    cfg.duration = sim::Duration::seconds(300.0);
+    cfg.period = sim::Duration::seconds(20.0);
+    cfg.window = sim::Duration::seconds(3.0);
+    for (auto _ : state) {
+        core::Scenario cell(cfg);
+        cell.run_until(sim::TimePoint::origin() + sim::Duration::seconds(120.0));
+        benchmark::DoNotOptimize(cell.simulator().now());
+    }
+}
+BENCHMARK(BM_ForkedSweepPrefix_cold)->Unit(benchmark::kMillisecond);
+
 /// google-benchmark <= 1.7 flags failed runs with `Run::error_occurred`;
 /// 1.8+ replaced it with the `Run::skipped` enum. Detect whichever member
 /// the headers we are built against provide (system install vs the CI
@@ -751,7 +841,7 @@ int main(int argc, char** argv) {
     json.add_scenario("fig7_cocoa_50robots_30min", wall);
 
     const char* override_path = std::getenv("COCOA_BENCH_JSON");
-    const std::string path = override_path != nullptr ? override_path : "BENCH_9.json";
+    const std::string path = override_path != nullptr ? override_path : "BENCH_10.json";
     if (!json.write(path)) {
         std::cerr << "failed to write " << path << "\n";
         return 1;

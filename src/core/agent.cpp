@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "sim/checkpoint.hpp"
+#include "sim/event_tag.hpp"
+
 namespace cocoa::core {
 
 CocoaAgent::CocoaAgent(net::Node& node, const AgentConfig& config,
@@ -179,8 +182,9 @@ void CocoaAgent::schedule_period(std::uint32_t seq) {
     }
     const sim::TimePoint wake_at =
         period_start_ + clock_offset() - config_.wake_guard;
-    node_.simulator().schedule_at(std::max(node_.simulator().now(), wake_at),
-                                  [this, seq] { on_wake(seq); });
+    node_.simulator().schedule_at(
+        std::max(node_.simulator().now(), wake_at), [this, seq] { on_wake(seq); },
+        sim::make_tag(sim::EventKind::kAgentWake, node_.id(), 0, 0, seq));
 }
 
 void CocoaAgent::on_wake(std::uint32_t seq) {
@@ -195,21 +199,10 @@ void CocoaAgent::on_wake(std::uint32_t seq) {
     if (is_sync_robot_ && mcast_ != nullptr) {
         // Rebuild the mesh while everyone is awake, then push SYNC down it.
         mcast_->refresh_now(config_.sync_group);
-        sim.schedule_at(std::max(sim.now(), start + config_.sync_settle), [this, seq] {
-            net::SyncPayload sync;
-            sync.period_s = config_.period.to_seconds();
-            sync.window_s = config_.window.to_seconds();
-            sync.seq = seq;
-            sync.period_start = period_start_;
-            // Drawn from the medium's packet pool: one SYNC per round per
-            // leader, recycled once the multicast fan-out lets go of it.
-            auto inner = node_.radio().medium().packet_pool().acquire();
-            inner->src = node_.id();
-            inner->port = net::Port::Test;  // carried inside McastData, not demuxed
-            inner->payload_bytes = config_.sync_bytes;
-            inner->payload = sync;
-            mcast_->send_data(config_.sync_group, std::move(inner));
-        });
+        sim.schedule_at(
+            std::max(sim.now(), start + config_.sync_settle),
+            [this, seq] { send_sync(seq); },
+            sim::make_tag(sim::EventKind::kAgentSyncSettle, node_.id(), 0, 0, seq));
     }
 
     const bool blind_beacons_now =
@@ -224,14 +217,34 @@ void CocoaAgent::on_wake(std::uint32_t seq) {
             const sim::Duration offset =
                 config_.window * static_cast<std::int64_t>(i + 1) /
                 static_cast<std::int64_t>(config_.beacons_per_window + 1);
-            sim.schedule_at(std::max(sim.now(), start + offset),
-                            [this, seq, i] { send_beacon(seq, i); });
+            sim.schedule_at(
+                std::max(sim.now(), start + offset),
+                [this, seq, i] { send_beacon(seq, i); },
+                sim::make_tag(sim::EventKind::kAgentBeacon, node_.id(),
+                              static_cast<std::uint32_t>(i), 0, seq));
         }
     }
 
     const sim::TimePoint window_end = start + config_.window + config_.window_slack;
-    sim.schedule_at(std::max(sim.now(), window_end),
-                    [this, seq] { on_window_end(seq); });
+    sim.schedule_at(
+        std::max(sim.now(), window_end), [this, seq] { on_window_end(seq); },
+        sim::make_tag(sim::EventKind::kAgentWindowEnd, node_.id(), 0, 0, seq));
+}
+
+void CocoaAgent::send_sync(std::uint32_t seq) {
+    net::SyncPayload sync;
+    sync.period_s = config_.period.to_seconds();
+    sync.window_s = config_.window.to_seconds();
+    sync.seq = seq;
+    sync.period_start = period_start_;
+    // Drawn from the medium's packet pool: one SYNC per round per
+    // leader, recycled once the multicast fan-out lets go of it.
+    auto inner = node_.radio().medium().packet_pool().acquire();
+    inner->src = node_.id();
+    inner->port = net::Port::Test;  // carried inside McastData, not demuxed
+    inner->payload_bytes = config_.sync_bytes;
+    inner->payload = sync;
+    mcast_->send_data(config_.sync_group, std::move(inner));
 }
 
 void CocoaAgent::send_beacon(std::uint32_t seq, int index) {
@@ -430,6 +443,93 @@ void CocoaAgent::on_mcast_deliver(const net::Packet& inner) {
     // Re-anchor phase, but never backwards: a straggler SYNC copy arriving
     // after this period's books closed must not reopen it.
     period_start_ = std::max(period_start_, sync->period_start);
+}
+
+namespace {
+constexpr std::uint32_t kMarkAgent = 0x41474e54u;  // "AGNT"
+}
+
+void CocoaAgent::save_state(sim::ckpt::Writer& w) const {
+    // Fold any pooled fix first: the straight run folds it at its next
+    // resolution point, so the settled state is the canonical one.
+    resolve_pending();
+    w.mark(kMarkAgent);
+    w.b(is_sync_robot_);
+    w.dur(config_.period);  // SYNC retuning mutates these two at runtime
+    w.dur(config_.window);
+    odometry_.save(w);
+    estimator_->save_state(w);
+    w.f64(last_odometry_position_.x);
+    w.f64(last_odometry_position_.y);
+    w.time(last_predict_time_);
+    noise_rng_.save(w);
+    w.u64(window_beacons_.size());
+    for (const BeaconObservation& beacon : window_beacons_) {
+        w.f64(beacon.anchor_position.x);
+        w.f64(beacon.anchor_position.y);
+        w.f64(beacon.rssi_dbm);
+    }
+    w.f64(clock_offset_s_);
+    w.time(period_start_);
+    w.time(last_sync_heard_);
+    w.u32(sync_seq_);
+    w.u64(stats_.beacons_sent);
+    w.u64(stats_.blind_beacons_sent);
+    w.u64(stats_.beacons_received);
+    w.u64(stats_.fixes);
+    w.u64(stats_.windows_without_fix);
+    w.u64(stats_.syncs_received);
+    w.u64(stats_.sync_takeovers);
+}
+
+void CocoaAgent::load_state(sim::ckpt::Reader& r) {
+    r.expect(kMarkAgent);
+    is_sync_robot_ = r.b();
+    config_.period = r.dur();
+    config_.window = r.dur();
+    odometry_.load(r);
+    estimator_->load_state(r);
+    last_odometry_position_.x = r.f64();
+    last_odometry_position_.y = r.f64();
+    last_predict_time_ = r.time();
+    noise_rng_.load(r);
+    window_beacons_.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) {
+        BeaconObservation beacon;
+        beacon.anchor_position.x = r.f64();
+        beacon.anchor_position.y = r.f64();
+        beacon.rssi_dbm = r.f64();
+        window_beacons_.push_back(beacon);
+    }
+    clock_offset_s_ = r.f64();
+    period_start_ = r.time();
+    last_sync_heard_ = r.time();
+    sync_seq_ = r.u32();
+    stats_.beacons_sent = r.u64();
+    stats_.blind_beacons_sent = r.u64();
+    stats_.beacons_received = r.u64();
+    stats_.fixes = r.u64();
+    stats_.windows_without_fix = r.u64();
+    stats_.syncs_received = r.u64();
+    stats_.sync_takeovers = r.u64();
+}
+
+sim::InplaceCallback CocoaAgent::rebuild_event(const sim::EventTag& tag) {
+    const auto seq = static_cast<std::uint32_t>(tag.a);
+    switch (static_cast<sim::EventKind>(tag.kind)) {
+        case sim::EventKind::kAgentWake:
+            return sim::InplaceCallback([this, seq] { on_wake(seq); });
+        case sim::EventKind::kAgentSyncSettle:
+            return sim::InplaceCallback([this, seq] { send_sync(seq); });
+        case sim::EventKind::kAgentBeacon: {
+            const int i = static_cast<int>(tag.x);
+            return sim::InplaceCallback([this, seq, i] { send_beacon(seq, i); });
+        }
+        case sim::EventKind::kAgentWindowEnd:
+            return sim::InplaceCallback([this, seq] { on_window_end(seq); });
+        default:
+            throw std::logic_error("CocoaAgent::rebuild_event: unexpected tag kind");
+    }
 }
 
 geom::Vec2 CocoaAgent::estimate() const {

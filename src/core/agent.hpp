@@ -242,9 +242,20 @@ class CocoaAgent {
     sim::Duration period() const { return config_.period; }
     sim::Duration window() const { return config_.window; }
 
+    /// Checkpoint: serializes the agent's protocol and belief state (clock,
+    /// period phase, window beacons, odometry, estimator backend, stats). A
+    /// pooled fix in flight is folded in first — observably invisible, since
+    /// the straight run folds it at its next resolution point anyway.
+    void save_state(sim::ckpt::Writer& w) const;
+    void load_state(sim::ckpt::Reader& r);
+    /// Rebuilds the in-kernel callback for one of this agent's tagged events
+    /// (kAgentWake / kAgentSyncSettle / kAgentBeacon / kAgentWindowEnd).
+    sim::InplaceCallback rebuild_event(const sim::EventTag& tag);
+
   private:
     void schedule_period(std::uint32_t seq);
     void on_wake(std::uint32_t seq);
+    void send_sync(std::uint32_t seq);
     void on_window_end(std::uint32_t seq);
     void send_beacon(std::uint32_t seq, int index);
     void on_beacon(const net::Packet& packet, const net::RxInfo& info);

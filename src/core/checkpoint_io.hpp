@@ -1,0 +1,23 @@
+#pragma once
+
+#include "core/scenario.hpp"
+#include "core/swarm.hpp"
+
+namespace cocoa::sim::ckpt {
+class Writer;
+class Reader;
+}  // namespace cocoa::sim::ckpt
+
+namespace cocoa::core {
+
+/// Serializes a complete ScenarioConfig / SwarmConfig into a checkpoint
+/// blob, field by field in declaration order, so a `--restore` in a fresh
+/// process can rebuild the exact scenario the blob was taken from without
+/// any side-channel configuration. Layout changes bump ckpt::kFormatVersion.
+void save_config(sim::ckpt::Writer& w, const ScenarioConfig& config);
+ScenarioConfig load_scenario_config(sim::ckpt::Reader& r);
+
+void save_config(sim::ckpt::Writer& w, const SwarmConfig& config);
+SwarmConfig load_swarm_config(sim::ckpt::Reader& r);
+
+}  // namespace cocoa::core

@@ -45,6 +45,12 @@ class RangeEkf {
     /// RMS position uncertainty (sqrt of covariance trace).
     double uncertainty() const;
 
+    /// Restores a checkpointed filter state verbatim.
+    void set_state(const geom::Vec2& mean, const Cov2& cov) {
+        mean_ = mean;
+        cov_ = cov;
+    }
+
   private:
     geom::Vec2 mean_;
     Cov2 cov_{1e6, 0.0, 1e6};

@@ -81,6 +81,9 @@ class RfLocalizer {
         std::uint64_t beacons_non_gaussian = 0;  ///< skipped Fig. 1(b) bins
     };
     const Stats& stats() const { return stats_; }
+    /// Restores checkpointed counters verbatim. The grid itself is transient
+    /// (compute_fix resets it to uniform before every use) and needs no state.
+    void set_stats(const Stats& s) { stats_ = s; }
 
     /// Registers this localizer's counters under `prefix`
     /// (e.g. "node.3.localizer.").

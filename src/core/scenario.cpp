@@ -2,6 +2,11 @@
 
 #include <ostream>
 #include <stdexcept>
+#include <utility>
+
+#include "net/packet_io.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/event_tag.hpp"
 
 namespace cocoa::core {
 
@@ -33,16 +38,22 @@ void ScenarioConfig::validate() const {
     }
 }
 
-Scenario::Scenario(const ScenarioConfig& config)
+Scenario::Scenario(const ScenarioConfig& config,
+                   std::shared_ptr<const phy::PdfTable> shared_table)
     : config_(config),
       sim_(config.seed),
       channel_(config.channel) {
     config_.validate();
 
     // Offline calibration phase (§2.2): build the PDF Table once; every robot
-    // stores a copy (here: shares an immutable one).
-    table_ = std::make_shared<const phy::PdfTable>(phy::PdfTable::calibrate(
-        channel_, config_.calibration, sim_.rng().stream("calibration")));
+    // stores a copy (here: shares an immutable one). A caller that already
+    // owns the table for this (channel, calibration, seed) passes it in.
+    if (shared_table != nullptr) {
+        table_ = std::move(shared_table);
+    } else {
+        table_ = std::make_shared<const phy::PdfTable>(phy::PdfTable::calibrate(
+            channel_, config_.calibration, sim_.rng().stream("calibration")));
+    }
 
     world_ = std::make_unique<net::World>(sim_, channel_, config_.medium);
 
@@ -130,8 +141,10 @@ Scenario::Scenario(const ScenarioConfig& config)
     // Tick loop (mobility/odometry granularity) and metric sampling. The tick
     // event is scheduled first so that at coinciding times motion is advanced
     // before errors are read.
-    sim_.schedule_in(config_.tick, [this] { on_tick(); });
-    sim_.schedule_in(config_.sample_interval, [this] { on_sample(); });
+    sim_.schedule_in(config_.tick, [this] { on_tick(); },
+                     sim::make_tag(sim::EventKind::kScenarioTick));
+    sim_.schedule_in(config_.sample_interval, [this] { on_sample(); },
+                     sim::make_tag(sim::EventKind::kScenarioSample));
 }
 
 multicast::MulticastNode* Scenario::multicast_node(net::NodeId id) {
@@ -145,7 +158,8 @@ bool Scenario::is_anchor(net::NodeId id) const {
 
 void Scenario::on_tick() {
     for (auto& agent : agents_) agent->tick();
-    sim_.schedule_in(config_.tick, [this] { on_tick(); });
+    sim_.schedule_in(config_.tick, [this] { on_tick(); },
+                     sim::make_tag(sim::EventKind::kScenarioTick));
 }
 
 void Scenario::on_sample() {
@@ -160,7 +174,8 @@ void Scenario::on_sample() {
     if (!blind_errors.empty()) {
         avg_error_.push(sim_.now(), blind_errors.mean());
     }
-    sim_.schedule_in(config_.sample_interval, [this] { on_sample(); });
+    sim_.schedule_in(config_.sample_interval, [this] { on_sample(); },
+                     sim::make_tag(sim::EventKind::kScenarioSample));
 }
 
 void Scenario::enable_position_trace(sim::Duration interval) {
@@ -170,7 +185,8 @@ void Scenario::enable_position_trace(sim::Duration interval) {
     const bool was_enabled = trace_interval_ > sim::Duration::zero();
     trace_interval_ = interval;
     if (!was_enabled) {
-        sim_.schedule_in(trace_interval_, [this] { on_trace(); });
+        sim_.schedule_in(trace_interval_, [this] { on_trace(); },
+                         sim::make_tag(sim::EventKind::kScenarioTrace));
     }
 }
 
@@ -180,7 +196,8 @@ void Scenario::on_trace() {
         trace_.push_back(
             {sim_.now(), agent->id(), agent->true_position(), agent->estimate()});
     }
-    sim_.schedule_in(trace_interval_, [this] { on_trace(); });
+    sim_.schedule_in(trace_interval_, [this] { on_trace(); },
+                     sim::make_tag(sim::EventKind::kScenarioTrace));
 }
 
 void Scenario::write_position_trace_csv(std::ostream& os) const {
@@ -241,6 +258,142 @@ ScenarioResult Scenario::result() const {
     r.executed_events = sim_.executed_events();
     r.counters = world_->medium().obs().counters.snapshot();
     return r;
+}
+
+namespace {
+constexpr std::uint32_t kMarkScenario = 0x53434e4fu;  // "SCNO"
+constexpr std::uint32_t kMarkScenarioEnd = 0x4f4e4353u;
+}  // namespace
+
+void Scenario::save_state(sim::ckpt::Writer& w) const {
+    w.mark(kMarkScenario);
+    // One save context spans every subsystem: inner packets alias across
+    // medium frames, radio queues and ODMRP parked transmissions, and the
+    // blob must preserve that sharing (see net/packet_io.hpp).
+    net::PacketSaveCtx pkts;
+    for (const auto& node : world_->nodes()) {
+        node->mobility().save(w);
+    }
+    // Medium before radios: Radio::load_state re-links locked frames through
+    // Medium::restored_frame, so the medium must already be loaded — save
+    // writes in load order.
+    world_->medium().save_state(w, pkts);
+    for (const auto& node : world_->nodes()) {
+        node->radio().save_state(w, pkts);
+    }
+    w.b(mcast_.has_value());
+    if (mcast_.has_value()) {
+        for (std::size_t i = 0; i < mcast_->size(); ++i) {
+            mcast_->at(static_cast<net::NodeId>(i)).save_state(w, pkts);
+        }
+    }
+    for (const auto& agent : agents_) {
+        agent->save_state(w);
+    }
+    avg_error_.save(w);
+    w.u64(node_error_.size());
+    for (const metrics::TimeSeries& series : node_error_) series.save(w);
+    w.u64(trace_.size());
+    for (const PositionTraceRow& row : trace_) {
+        w.time(row.time);
+        w.u32(row.node);
+        w.f64(row.truth.x);
+        w.f64(row.truth.y);
+        w.f64(row.estimate.x);
+        w.f64(row.estimate.y);
+    }
+    w.dur(trace_interval_);
+    sim_.save_kernel(w);
+    // Pool warmth last: the loads above acquire pooled packets themselves,
+    // and the warmth refill must top up the free lists after all of them.
+    world_->medium().save_pool_warmth(w);
+    w.mark(kMarkScenarioEnd);
+}
+
+void Scenario::register_rebuilders(sim::ckpt::CallbackRegistry& reg) {
+    reg.add(sim::EventKind::kScenarioTick, [this](const sim::EventTag&) {
+        return sim::InplaceCallback([this] { on_tick(); });
+    });
+    reg.add(sim::EventKind::kScenarioSample, [this](const sim::EventTag&) {
+        return sim::InplaceCallback([this] { on_sample(); });
+    });
+    reg.add(sim::EventKind::kScenarioTrace, [this](const sim::EventTag&) {
+        return sim::InplaceCallback([this] { on_trace(); });
+    });
+    const sim::ckpt::CallbackRegistry::Make agent_make =
+        [this](const sim::EventTag& tag) {
+            return agents_.at(tag.node)->rebuild_event(tag);
+        };
+    reg.add(sim::EventKind::kAgentWake, agent_make);
+    reg.add(sim::EventKind::kAgentSyncSettle, agent_make);
+    reg.add(sim::EventKind::kAgentBeacon, agent_make);
+    reg.add(sim::EventKind::kAgentWindowEnd, agent_make);
+    if (mcast_.has_value()) {
+        const sim::ckpt::CallbackRegistry::Make mcast_make =
+            [this](const sim::EventTag& tag) {
+                return mcast_->at(tag.node).rebuild_event(tag);
+            };
+        const sim::ckpt::CallbackRegistry::Placed mcast_placed =
+            [this](const sim::EventTag& tag, sim::EventId id) {
+                mcast_->at(tag.node).event_placed(tag, id);
+            };
+        reg.add(sim::EventKind::kMcastRefresh, mcast_make, mcast_placed);
+        reg.add(sim::EventKind::kMcastDecision, mcast_make, mcast_placed);
+        reg.add(sim::EventKind::kMcastJitteredTx, mcast_make, mcast_placed);
+    }
+    world_->medium().register_rebuilders(reg);
+}
+
+void Scenario::load_state(
+    sim::ckpt::Reader& r,
+    const std::function<void(sim::ckpt::CallbackRegistry&)>& extra_rebuilders) {
+    // Construction-time events (first tick/sample, agent period zero) are
+    // superseded by the blob's pending-event list.
+    sim_.clear_pending();
+    r.expect(kMarkScenario);
+    net::PacketLoadCtx pkts;
+    pkts.pool = &world_->medium().packet_pool();
+    for (const auto& node : world_->nodes()) {
+        node->mobility().load(r);
+    }
+    world_->medium().load_state(r, pkts);
+    for (const auto& node : world_->nodes()) {
+        node->radio().load_state(r, pkts);
+    }
+    const bool has_mcast = r.b();
+    if (has_mcast != mcast_.has_value()) {
+        throw std::runtime_error("Scenario::load_state: multicast presence mismatch");
+    }
+    if (mcast_.has_value()) {
+        for (std::size_t i = 0; i < mcast_->size(); ++i) {
+            mcast_->at(static_cast<net::NodeId>(i)).load_state(r, pkts);
+        }
+    }
+    for (auto& agent : agents_) {
+        agent->load_state(r);
+    }
+    avg_error_.load(r);
+    node_error_.resize(r.u64());
+    for (metrics::TimeSeries& series : node_error_) series.load(r);
+    trace_.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) {
+        PositionTraceRow row;
+        row.time = r.time();
+        row.node = r.u32();
+        row.truth.x = r.f64();
+        row.truth.y = r.f64();
+        row.estimate.x = r.f64();
+        row.estimate.y = r.f64();
+        trace_.push_back(row);
+    }
+    trace_interval_ = r.dur();
+    sim::ckpt::CallbackRegistry reg;
+    register_rebuilders(reg);
+    if (extra_rebuilders) extra_rebuilders(reg);
+    sim_.load_kernel(r, reg);
+    world_->medium().load_pool_warmth(r);
+    world_->medium().finish_restore();
+    r.expect(kMarkScenarioEnd);
 }
 
 std::vector<double> ScenarioResult::errors_at(sim::TimePoint t) const {

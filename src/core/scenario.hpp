@@ -17,6 +17,10 @@
 #include "phy/pdf_table.hpp"
 #include "sim/thread_pool.hpp"
 
+namespace cocoa::sim::ckpt {
+class CallbackRegistry;
+}  // namespace cocoa::sim::ckpt
+
 namespace cocoa::core {
 
 /// Full experiment configuration: one of the paper's simulation runs.
@@ -135,7 +139,14 @@ struct ScenarioResult {
 /// multicast fleet (Mrmm mode), one CoCoA agent per robot, metric sampling.
 class Scenario {
   public:
-    explicit Scenario(const ScenarioConfig& config);
+    /// `shared_table` skips the calibration phase and reuses an existing PDF
+    /// table (fork/restore paths: the table is a pure function of (channel,
+    /// calibration, seed), so a scenario built from the same config owns an
+    /// identical one — sharing it avoids recalibrating per forked future).
+    /// The RNG manager derives stream seeds statelessly, so skipping
+    /// calibration perturbs no other stream.
+    explicit Scenario(const ScenarioConfig& config,
+                      std::shared_ptr<const phy::PdfTable> shared_table = nullptr);
 
     /// Runs to config.duration (or further calls run_until piecemeal).
     void run();
@@ -178,7 +189,20 @@ class Scenario {
     const std::vector<PositionTraceRow>& position_trace() const { return trace_; }
     void write_position_trace_csv(std::ostream& os) const;
 
+    /// Checkpoint: serializes the complete run state — every node's mobility
+    /// and radio, the medium (frames in flight, loss bursts, pool warmth),
+    /// the multicast fleet, every agent, the metric series and the kernel's
+    /// pending-event queue — so a restored run is byte-identical to the
+    /// straight run. Call only between events (after run_until returns).
+    /// `extra_rebuilders` lets the caller register additional event kinds
+    /// (the armed FaultInjector) before the kernel reloads.
+    void save_state(sim::ckpt::Writer& w) const;
+    void load_state(
+        sim::ckpt::Reader& r,
+        const std::function<void(sim::ckpt::CallbackRegistry&)>& extra_rebuilders = {});
+
   private:
+    void register_rebuilders(sim::ckpt::CallbackRegistry& reg);
     void on_tick();
     void on_sample();
     void on_trace();

@@ -1,13 +1,22 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "energy/energy.hpp"
 #include "geom/vec2.hpp"
 #include "mac/medium.hpp"
+#include "net/node.hpp"
 #include "phy/channel.hpp"
+#include "sim/thread_pool.hpp"
 #include "sim/time.hpp"
+
+namespace cocoa::sim::ckpt {
+class Writer;
+class Reader;
+class CallbackRegistry;
+}  // namespace cocoa::sim::ckpt
 
 namespace cocoa::core {
 
@@ -85,9 +94,49 @@ struct SwarmResult {
     std::vector<geom::Vec2> final_positions;
 };
 
-/// Runs one swarm scenario to completion. Deterministic for a given config
-/// (byte-identical across medium backends and culling settings, like every
-/// other scenario in the repo).
+/// The swarm engine behind run_swarm(), held open so callers can run it
+/// piecemeal and checkpoint it mid-flight. Construction builds the world and
+/// schedules every node's duty cycle plus the global mobility tick; run()
+/// advances to the configured duration. Deterministic for a given config
+/// (byte-identical across medium backends, culling settings and
+/// mobility-thread counts, like every other scenario in the repo).
+class Swarm {
+  public:
+    explicit Swarm(const SwarmConfig& config);
+
+    Swarm(const Swarm&) = delete;
+    Swarm& operator=(const Swarm&) = delete;
+
+    void run();
+    void run_until(sim::TimePoint t);
+    SwarmResult result() const;
+
+    const SwarmConfig& config() const { return config_; }
+    sim::Simulator& simulator() { return sim_; }
+    net::World& world() { return *world_; }
+
+    /// Checkpoint: mobility, radios, medium (frames in flight, pool warmth)
+    /// and the kernel's pending events. The duty-cycle and mobility-tick
+    /// callbacks themselves carry no state beyond their tags, so restore
+    /// rebuilds them wholesale. Call only between events.
+    void save_state(sim::ckpt::Writer& w) const;
+    void load_state(sim::ckpt::Reader& r);
+
+  private:
+    void beacon(int i);
+    void doze(int i);
+    void on_mobility_tick();
+    void register_rebuilders(sim::ckpt::CallbackRegistry& reg);
+
+    SwarmConfig config_;
+    sim::Simulator sim_;
+    phy::Channel channel_;
+    std::unique_ptr<net::World> world_;
+    std::unique_ptr<sim::ThreadPool> mobility_pool_;
+    std::vector<std::uint8_t> moved_flags_;
+};
+
+/// Runs one swarm scenario to completion.
 SwarmResult run_swarm(const SwarmConfig& config);
 
 }  // namespace cocoa::core

@@ -3,6 +3,8 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "sim/checkpoint.hpp"
+
 namespace cocoa::energy {
 
 const char* to_string(RadioState s) {
@@ -57,6 +59,24 @@ void EnergyMeter::settle(sim::TimePoint when) { accrue(when); }
 
 double EnergyMeter::total_mj() const {
     return std::accumulate(state_mj_.begin(), state_mj_.end(), transition_mj_);
+}
+
+void EnergyMeter::save(sim::ckpt::Writer& w) const {
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.time(last_change_);
+    for (const double mj : state_mj_) w.f64(mj);
+    for (const sim::Duration t : state_time_) w.dur(t);
+    w.f64(transition_mj_);
+    w.u64(transitions_);
+}
+
+void EnergyMeter::load(sim::ckpt::Reader& r) {
+    state_ = static_cast<RadioState>(r.u8());
+    last_change_ = r.time();
+    for (double& mj : state_mj_) mj = r.f64();
+    for (sim::Duration& t : state_time_) t = r.dur();
+    transition_mj_ = r.f64();
+    transitions_ = r.u64();
 }
 
 }  // namespace cocoa::energy

@@ -8,6 +8,11 @@
 #include "obs/counters.hpp"
 #include "sim/time.hpp"
 
+namespace cocoa::sim::ckpt {
+class Writer;
+class Reader;
+}  // namespace cocoa::sim::ckpt
+
 namespace cocoa::energy {
 
 /// Operating states of an 802.11 radio, ordered for array indexing.
@@ -76,6 +81,11 @@ class EnergyMeter {
                            const std::string& prefix) const {
         registry.add(prefix + "transitions", &transitions_);
     }
+
+    /// Checkpoints the accounting verbatim (state, book-close time, per-state
+    /// tallies). The profile is configuration and is not serialized.
+    void save(sim::ckpt::Writer& w) const;
+    void load(sim::ckpt::Reader& r);
 
   private:
     void accrue(sim::TimePoint until);

@@ -44,6 +44,9 @@ class EkfClEstimator final : public Estimator {
     const core::RangeEkf& filter() const { return ekf_; }
     const Stats& stats() const { return stats_; }
 
+    void save_state(sim::ckpt::Writer& w) const override;
+    void load_state(sim::ckpt::Reader& r) override;
+
   private:
     Config config_;
     std::shared_ptr<const phy::PdfTable> table_;

@@ -13,6 +13,11 @@
 #include "obs/counters.hpp"
 #include "phy/pdf_table.hpp"
 
+namespace cocoa::sim::ckpt {
+class Writer;
+class Reader;
+}  // namespace cocoa::sim::ckpt
+
 namespace cocoa::est {
 
 /// Which belief representation a blind robot runs behind the Estimator
@@ -142,6 +147,12 @@ class Estimator {
     /// Grid-backend localizer stats (all-zero for the other backends), so
     /// Scenario::result() aggregation is backend-agnostic.
     virtual const core::RfLocalizer::Stats& localizer_stats() const;
+
+    /// Checkpoints the belief state. Overrides must call the base first (it
+    /// writes the fix bookkeeping shared by every backend) and then append
+    /// backend-specific state; load_state mirrors byte-for-byte.
+    virtual void save_state(sim::ckpt::Writer& w) const;
+    virtual void load_state(sim::ckpt::Reader& r);
 
   protected:
     bool ever_fixed_ = false;

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "sim/checkpoint.hpp"
+
 namespace cocoa::est {
 
 GridEstimator::GridEstimator(const Config& config,
@@ -53,6 +55,29 @@ geom::Vec2 GridEstimator::estimate() const {
 void GridEstimator::register_counters(obs::CounterRegistry& registry,
                                       const std::string& node_prefix) const {
     localizer_.register_counters(registry, node_prefix + "localizer.");
+}
+
+void GridEstimator::save_state(sim::ckpt::Writer& w) const {
+    Estimator::save_state(w);
+    w.f64(rf_position_.x);
+    w.f64(rf_position_.y);
+    const core::RfLocalizer::Stats& s = localizer_.stats();
+    w.u64(s.fixes);
+    w.u64(s.rejected_too_few);
+    w.u64(s.beacons_without_bin);
+    w.u64(s.beacons_non_gaussian);
+}
+
+void GridEstimator::load_state(sim::ckpt::Reader& r) {
+    Estimator::load_state(r);
+    rf_position_.x = r.f64();
+    rf_position_.y = r.f64();
+    core::RfLocalizer::Stats s;
+    s.fixes = r.u64();
+    s.rejected_too_few = r.u64();
+    s.beacons_without_bin = r.u64();
+    s.beacons_non_gaussian = r.u64();
+    localizer_.set_stats(s);
 }
 
 }  // namespace cocoa::est

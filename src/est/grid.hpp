@@ -41,6 +41,9 @@ class GridEstimator final : public Estimator {
     }
     const core::RfLocalizer& localizer() const { return localizer_; }
 
+    void save_state(sim::ckpt::Writer& w) const override;
+    void load_state(sim::ckpt::Reader& r) override;
+
   private:
     core::RfLocalizer localizer_;
     mobility::OdometryEstimator* odometry_;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "sim/checkpoint.hpp"
+
 namespace cocoa::est {
 
 LinCvxEstimator::LinCvxEstimator(const Config& config,
@@ -98,6 +100,28 @@ void LinCvxEstimator::register_counters(obs::CounterRegistry& registry,
     registry.add(node_prefix + "est.fixes", &stats_.fixes);
     registry.add(node_prefix + "est.beacons_used", &stats_.beacons_used);
     registry.add(node_prefix + "est.beacons_skipped", &stats_.beacons_skipped);
+}
+
+void LinCvxEstimator::save_state(sim::ckpt::Writer& w) const {
+    Estimator::save_state(w);
+    w.f64(mean_.x);
+    w.f64(mean_.y);
+    w.f64(var_);
+    w.f64(pending_var_);
+    w.u64(stats_.fixes);
+    w.u64(stats_.beacons_used);
+    w.u64(stats_.beacons_skipped);
+}
+
+void LinCvxEstimator::load_state(sim::ckpt::Reader& r) {
+    Estimator::load_state(r);
+    mean_.x = r.f64();
+    mean_.y = r.f64();
+    var_ = r.f64();
+    pending_var_ = r.f64();
+    stats_.fixes = r.u64();
+    stats_.beacons_used = r.u64();
+    stats_.beacons_skipped = r.u64();
 }
 
 }  // namespace cocoa::est

@@ -51,6 +51,9 @@ class LinCvxEstimator final : public Estimator {
     const Stats& stats() const { return stats_; }
     double variance() const { return var_; }
 
+    void save_state(sim::ckpt::Writer& w) const override;
+    void load_state(sim::ckpt::Reader& r) override;
+
   private:
     Config config_;
     std::shared_ptr<const phy::PdfTable> table_;

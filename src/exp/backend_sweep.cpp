@@ -155,6 +155,7 @@ std::vector<BackendCell> run_backend_sweep(const core::ScenarioConfig& base,
     ReplicationOptions ropt;
     ropt.n_reps = options.n_reps;
     ropt.n_threads = options.n_threads;
+    ropt.fork = options.fork;
     const std::vector<ReplicationSet> sets = run_sweep(configs, plans, ropt);
 
     std::vector<BackendCell> cells;

@@ -57,6 +57,11 @@ struct BackendSweepOptions {
     /// Also time per-fix CPU per backend (adds a small non-simulated
     /// measurement pass; wall-clock, excluded from determinism contracts).
     bool measure_cpu = true;
+
+    /// Forwarded to ReplicationOptions::fork: each backend's plan cells
+    /// share one warm pre-fault prefix per replication instead of
+    /// re-simulating it per plan. Outputs are byte-identical either way.
+    bool fork = true;
 };
 
 /// The sweep's fault plans: ("baseline", empty) + one loss plan per

@@ -29,6 +29,14 @@ struct ReplicationOptions {
     /// so a wide sweep would hoard memory; the last replication's result is
     /// always retained for series printing.
     bool keep_results = false;
+
+    /// Fork sweep cells from shared warm prefixes: replications with the
+    /// same (config, replication index) — e.g. one backend under several
+    /// fault plans — run their shared pre-fault prefix once, checkpoint it
+    /// in memory, and restore each divergent future from the warm state
+    /// (FaultInjector::arm_forked). Byte-identical outputs to the unforked
+    /// sweep; `--no-fork` turns it off for timing comparisons.
+    bool fork = true;
 };
 
 /// Scalar outcome of one replication, extracted while the full result is in

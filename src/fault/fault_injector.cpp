@@ -4,10 +4,14 @@
 #include <string>
 
 #include "metrics/cdf.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/event_tag.hpp"
 
 namespace cocoa::fault {
 
 namespace {
+
+constexpr std::uint32_t kMarkFault = 0x46414c54u;  // "FALT"
 
 /// Watchers for reacquisition only make sense in the modes whose agents
 /// count discrete fixes (OdometryOnly has no RF; the EKF fuses continuously).
@@ -32,11 +36,7 @@ FaultInjector::FaultInjector(core::Scenario& scenario, FaultPlan plan)
     }
 }
 
-void FaultInjector::arm() {
-    if (armed_) throw std::logic_error("FaultInjector::arm called twice");
-    armed_ = true;
-    if (plan_.empty()) return;  // zero-overhead contract: nothing to do at all
-
+void FaultInjector::register_counters() {
     // Counters appear in the registry only now — an unfaulted run's
     // --counters output must stay byte-identical to a build without faults.
     obs::CounterRegistry& reg = scenario_.obs().counters;
@@ -51,11 +51,82 @@ void FaultInjector::arm() {
     const mac::Medium::Stats& ms = scenario_.world().medium().stats();
     reg.add("fault.frames_truncated", &ms.frames_truncated);
     reg.add("fault.rx_dropped", &ms.fault_rx_dropped);
-
-    for (const FaultEvent& e : plan_.events) schedule_event(e);
 }
 
-void FaultInjector::schedule_event(const FaultEvent& event) {
+void FaultInjector::arm() {
+    if (armed_) throw std::logic_error("FaultInjector::arm called twice");
+    armed_ = true;
+    if (plan_.empty()) return;  // zero-overhead contract: nothing to do at all
+
+    register_counters();
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) schedule_event(i);
+}
+
+std::uint64_t FaultInjector::kernel_event_count() const {
+    std::uint64_t n = 0;
+    for (const FaultEvent& e : plan_.events) {
+        const auto nodes =
+            static_cast<std::uint64_t>(e.last_node() - e.first_node() + 1);
+        switch (e.kind) {
+            case FaultKind::Crash: n += nodes; break;
+            case FaultKind::Reboot: n += 2 * nodes; break;
+            case FaultKind::Outage: n += 2 * nodes; break;
+            case FaultKind::Loss: n += 1; break;
+            case FaultKind::ClockDrift: n += nodes; break;
+            case FaultKind::OdometryDegrade:
+                n += nodes * (e.duration > sim::Duration::zero() ? 2 : 1);
+                break;
+            case FaultKind::Battery: n += nodes; break;
+        }
+    }
+    return n;
+}
+
+bool FaultInjector::arm_forked() {
+    if (armed_) throw std::logic_error("FaultInjector::arm_forked called twice");
+    if (plan_.empty()) {
+        armed_ = true;
+        return true;
+    }
+    sim::Simulator& sim = scenario_.simulator();
+    const std::uint64_t need = kernel_event_count();
+    const std::uint64_t min_seq = sim.min_pending_seq();
+    // Reserving below the pending window reproduces the straight run's
+    // fault-before-runtime FIFO order exactly, because every event pending at
+    // the fork point was scheduled *after* arm in the straight run (the
+    // prefix must outlive all construction-time one-shots — guaranteed in
+    // practice since faults strike seconds in while construction events
+    // recur sub-second). An idle queue or a too-small seq floor means the
+    // order cannot be reproduced: the caller falls back to an unforked run.
+    if (min_seq == UINT64_MAX || min_seq < need) return false;
+    armed_ = true;
+    register_counters();
+    const std::uint64_t prefix_peak = sim.kernel_stats().peak_pending;
+    forked_seq_ = min_seq - need;
+    for (std::size_t i = 0; i < plan_.events.size(); ++i) schedule_event(i);
+    forked_seq_.reset();
+    // A straight faulted run carries the armed events in its pending count
+    // from t=0, so its high-water mark up to the fork point is exactly
+    // `need` above the prefix's. scheduled/sbo_misses already match: the
+    // reserved-seq path goes through the same place() accounting arm() does.
+    sim::KernelStats stats = sim.kernel_stats();
+    stats.peak_pending = prefix_peak + need;
+    sim.set_kernel_stats(stats);
+    return true;
+}
+
+void FaultInjector::schedule_fault(sim::TimePoint t, sim::InplaceCallback cb,
+                                   const sim::EventTag& tag) {
+    sim::Simulator& sim = scenario_.simulator();
+    if (forked_seq_.has_value()) {
+        sim.schedule_with_seq(t, (*forked_seq_)++, std::move(cb), tag);
+    } else {
+        sim.schedule_at(t, std::move(cb), tag);
+    }
+}
+
+void FaultInjector::schedule_event(std::size_t idx) {
+    const FaultEvent& event = plan_.events[idx];
     sim::Simulator& sim = scenario_.simulator();
     const sim::TimePoint at = std::max(sim.now(), event.at);
     const sim::TimePoint until = at + event.duration;
@@ -64,60 +135,26 @@ void FaultInjector::schedule_event(const FaultEvent& event) {
         case FaultKind::Crash:
             intervals_.emplace_back(at, sim::TimePoint::max());
             for (int id = event.first_node(); id <= event.last_node(); ++id) {
-                sim.schedule_at(at, [this, id] {
-                    scenario_.world().node(static_cast<net::NodeId>(id)).radio().power_off();
-                    ++stats_.crashes;
-                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "crash",
-                                  static_cast<std::int64_t>(id));
-                });
+                schedule_fault(at, sim::InplaceCallback([this, idx, id] { strike(idx, id); }),
+                               sim::make_tag(sim::EventKind::kFaultStrike,
+                                             static_cast<std::uint32_t>(id),
+                                             static_cast<std::uint32_t>(idx)));
             }
             break;
 
         case FaultKind::Reboot:
-            intervals_.emplace_back(at, until);
-            for (int id = event.first_node(); id <= event.last_node(); ++id) {
-                sim.schedule_at(at, [this, id] {
-                    scenario_.world().node(static_cast<net::NodeId>(id)).radio().power_off();
-                    ++stats_.crashes;
-                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "crash",
-                                  static_cast<std::int64_t>(id));
-                });
-                sim.schedule_at(until, [this, id] {
-                    const auto nid = static_cast<net::NodeId>(id);
-                    scenario_.world().node(nid).radio().power_on();
-                    if (multicast::MulticastNode* mc = scenario_.multicast_node(nid)) {
-                        mc->reset_soft_state();
-                    }
-                    scenario_.agent(nid).reboot();
-                    ++stats_.reboots;
-                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "reboot",
-                                  static_cast<std::int64_t>(id));
-                    start_reacquire_watch(id);
-                });
-            }
-            break;
-
         case FaultKind::Outage:
             intervals_.emplace_back(at, until);
             for (int id = event.first_node(); id <= event.last_node(); ++id) {
-                sim.schedule_at(at, [this, id] {
-                    mac::Radio& radio =
-                        scenario_.world().node(static_cast<net::NodeId>(id)).radio();
-                    if (radio.is_off()) return;  // already crashed
-                    radio.begin_outage();
-                    ++stats_.outages;
-                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "outage_begin",
-                                  static_cast<std::int64_t>(id));
-                });
-                sim.schedule_at(until, [this, id] {
-                    mac::Radio& radio =
-                        scenario_.world().node(static_cast<net::NodeId>(id)).radio();
-                    if (!radio.in_outage()) return;
-                    radio.end_outage();
-                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "outage_end",
-                                  static_cast<std::int64_t>(id));
-                    start_reacquire_watch(id);
-                });
+                schedule_fault(at, sim::InplaceCallback([this, idx, id] { strike(idx, id); }),
+                               sim::make_tag(sim::EventKind::kFaultStrike,
+                                             static_cast<std::uint32_t>(id),
+                                             static_cast<std::uint32_t>(idx)));
+                schedule_fault(until,
+                               sim::InplaceCallback([this, idx, id] { recover(idx, id); }),
+                               sim::make_tag(sim::EventKind::kFaultRecover,
+                                             static_cast<std::uint32_t>(id),
+                                             static_cast<std::uint32_t>(idx)));
             }
             break;
 
@@ -125,97 +162,272 @@ void FaultInjector::schedule_event(const FaultEvent& event) {
             intervals_.emplace_back(at, until);
             scenario_.world().medium().add_loss_burst(
                 {at, until, event.drop_prob, event.attenuation_db});
-            sim.schedule_at(at, [this, event] {
-                ++stats_.loss_bursts;
-                scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "loss_begin",
-                              /*id=*/-1,
-                              {{"p", event.drop_prob}, {"db", event.attenuation_db}});
-            });
+            schedule_fault(at, sim::InplaceCallback([this, idx] { strike(idx, -1); }),
+                           sim::make_tag(sim::EventKind::kFaultStrike,
+                                         static_cast<std::uint32_t>(-1),
+                                         static_cast<std::uint32_t>(idx)));
             break;
 
         case FaultKind::ClockDrift:
             for (int id = event.first_node(); id <= event.last_node(); ++id) {
-                sim.schedule_at(at, [this, id, offset = event.offset_s] {
-                    scenario_.agent(static_cast<net::NodeId>(id))
-                        .inject_clock_offset(offset);
-                    ++stats_.clock_drifts;
-                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "clock_drift",
-                                  static_cast<std::int64_t>(id), {{"s", offset}});
-                });
+                schedule_fault(at, sim::InplaceCallback([this, idx, id] { strike(idx, id); }),
+                               sim::make_tag(sim::EventKind::kFaultStrike,
+                                             static_cast<std::uint32_t>(id),
+                                             static_cast<std::uint32_t>(idx)));
             }
             break;
 
         case FaultKind::OdometryDegrade:
             for (int id = event.first_node(); id <= event.last_node(); ++id) {
-                sim.schedule_at(at, [this, id, scale = event.scale] {
-                    scenario_.agent(static_cast<net::NodeId>(id)).degrade_odometry(scale);
-                    ++stats_.odometry_degrades;
-                    scenario_.obs().trace.instant(scenario_.simulator().now(), "fault", "odo_degrade",
-                                  static_cast<std::int64_t>(id), {{"scale", scale}});
-                });
+                schedule_fault(at, sim::InplaceCallback([this, idx, id] { strike(idx, id); }),
+                               sim::make_tag(sim::EventKind::kFaultStrike,
+                                             static_cast<std::uint32_t>(id),
+                                             static_cast<std::uint32_t>(idx)));
                 if (event.duration > sim::Duration::zero()) {
-                    sim.schedule_at(until, [this, id] {
-                        scenario_.agent(static_cast<net::NodeId>(id)).degrade_odometry(1.0);
-                    });
+                    schedule_fault(until,
+                                   sim::InplaceCallback([this, idx, id] { recover(idx, id); }),
+                                   sim::make_tag(sim::EventKind::kFaultRecover,
+                                                 static_cast<std::uint32_t>(id),
+                                                 static_cast<std::uint32_t>(idx)));
                 }
             }
             break;
 
         case FaultKind::Battery:
             for (int id = event.first_node(); id <= event.last_node(); ++id) {
-                schedule_battery_watch(id, event.budget_mj, at);
+                schedule_battery_watch(idx, id, at);
             }
             break;
     }
 }
 
-void FaultInjector::schedule_battery_watch(int node, double budget_mj,
-                                           sim::TimePoint from) {
-    scenario_.simulator().schedule_at(from, [this, node, budget_mj] {
-        mac::Radio& radio =
-            scenario_.world().node(static_cast<net::NodeId>(node)).radio();
-        if (radio.is_off()) return;  // dead already; stop watching
-        radio.settle_energy();
-        if (radio.meter().total_mj() >= budget_mj) {
-            const sim::TimePoint now = scenario_.simulator().now();
-            radio.power_off();
-            ++stats_.battery_deaths;
-            intervals_.emplace_back(now, sim::TimePoint::max());
-            scenario_.obs().trace.instant(now, "fault", "battery_death",
-                                          static_cast<std::int64_t>(node),
-                                          {{"mj", radio.meter().total_mj()}});
-            return;
+/// The `at` side of one plan event for one target node. The plan is
+/// immutable after construction, so per-kind parameters are read back out of
+/// plan_.events[idx] at fire time — keeping every scheduled capture down to
+/// {this, idx, id}, which a restore can rebuild verbatim from the event tag.
+void FaultInjector::strike(std::size_t idx, int id) {
+    const FaultEvent& event = plan_.events[idx];
+    const sim::TimePoint now = scenario_.simulator().now();
+    switch (event.kind) {
+        case FaultKind::Crash:
+        case FaultKind::Reboot:
+            scenario_.world().node(static_cast<net::NodeId>(id)).radio().power_off();
+            ++stats_.crashes;
+            scenario_.obs().trace.instant(now, "fault", "crash",
+                                          static_cast<std::int64_t>(id));
+            break;
+
+        case FaultKind::Outage: {
+            mac::Radio& radio =
+                scenario_.world().node(static_cast<net::NodeId>(id)).radio();
+            if (radio.is_off()) return;  // already crashed
+            radio.begin_outage();
+            ++stats_.outages;
+            scenario_.obs().trace.instant(now, "fault", "outage_begin",
+                                          static_cast<std::int64_t>(id));
+            break;
         }
-        schedule_battery_watch(node, budget_mj,
-                               scenario_.simulator().now() + plan_.battery_check);
-    });
+
+        case FaultKind::Loss:
+            ++stats_.loss_bursts;
+            scenario_.obs().trace.instant(
+                now, "fault", "loss_begin", /*id=*/-1,
+                {{"p", event.drop_prob}, {"db", event.attenuation_db}});
+            break;
+
+        case FaultKind::ClockDrift:
+            scenario_.agent(static_cast<net::NodeId>(id))
+                .inject_clock_offset(event.offset_s);
+            ++stats_.clock_drifts;
+            scenario_.obs().trace.instant(now, "fault", "clock_drift",
+                                          static_cast<std::int64_t>(id),
+                                          {{"s", event.offset_s}});
+            break;
+
+        case FaultKind::OdometryDegrade:
+            scenario_.agent(static_cast<net::NodeId>(id)).degrade_odometry(event.scale);
+            ++stats_.odometry_degrades;
+            scenario_.obs().trace.instant(now, "fault", "odo_degrade",
+                                          static_cast<std::int64_t>(id),
+                                          {{"scale", event.scale}});
+            break;
+
+        case FaultKind::Battery:
+            break;  // battery faults are watches, not strikes
+    }
+}
+
+/// The `until` side (Reboot revival, Outage end, OdometryDegrade restore).
+void FaultInjector::recover(std::size_t idx, int id) {
+    const FaultEvent& event = plan_.events[idx];
+    const auto nid = static_cast<net::NodeId>(id);
+    switch (event.kind) {
+        case FaultKind::Reboot:
+            scenario_.world().node(nid).radio().power_on();
+            if (multicast::MulticastNode* mc = scenario_.multicast_node(nid)) {
+                mc->reset_soft_state();
+            }
+            scenario_.agent(nid).reboot();
+            ++stats_.reboots;
+            scenario_.obs().trace.instant(scenario_.simulator().now(), "fault",
+                                          "reboot", static_cast<std::int64_t>(id));
+            start_reacquire_watch(id);
+            break;
+
+        case FaultKind::Outage: {
+            mac::Radio& radio = scenario_.world().node(nid).radio();
+            if (!radio.in_outage()) return;
+            radio.end_outage();
+            scenario_.obs().trace.instant(scenario_.simulator().now(), "fault",
+                                          "outage_end", static_cast<std::int64_t>(id));
+            start_reacquire_watch(id);
+            break;
+        }
+
+        case FaultKind::OdometryDegrade:
+            scenario_.agent(nid).degrade_odometry(1.0);
+            break;
+
+        default:
+            break;
+    }
+}
+
+void FaultInjector::schedule_battery_watch(std::size_t idx, int id,
+                                           sim::TimePoint from) {
+    schedule_fault(from,
+                   sim::InplaceCallback([this, idx, id] { battery_watch(idx, id); }),
+                   sim::make_tag(sim::EventKind::kFaultBatteryWatch,
+                                 static_cast<std::uint32_t>(id),
+                                 static_cast<std::uint32_t>(idx)));
+}
+
+void FaultInjector::battery_watch(std::size_t idx, int id) {
+    mac::Radio& radio = scenario_.world().node(static_cast<net::NodeId>(id)).radio();
+    if (radio.is_off()) return;  // dead already; stop watching
+    radio.settle_energy();
+    if (radio.meter().total_mj() >= plan_.events[idx].budget_mj) {
+        const sim::TimePoint now = scenario_.simulator().now();
+        radio.power_off();
+        ++stats_.battery_deaths;
+        intervals_.emplace_back(now, sim::TimePoint::max());
+        scenario_.obs().trace.instant(now, "fault", "battery_death",
+                                      static_cast<std::int64_t>(id),
+                                      {{"mj", radio.meter().total_mj()}});
+        return;
+    }
+    schedule_battery_watch(idx, id,
+                           scenario_.simulator().now() + plan_.battery_check);
 }
 
 void FaultInjector::start_reacquire_watch(int node) {
     const auto nid = static_cast<net::NodeId>(node);
     if (scenario_.is_anchor(nid) || !counts_fixes(scenario_.config().mode)) return;
     ++watches_started_;
-    const sim::TimePoint recovered_at = scenario_.simulator().now();
-    const std::uint64_t fixes_before = scenario_.agent(nid).stats().fixes;
     // Poll at the metric sampling granularity until the first post-recovery
     // fix lands; unfinished watches count as never_reacquired in report().
-    const auto poll = [this, nid, recovered_at, fixes_before](const auto& self) -> void {
-        scenario_.simulator().schedule_in(
-            scenario_.config().sample_interval, [this, nid, recovered_at, fixes_before,
-                                                 self] {
-                if (scenario_.agent(nid).stats().fixes > fixes_before) {
-                    ++stats_.reacquired;
-                    reacquire_s_sum_ +=
-                        (scenario_.simulator().now() - recovered_at).to_seconds();
-                    scenario_.obs().trace.instant(
-                        scenario_.simulator().now(), "fault", "reacquired",
-                        static_cast<std::int64_t>(nid));
-                    return;
-                }
-                self(self);
-            });
-    };
-    poll(poll);
+    schedule_reacquire_poll(nid, scenario_.simulator().now(),
+                            scenario_.agent(nid).stats().fixes);
+}
+
+void FaultInjector::schedule_reacquire_poll(net::NodeId nid,
+                                            sim::TimePoint recovered_at,
+                                            std::uint64_t fixes_before) {
+    scenario_.simulator().schedule_in(
+        scenario_.config().sample_interval,
+        sim::InplaceCallback([this, nid, recovered_at, fixes_before] {
+            poll_reacquire(nid, recovered_at, fixes_before);
+        }),
+        sim::make_tag(sim::EventKind::kFaultReacquirePoll, nid, 0, 0,
+                      static_cast<std::uint64_t>(recovered_at.to_nanos()),
+                      fixes_before));
+}
+
+void FaultInjector::poll_reacquire(net::NodeId nid, sim::TimePoint recovered_at,
+                                   std::uint64_t fixes_before) {
+    if (scenario_.agent(nid).stats().fixes > fixes_before) {
+        ++stats_.reacquired;
+        reacquire_s_sum_ +=
+            (scenario_.simulator().now() - recovered_at).to_seconds();
+        scenario_.obs().trace.instant(scenario_.simulator().now(), "fault",
+                                      "reacquired", static_cast<std::int64_t>(nid));
+        return;
+    }
+    schedule_reacquire_poll(nid, recovered_at, fixes_before);
+}
+
+void FaultInjector::save_state(sim::ckpt::Writer& w) const {
+    w.mark(kMarkFault);
+    w.b(armed_);
+    w.u64(stats_.crashes);
+    w.u64(stats_.reboots);
+    w.u64(stats_.outages);
+    w.u64(stats_.loss_bursts);
+    w.u64(stats_.clock_drifts);
+    w.u64(stats_.odometry_degrades);
+    w.u64(stats_.battery_deaths);
+    w.u64(stats_.reacquired);
+    w.u64(intervals_.size());
+    for (const auto& [start, end] : intervals_) {
+        w.time(start);
+        w.time(end);
+    }
+    w.u64(watches_started_);
+    w.f64(reacquire_s_sum_);
+}
+
+void FaultInjector::load_state(sim::ckpt::Reader& r) {
+    r.expect(kMarkFault);
+    armed_ = r.b();
+    stats_.crashes = r.u64();
+    stats_.reboots = r.u64();
+    stats_.outages = r.u64();
+    stats_.loss_bursts = r.u64();
+    stats_.clock_drifts = r.u64();
+    stats_.odometry_degrades = r.u64();
+    stats_.battery_deaths = r.u64();
+    stats_.reacquired = r.u64();
+    intervals_.clear();
+    const std::uint64_t n = r.u64();
+    intervals_.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const sim::TimePoint start = r.time();
+        const sim::TimePoint end = r.time();
+        intervals_.emplace_back(start, end);
+    }
+    watches_started_ = r.u64();
+    reacquire_s_sum_ = r.f64();
+    // Pending fault events come back through the kernel blob (see
+    // register_rebuilders) and loss bursts through the medium's own state;
+    // only the counter registrations have to be redone here.
+    if (armed_ && !plan_.empty()) register_counters();
+}
+
+void FaultInjector::register_rebuilders(sim::ckpt::CallbackRegistry& reg) {
+    reg.add(sim::EventKind::kFaultStrike, [this](const sim::EventTag& tag) {
+        const auto idx = static_cast<std::size_t>(tag.x);
+        const int id = static_cast<int>(tag.node);
+        return sim::InplaceCallback([this, idx, id] { strike(idx, id); });
+    });
+    reg.add(sim::EventKind::kFaultRecover, [this](const sim::EventTag& tag) {
+        const auto idx = static_cast<std::size_t>(tag.x);
+        const int id = static_cast<int>(tag.node);
+        return sim::InplaceCallback([this, idx, id] { recover(idx, id); });
+    });
+    reg.add(sim::EventKind::kFaultBatteryWatch, [this](const sim::EventTag& tag) {
+        const auto idx = static_cast<std::size_t>(tag.x);
+        const int id = static_cast<int>(tag.node);
+        return sim::InplaceCallback([this, idx, id] { battery_watch(idx, id); });
+    });
+    reg.add(sim::EventKind::kFaultReacquirePoll, [this](const sim::EventTag& tag) {
+        const auto nid = static_cast<net::NodeId>(tag.node);
+        const sim::TimePoint recovered_at =
+            sim::TimePoint::from_nanos(static_cast<std::int64_t>(tag.a));
+        const std::uint64_t fixes_before = tag.b;
+        return sim::InplaceCallback([this, nid, recovered_at, fixes_before] {
+            poll_reacquire(nid, recovered_at, fixes_before);
+        });
+    });
 }
 
 ResilienceReport FaultInjector::report(const core::ScenarioResult& result) const {

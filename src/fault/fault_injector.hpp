@@ -8,6 +8,12 @@
 #include "core/scenario.hpp"
 #include "fault/fault_plan.hpp"
 
+namespace cocoa::sim::ckpt {
+class Writer;
+class Reader;
+class CallbackRegistry;
+}  // namespace cocoa::sim::ckpt
+
 namespace cocoa::fault {
 
 /// Resilience metrics of one faulted run, computed from the scenario's
@@ -76,6 +82,19 @@ class FaultInjector {
     /// time. No-op for an empty plan. Throws std::logic_error on re-arm.
     void arm();
 
+    /// Arms against a scenario restored from a shared warm prefix: identical
+    /// to arm() except the plan's kernel events take sequence numbers
+    /// reserved *below* every pending event's, reproducing the straight
+    /// run's arm-before-run FIFO order, and peak_pending is bumped by the
+    /// armed count (a straight run carries those events as pending from
+    /// t=0). Returns false — caller must fall back to an unforked run —
+    /// when the prefix left too few seqs below its pending window.
+    bool arm_forked();
+
+    /// Number of kernel events arm() realizes this plan as (the seq span
+    /// arm_forked() must reserve).
+    std::uint64_t kernel_event_count() const;
+
     const FaultPlan& plan() const { return plan_; }
     const Stats& stats() const { return stats_; }
 
@@ -90,14 +109,36 @@ class FaultInjector {
     /// Computes the resilience metrics from a finished run's result.
     ResilienceReport report(const core::ScenarioResult& result) const;
 
+    /// Checkpoint hooks. save_state captures the armed flag, realized
+    /// intervals and counters; load_state restores them and re-registers the
+    /// fault.* counters (when armed on a non-empty plan) without scheduling
+    /// anything — pending fault events come back through the kernel blob via
+    /// register_rebuilders, and loss bursts through the medium's own state.
+    void save_state(sim::ckpt::Writer& w) const;
+    void load_state(sim::ckpt::Reader& r);
+    void register_rebuilders(sim::ckpt::CallbackRegistry& reg);
+
   private:
-    void schedule_event(const FaultEvent& event);
-    void schedule_battery_watch(int node, double budget_mj, sim::TimePoint from);
+    void register_counters();
+    void schedule_event(std::size_t idx);
+    /// Routes one plan-event callback to the kernel: schedule_at normally,
+    /// schedule_with_seq from the reserved window during arm_forked().
+    void schedule_fault(sim::TimePoint t, sim::InplaceCallback cb,
+                        const sim::EventTag& tag);
+    void strike(std::size_t idx, int id);
+    void recover(std::size_t idx, int id);
+    void battery_watch(std::size_t idx, int id);
+    void schedule_battery_watch(std::size_t idx, int id, sim::TimePoint from);
     void start_reacquire_watch(int node);
+    void schedule_reacquire_poll(net::NodeId nid, sim::TimePoint recovered_at,
+                                 std::uint64_t fixes_before);
+    void poll_reacquire(net::NodeId nid, sim::TimePoint recovered_at,
+                        std::uint64_t fixes_before);
 
     core::Scenario& scenario_;
     FaultPlan plan_;
     bool armed_ = false;
+    std::optional<std::uint64_t> forked_seq_;
     Stats stats_;
     std::vector<std::pair<sim::TimePoint, sim::TimePoint>> intervals_;
     std::uint64_t watches_started_ = 0;

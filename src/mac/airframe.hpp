@@ -30,6 +30,11 @@ struct AirFrame {
     geom::Vec2 sender_position;  ///< at transmission start
     sim::TimePoint start;
     sim::TimePoint end;
+    /// Per-medium monotone launch number (Medium::frame_seq_ at transmission
+    /// start). The durable identity of a frame: checkpoints key in-flight
+    /// frames, receive locks, and pending CCA / frame-end events by this, so
+    /// restore can re-link every reference to one shared restored instance.
+    std::uint64_t seq = 0;
     /// The transmitter died mid-frame: the frame stopped at `end` (earlier
     /// than the scheduled airtime) and no receiver can decode it.
     bool truncated = false;

@@ -1,10 +1,15 @@
 #include "mac/medium.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <string>
 
 #include "mac/radio.hpp"
+#include "net/packet_io.hpp"
+#include "sim/checkpoint.hpp"
 
 namespace cocoa::mac {
 
@@ -118,6 +123,9 @@ void Medium::note_position_moved(const Radio& radio) {
 void Medium::sweep_expired() {
     const sim::TimePoint now = sim_.now();
     std::erase_if(active_, [now](const auto& f) { return f->end <= now; });
+    // Compact the weak launch registry in the same stride: entries die once
+    // the last lock / pending callback lets go of the frame.
+    std::erase_if(launched_, [](const auto& e) { return e.second.expired(); });
 }
 
 std::uint64_t Medium::hash_cell_key(double x, double y) const {
@@ -184,8 +192,11 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
     // Per-frame key for the counter-based RSSI draws. frame_seq_ advances
     // once per transmission whether or not culling is enabled, so a frame's
     // draws are a pure function of (medium seed, frame number, receiver id).
+    // The launch number doubles as the frame's durable identity
+    // (AirFrame::seq) for checkpoint/restore.
+    const std::uint64_t fseq = frame_seq_++;
     const std::uint64_t frame_key =
-        sim::splitmix64_mix(rssi_seed_base_ ^ sim::splitmix64_mix(frame_seq_++));
+        sim::splitmix64_mix(rssi_seed_base_ ^ sim::splitmix64_mix(fseq));
 
     // Fault-injected loss bursts covering this frame's start (none on the
     // default path: loss_ stays empty unless a FaultInjector armed bursts).
@@ -345,8 +356,9 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
     // in steady state both it and the sensed_by block above come straight
     // off a free list, so a transmission allocates nothing.
     auto frame = frame_pool_.acquire(
-        AirFrame{packet, sender.id(), tx_pos, start, end, false, std::move(sensed)});
+        AirFrame{packet, sender.id(), tx_pos, start, end, fseq, false, std::move(sensed)});
     active_.push_back(frame);
+    launched_.emplace_back(fseq, frame);
     ++stats_.frames_sent;
     obs_.trace.complete(start, end, "mac", "frame",
                         static_cast<std::int64_t>(sender.id()),
@@ -358,17 +370,26 @@ void Medium::begin_transmission(Radio& sender, const net::Packet& packet,
         const bool decodable = channel_.decodable(rssi_i);
         // Carrier sensing and receiver lock-on take a CCA delay; radio state
         // is re-checked at that point (the radio may have slept meanwhile).
-        sim_.schedule_in(config_.cca_delay, [this, r, frame, rssi_i, decodable] {
-            // A frame whose transmitter died within the CCA window never
-            // registers at the receiver (its end may already be in the past).
-            if (frame->truncated) return;
-            if (!r->awake()) {
-                if (decodable) ++stats_.missed_asleep;
-                return;
-            }
-            r->on_frame_start(frame, rssi_i, decodable);
-        });
+        sim_.schedule_in(
+            config_.cca_delay,
+            [this, r, frame, rssi_i, decodable] {
+                cca_fire(r, frame, rssi_i, decodable);
+            },
+            sim::make_tag(sim::EventKind::kMediumCca, c.idx, decodable ? 1u : 0u, 0,
+                          fseq, std::bit_cast<std::uint64_t>(rssi_i)));
     }
+}
+
+void Medium::cca_fire(Radio* r, const std::shared_ptr<const AirFrame>& frame,
+                      double rssi_dbm, bool decodable) {
+    // A frame whose transmitter died within the CCA window never registers
+    // at the receiver (its end may already be in the past).
+    if (frame->truncated) return;
+    if (!r->awake()) {
+        if (decodable) ++stats_.missed_asleep;
+        return;
+    }
+    r->on_frame_start(frame, rssi_dbm, decodable);
 }
 
 void Medium::truncate_transmission(Radio& sender) {
@@ -436,6 +457,256 @@ void Medium::truncate_transmission(Radio& sender) {
         }
         for (const std::uint32_t i : targets) radios_[i]->on_frame_truncated(frame);
     }
+}
+
+namespace {
+constexpr std::uint32_t kMarkMedium = 0x4d45444du;  // "MEDM"
+constexpr std::uint32_t kMarkPools = 0x4c4f4f50u;   // "POOL"
+
+void save_core_warmth(sim::ckpt::Writer& w, const sim::SlabCore& core) {
+    w.u64(core.free_count());
+    const sim::PoolStats& s = core.stats();
+    w.u64(s.reused);
+    w.u64(s.fresh);
+    w.u64(s.oversize);
+}
+
+void load_core_warmth(sim::ckpt::Reader& r, sim::SlabCore& core) {
+    const std::uint64_t free_blocks = r.u64();
+    core.add_free_blocks(static_cast<std::size_t>(free_blocks));
+    sim::PoolStats s;
+    s.reused = r.u64();
+    s.fresh = r.u64();
+    s.oversize = r.u64();
+    core.set_stats(s);
+}
+}  // namespace
+
+void Medium::save_state(sim::ckpt::Writer& w, net::PacketSaveCtx& pkts) const {
+    w.mark(kMarkMedium);
+    w.u64(frame_seq_);
+    const auto& bursts = loss_.bursts();
+    w.u64(bursts.size());
+    for (const phy::LossBurst& b : bursts) {
+        w.time(b.start);
+        w.time(b.end);
+        w.f64(b.drop_prob);
+        w.f64(b.attenuation_db);
+    }
+    w.u64(stats_.frames_sent);
+    w.u64(stats_.missed_asleep);
+    w.u64(stats_.radios_visited);
+    w.u64(stats_.radios_culled);
+    w.u64(stats_.frames_truncated);
+    w.u64(stats_.fault_rx_dropped);
+    w.u64(flat_stats_.full_rebuilds);
+    // Index and radius-cache bookkeeping: unregistered, but surfaced through
+    // the swarm table / swarm-json line, so a restored run must report the
+    // straight run's values.
+    const spatial::CellTreeStats& ts = tree_.stats();
+    w.u64(ts.inserts);
+    w.u64(ts.removes);
+    w.u64(ts.migrations);
+    w.u64(ts.in_cell_updates);
+    w.u64(ts.full_refreshes);
+    w.u64(ts.queries);
+    w.u64(ts.candidates_visited);
+    w.u64(ts.cells_pruned);
+    const spatial::RadiusCacheStats& rs = radius_cache_.stats();
+    w.u64(rs.lookups);
+    w.u64(rs.hits);
+    w.u64(rs.misses);
+    w.u64(rs.evictions);
+    w.u64(rs.cells_pruned);
+    w.u64(rs.sparse_bypass);
+    // Cache content (recency order): a restored cache must be exactly as
+    // warm as the straight run's, or hit/miss counts diverge afterwards.
+    const auto entries = radius_cache_.export_entries();
+    w.u64(entries.size());
+    for (const auto& [key, mask] : entries) {
+        w.u64(key);
+        w.u32(mask);
+    }
+    // Learned block sizes come before the frames so load_state can pre-seed
+    // the cores: the first restored allocation must classify exactly like the
+    // straight run's did.
+    w.u64(frame_pool_.core()->block_size());
+    w.u64(sensed_core_->block_size());
+    w.u64(packet_pool_.core()->block_size());
+    // Every frame still referenced anywhere, in launch order (canonical form:
+    // identical runs write identical blobs).
+    std::vector<std::pair<std::uint64_t, std::shared_ptr<AirFrame>>> alive;
+    for (const auto& [seq, weak] : launched_) {
+        if (auto frame = weak.lock()) alive.emplace_back(seq, std::move(frame));
+    }
+    std::sort(alive.begin(), alive.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    w.u64(alive.size());
+    for (const auto& [seq, frame] : alive) {
+        w.u64(seq);
+        net::save_packet(w, frame->packet, pkts);
+        w.u32(frame->sender);
+        w.f64(frame->sender_position.x);
+        w.f64(frame->sender_position.y);
+        w.time(frame->start);
+        w.time(frame->end);
+        w.b(frame->truncated);
+        w.u64(frame->sensed_by.size());
+        for (const std::uint32_t idx : frame->sensed_by) w.u32(idx);
+    }
+    w.u64(active_.size());
+    for (const auto& frame : active_) w.u64(frame->seq);
+}
+
+void Medium::load_state(sim::ckpt::Reader& r, net::PacketLoadCtx& pkts) {
+    r.expect(kMarkMedium);
+    frame_seq_ = r.u64();
+    const std::uint64_t nbursts = r.u64();
+    for (std::uint64_t i = 0; i < nbursts; ++i) {
+        phy::LossBurst b;
+        b.start = r.time();
+        b.end = r.time();
+        b.drop_prob = r.f64();
+        b.attenuation_db = r.f64();
+        loss_.add(b);
+    }
+    stats_.frames_sent = r.u64();
+    stats_.missed_asleep = r.u64();
+    stats_.radios_visited = r.u64();
+    stats_.radios_culled = r.u64();
+    stats_.frames_truncated = r.u64();
+    stats_.fault_rx_dropped = r.u64();
+    flat_stats_.full_rebuilds = r.u64();
+    spatial::CellTreeStats& ts = restore_tree_stats_;
+    ts.inserts = r.u64();
+    ts.removes = r.u64();
+    ts.migrations = r.u64();
+    ts.in_cell_updates = r.u64();
+    ts.full_refreshes = r.u64();
+    ts.queries = r.u64();
+    ts.candidates_visited = r.u64();
+    ts.cells_pruned = r.u64();
+    spatial::RadiusCacheStats& rs = restore_cache_stats_;
+    rs.lookups = r.u64();
+    rs.hits = r.u64();
+    rs.misses = r.u64();
+    rs.evictions = r.u64();
+    rs.cells_pruned = r.u64();
+    rs.sparse_bypass = r.u64();
+    const std::uint64_t ncached = r.u64();
+    std::vector<std::pair<std::uint64_t, std::uint16_t>> entries;
+    entries.reserve(static_cast<std::size_t>(ncached));
+    for (std::uint64_t i = 0; i < ncached; ++i) {
+        const std::uint64_t key = r.u64();
+        const auto mask = static_cast<std::uint16_t>(r.u32());
+        entries.emplace_back(key, mask);
+    }
+    radius_cache_.import_entries(entries);
+    frame_pool_.core()->set_block_size(static_cast<std::size_t>(r.u64()));
+    sensed_core_->set_block_size(static_cast<std::size_t>(r.u64()));
+    packet_pool_.core()->set_block_size(static_cast<std::size_t>(r.u64()));
+    active_.clear();
+    launched_.clear();
+    restore_frames_.clear();
+    const std::uint64_t nframes = r.u64();
+    for (std::uint64_t i = 0; i < nframes; ++i) {
+        const std::uint64_t seq = r.u64();
+        net::Packet packet = net::load_packet(r, pkts);
+        const net::NodeId sender = r.u32();
+        geom::Vec2 pos;
+        pos.x = r.f64();
+        pos.y = r.f64();
+        const sim::TimePoint start = r.time();
+        const sim::TimePoint end = r.time();
+        const bool truncated = r.b();
+        const std::uint64_t nsensed = r.u64();
+        AirFrame::SensedBy sensed{sim::PoolAllocator<std::uint32_t>(sensed_core_)};
+        // Mirror begin_transmission's reservation exactly, so the sensed
+        // block classifies (pooled vs oversize) like the original did.
+        sensed.reserve(std::max<std::size_t>(kSensedReserve,
+                                             static_cast<std::size_t>(nsensed)));
+        for (std::uint64_t k = 0; k < nsensed; ++k) sensed.push_back(r.u32());
+        auto frame = frame_pool_.acquire(AirFrame{std::move(packet), sender, pos,
+                                                  start, end, seq, truncated,
+                                                  std::move(sensed)});
+        launched_.emplace_back(seq, frame);
+        restore_frames_.emplace(seq, std::move(frame));
+    }
+    const std::uint64_t nactive = r.u64();
+    for (std::uint64_t i = 0; i < nactive; ++i) {
+        active_.push_back(restored_frame(r.u64()));
+    }
+    // Cached positions (tree or hash) refresh wholesale before the next
+    // query; membership itself is rebuilt by the radios' availability
+    // restore. The churn perturbs only unregistered index stats, which
+    // finish_restore() stamps back to the saved values once it is over.
+    note_positions_moved();
+}
+
+void Medium::finish_restore() {
+    restore_frames_.clear();
+    // Run the post-load refresh sweep NOW, while it is still attributable to
+    // the restore, then overwrite the bookkeeping with the snapshot values.
+    // From here on the index counters advance exactly as the straight run's
+    // would — a restored run's swarm table diffs clean.
+    if (hierarchical()) {
+        refresh_tree_if_stale();
+    }
+    tree_.set_stats(restore_tree_stats_);
+    radius_cache_.set_stats(restore_cache_stats_);
+}
+
+const std::shared_ptr<AirFrame>& Medium::restored_frame(std::uint64_t seq) const {
+    const auto it = restore_frames_.find(seq);
+    if (it == restore_frames_.end()) {
+        throw std::runtime_error("Medium::restored_frame: unknown frame seq " +
+                                 std::to_string(seq));
+    }
+    return it->second;
+}
+
+void Medium::save_pool_warmth(sim::ckpt::Writer& w) const {
+    w.mark(kMarkPools);
+    save_core_warmth(w, *frame_pool_.core());
+    save_core_warmth(w, *sensed_core_);
+    save_core_warmth(w, *packet_pool_.core());
+}
+
+void Medium::load_pool_warmth(sim::ckpt::Reader& r) {
+    r.expect(kMarkPools);
+    load_core_warmth(r, *frame_pool_.core());
+    load_core_warmth(r, *sensed_core_);
+    load_core_warmth(r, *packet_pool_.core());
+}
+
+void Medium::register_rebuilders(sim::ckpt::CallbackRegistry& reg) {
+    reg.add(sim::EventKind::kMediumCca, [this](const sim::EventTag& tag) {
+        Radio* r = radios_.at(tag.node);
+        std::shared_ptr<const AirFrame> frame = restored_frame(tag.a);
+        const double rssi = std::bit_cast<double>(tag.b);
+        const bool decodable = tag.x != 0;
+        return sim::InplaceCallback([this, r, frame, rssi, decodable] {
+            cca_fire(r, frame, rssi, decodable);
+        });
+    });
+    reg.add(
+        sim::EventKind::kRadioAttempt,
+        [this](const sim::EventTag& tag) {
+            Radio* r = radios_.at(tag.node);
+            return sim::InplaceCallback([r] { r->attempt_tx(); });
+        },
+        [this](const sim::EventTag& tag, sim::EventId id) {
+            radios_.at(tag.node)->attempt_event_ = id;
+        });
+    reg.add(sim::EventKind::kRadioEndTx, [this](const sim::EventTag& tag) {
+        Radio* r = radios_.at(tag.node);
+        return sim::InplaceCallback([r] { r->end_tx(); });
+    });
+    reg.add(sim::EventKind::kRadioFrameEnd, [this](const sim::EventTag& tag) {
+        Radio* r = radios_.at(tag.node);
+        std::shared_ptr<const AirFrame> frame = restored_frame(tag.a);
+        return sim::InplaceCallback([r, frame] { r->on_frame_end(frame); });
+    });
 }
 
 sim::TimePoint Medium::sensed_until_for(const Radio& listener) const {

@@ -16,6 +16,11 @@
 #include "sim/random.hpp"
 #include "sim/simulator.hpp"
 
+namespace cocoa::net {
+struct PacketSaveCtx;
+struct PacketLoadCtx;
+}  // namespace cocoa::net
+
 namespace cocoa::mac {
 
 class Radio;
@@ -203,8 +208,49 @@ class Medium {
     obs::Obs& obs() { return obs_; }
     const obs::Obs& obs() const { return obs_; }
 
+    // ------------------------------------------------------------------
+    // Checkpoint hooks (sim/checkpoint.hpp). save_state captures the frame
+    // counter, armed loss bursts, stats, and every *alive* AirFrame — a frame
+    // is alive while anything still references it: the active list, a
+    // receiver's lock, or a pending CCA / frame-end callback (a truncated
+    // frame can outlive the active list through those). Frames are keyed by
+    // AirFrame::seq; restore materialises each exactly once and every
+    // reference re-links to that shared instance, preserving both aliasing
+    // and the pool free-list lengths.
+    // ------------------------------------------------------------------
+
+    void save_state(sim::ckpt::Writer& w, net::PacketSaveCtx& pkts) const;
+    void load_state(sim::ckpt::Reader& r, net::PacketLoadCtx& pkts);
+
+    /// Registers the MAC-layer event rebuilders (CCA delivery, CSMA attempt,
+    /// tx end, frame end) for Simulator::load_kernel.
+    void register_rebuilders(sim::ckpt::CallbackRegistry& reg);
+
+    /// Frame restored by load_state, by launch number. Throws
+    /// std::runtime_error for unknown seqs (blob inconsistency). Valid
+    /// between load_state and finish_restore.
+    const std::shared_ptr<AirFrame>& restored_frame(std::uint64_t seq) const;
+
+    /// Drops the restore table once every subsystem and the kernel have
+    /// re-linked their frame references, then re-syncs the spatial caches
+    /// and stamps the straight run's index/radius-cache bookkeeping back on
+    /// (construction and availability-restore churned them). Must run LAST:
+    /// it reads the radios' restored positions.
+    void finish_restore();
+
+    /// Pool warmth (free-list lengths + stats) for the frame / sensed /
+    /// packet pools. Saved and loaded *after* every subsystem's state, since
+    /// later subsystems still acquire pooled packets during restore.
+    void save_pool_warmth(sim::ckpt::Writer& w) const;
+    void load_pool_warmth(sim::ckpt::Reader& r);
+
   private:
     void sweep_expired();
+    /// CCA-delay delivery tail, shared by the live schedule in
+    /// begin_transmission and the kMediumCca checkpoint rebuilder so a
+    /// restored callback behaves identically to the one it replaces.
+    void cca_fire(Radio* r, const std::shared_ptr<const AirFrame>& frame,
+                  double rssi_dbm, bool decodable);
     void rebuild_hash_if_stale();
     void refresh_tree_if_stale();
     std::uint64_t hash_cell_key(double x, double y) const;
@@ -226,6 +272,18 @@ class Medium {
     /// Non-const so truncate_transmission can pull a frame's end forward;
     /// radios only ever see shared_ptr<const AirFrame>.
     std::vector<std::shared_ptr<AirFrame>> active_;
+    /// Weak registry of launched frames, compacted alongside the active
+    /// sweep. Checkpointing locks it to enumerate every frame still alive
+    /// anywhere (locks and pending callbacks hold strong refs the active
+    /// list alone would miss).
+    std::vector<std::pair<std::uint64_t, std::weak_ptr<AirFrame>>> launched_;
+    /// seq -> restored frame, populated by load_state so radios and event
+    /// rebuilders re-link references; cleared by finish_restore().
+    std::unordered_map<std::uint64_t, std::shared_ptr<AirFrame>> restore_frames_;
+    /// Snapshot-time index bookkeeping, parked by load_state and stamped
+    /// back by finish_restore() once the restore churn is over.
+    spatial::CellTreeStats restore_tree_stats_;
+    spatial::RadiusCacheStats restore_cache_stats_;
     /// Base seed of the counter-based per-(frame, receiver) RSSI draws; mixed
     /// with the frame sequence number and the receiver id, so a draw depends
     /// only on *which* frame reaches *which* radio — never on attach order or

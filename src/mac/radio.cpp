@@ -4,7 +4,14 @@
 #include <string>
 #include <utility>
 
+#include "net/packet_io.hpp"
+#include "sim/checkpoint.hpp"
+
 namespace cocoa::mac {
+
+namespace {
+constexpr std::uint32_t kMarkRadio = 0x4f494452u;  // "RDIO"
+}  // namespace
 
 Radio::Radio(sim::Simulator& sim, Medium& medium, net::NodeId id, PositionProvider position,
              const energy::PowerProfile& profile, sim::RandomStream backoff_rng,
@@ -75,8 +82,10 @@ void Radio::schedule_attempt() {
     const sim::TimePoint idle_at = std::max(sim_.now(), sensed_until_);
     const sim::Duration backoff =
         config_.slot * backoff_rng_.uniform_int(0, config_.cw_min);
-    attempt_event_ =
-        sim_.schedule_at(idle_at + config_.difs + backoff, [this] { attempt_tx(); });
+    attempt_event_ = sim_.schedule_at(
+        idle_at + config_.difs + backoff, [this] { attempt_tx(); },
+        sim::make_tag(sim::EventKind::kRadioAttempt,
+                      static_cast<std::uint32_t>(attach_index_)));
 }
 
 void Radio::attempt_tx() {
@@ -99,7 +108,9 @@ void Radio::begin_tx() {
     const sim::Duration on_air = airtime(packet);
     set_state(energy::RadioState::Tx);
     medium_.begin_transmission(*this, packet, on_air);
-    sim_.schedule_in(on_air, [this] { end_tx(); });
+    sim_.schedule_in(on_air, [this] { end_tx(); },
+                     sim::make_tag(sim::EventKind::kRadioEndTx,
+                                   static_cast<std::uint32_t>(attach_index_)));
 }
 
 void Radio::end_tx() {
@@ -130,7 +141,10 @@ void Radio::on_frame_start(const std::shared_ptr<const AirFrame>& frame, double 
                                         {{"rssi_dbm", rssi_dbm},
                                          {"old_rssi_dbm", lock_->rssi_dbm}});
             lock_ = RxLock{frame, rssi_dbm, false};
-            sim_.schedule_at(frame->end, [this, frame] { on_frame_end(frame); });
+            sim_.schedule_at(frame->end, [this, frame] { on_frame_end(frame); },
+                             sim::make_tag(sim::EventKind::kRadioFrameEnd,
+                                           static_cast<std::uint32_t>(attach_index_),
+                                           0, 0, frame->seq));
             return;  // the old frame's on_frame_end no-ops (lock moved on)
         }
         if (rssi_dbm >= lock_->rssi_dbm - medium_.capture_margin_db()) {
@@ -148,7 +162,10 @@ void Radio::on_frame_start(const std::shared_ptr<const AirFrame>& frame, double 
                                 static_cast<std::int64_t>(id_),
                                 {{"rssi_dbm", rssi_dbm}});
     set_state(energy::RadioState::Rx);
-    sim_.schedule_at(frame->end, [this, frame] { on_frame_end(frame); });
+    sim_.schedule_at(frame->end, [this, frame] { on_frame_end(frame); },
+                     sim::make_tag(sim::EventKind::kRadioFrameEnd,
+                                   static_cast<std::uint32_t>(attach_index_), 0, 0,
+                                   frame->seq));
 }
 
 void Radio::on_frame_end(const std::shared_ptr<const AirFrame>& frame) {
@@ -168,6 +185,62 @@ void Radio::on_frame_end(const std::shared_ptr<const AirFrame>& frame) {
         }
     }
     try_start_csma();
+}
+
+void Radio::save_state(sim::ckpt::Writer& w, net::PacketSaveCtx& pkts) const {
+    w.mark(kMarkRadio);
+    w.u8(static_cast<std::uint8_t>(state_));
+    w.b(outage_);
+    w.b(csma_pending_);
+    w.time(sensed_until_);
+    w.b(lock_.has_value());
+    if (lock_.has_value()) {
+        w.u64(lock_->frame->seq);
+        w.f64(lock_->rssi_dbm);
+        w.b(lock_->corrupted);
+    }
+    w.u64(queue_.size());
+    for (const net::Packet& packet : queue_) net::save_packet(w, packet, pkts);
+    w.u64(stats_.tx_frames);
+    w.u64(stats_.rx_delivered);
+    w.u64(stats_.rx_corrupted);
+    w.u64(stats_.rx_captured);
+    w.u64(stats_.rx_aborted);
+    backoff_rng_.save(w);
+    meter_.save(w);
+}
+
+void Radio::load_state(sim::ckpt::Reader& r, net::PacketLoadCtx& pkts) {
+    r.expect(kMarkRadio);
+    state_ = static_cast<energy::RadioState>(r.u8());
+    outage_ = r.b();
+    csma_pending_ = r.b();
+    sensed_until_ = r.time();
+    attempt_event_ = sim::EventId{};  // re-learned via the placed hook
+    if (r.b()) {
+        RxLock lock;
+        lock.frame = medium_.restored_frame(r.u64());
+        lock.rssi_dbm = r.f64();
+        lock.corrupted = r.b();
+        lock_ = std::move(lock);
+    } else {
+        lock_.reset();
+    }
+    queue_.clear();
+    const std::uint64_t depth = r.u64();
+    for (std::uint64_t i = 0; i < depth; ++i) {
+        queue_.push_back(net::load_packet(r, pkts));
+    }
+    stats_.tx_frames = r.u64();
+    stats_.rx_delivered = r.u64();
+    stats_.rx_corrupted = r.u64();
+    stats_.rx_captured = r.u64();
+    stats_.rx_aborted = r.u64();
+    backoff_rng_.load(r);
+    meter_.load(r);
+    // Sync the medium's availability table (and spatial-index membership)
+    // with the restored power state — off / in-outage radios leave the tree.
+    publish_availability();
 }
 
 void Radio::sleep() {

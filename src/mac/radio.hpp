@@ -119,7 +119,22 @@ class Radio {
     /// reception locked on the frame aborts (counted as rx_aborted).
     void on_frame_truncated(const std::shared_ptr<const AirFrame>& frame);
 
+    // --- checkpoint ---------------------------------------------------------
+
+    /// Serializes power state, CSMA progress, the receive lock (by frame
+    /// seq), the tx queue, stats, the backoff stream and the energy books.
+    /// The pending attempt / end-tx / frame-end events themselves live in the
+    /// kernel section; the attempt EventId is re-learned through the placed
+    /// hook Medium::register_rebuilders installs.
+    void save_state(sim::ckpt::Writer& w, net::PacketSaveCtx& pkts) const;
+    /// Restores save_state. Must run after Medium::load_state (the lock
+    /// re-links through Medium::restored_frame) and must not schedule.
+    void load_state(sim::ckpt::Reader& r, net::PacketLoadCtx& pkts);
+
   private:
+    /// Rebuilders re-enter the private CSMA/receive machinery and re-learn
+    /// attempt_event_ on behalf of each radio.
+    friend class Medium;
     void set_state(energy::RadioState next);
     bool channel_busy() const { return sim_.now() < sensed_until_; }
     void try_start_csma();

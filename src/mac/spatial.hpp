@@ -105,7 +105,27 @@ class RadiusCache {
     void note_cells_pruned(std::uint64_t n) { stats_.cells_pruned += n; }
 
     const RadiusCacheStats& stats() const { return stats_; }
+    /// Checkpoint restore only — see CellTree::set_stats.
+    void set_stats(const RadiusCacheStats& s) { stats_ = s; }
     std::size_t size() const { return map_.size(); }
+
+    /// Cached (key, mask) pairs in recency order, most recent first —
+    /// checkpointing serializes these so a restored cache is exactly as warm
+    /// (same hit/miss/eviction future) as the straight run's was.
+    std::vector<std::pair<std::uint64_t, std::uint16_t>> export_entries() const {
+        return {lru_.begin(), lru_.end()};
+    }
+    /// Rebuilds the LRU from export_entries() output (most recent first).
+    /// Restore only; assumes the cache was configure()d identically.
+    void import_entries(
+        const std::vector<std::pair<std::uint64_t, std::uint16_t>>& entries) {
+        lru_.clear();
+        map_.clear();
+        for (const auto& e : entries) {
+            lru_.push_back(e);
+            map_.emplace(e.first, std::prev(lru_.end()));
+        }
+    }
 
   private:
     using LruList = std::list<std::pair<std::uint64_t, std::uint16_t>>;
@@ -262,6 +282,11 @@ class CellTree {
     double cell_side_m() const { return cell_side_m_; }
 
     const CellTreeStats& stats() const { return stats_; }
+    /// Overwrites the bookkeeping counters wholesale. Checkpoint restore
+    /// only: the restore-time refresh sweep must not show up in a restored
+    /// run's stats, so load_state rebuilds membership first and then stamps
+    /// the straight run's counters back on top.
+    void set_stats(const CellTreeStats& s) { stats_ = s; }
     /// Tiles currently allocated (empty ones are reclaimed lazily on
     /// removal when their occupancy mask drains).
     std::size_t tile_count() const { return tiles_.size(); }

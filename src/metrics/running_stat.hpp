@@ -3,6 +3,11 @@
 #include <cstddef>
 #include <limits>
 
+namespace cocoa::sim::ckpt {
+class Writer;
+class Reader;
+}  // namespace cocoa::sim::ckpt
+
 namespace cocoa::metrics {
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
@@ -32,6 +37,10 @@ class RunningStat {
     void merge(const RunningStat& other);
 
     void reset() { *this = RunningStat{}; }
+
+    /// Checkpoints the accumulator verbatim (Welford state + extrema).
+    void save(sim::ckpt::Writer& w) const;
+    void load(sim::ckpt::Reader& r);
 
   private:
     std::size_t n_ = 0;

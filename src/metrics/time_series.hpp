@@ -37,6 +37,10 @@ class TimeSeries {
     /// Mean of values with time in [from, to).
     double mean_in(sim::TimePoint from, sim::TimePoint to) const;
 
+    /// Checkpoints samples + summary stats verbatim.
+    void save(sim::ckpt::Writer& w) const;
+    void load(sim::ckpt::Reader& r);
+
   private:
     std::vector<Sample> samples_;
     RunningStat stats_;

@@ -63,6 +63,11 @@ class OdometryEstimator {
     void set_noise_scale(double scale);
     double noise_scale() const { return noise_scale_; }
 
+    /// Checkpoints the dead-reckoned pose, the persistent bias, the noise
+    /// scale and the RNG position.
+    void save(sim::ckpt::Writer& w) const;
+    void load(sim::ckpt::Reader& r);
+
   private:
     OdometryConfig config_;
     sim::RandomStream rng_;

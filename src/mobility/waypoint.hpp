@@ -73,6 +73,12 @@ class WaypointMobility {
     /// time for which the current plan (leg or rest) remains valid.
     geom::MotionState motion_state() const;
 
+    /// Checkpoints the motion state and the RNG position: after load the
+    /// model continues the same leg and draws the same future commands the
+    /// saved instance would have.
+    void save(sim::ckpt::Writer& w) const;
+    void load(sim::ckpt::Reader& r);
+
   private:
     void start_new_leg();
     /// Ends the current plan at now_: leaves rest into a new leg, or handles

@@ -3,8 +3,12 @@
 #include <limits>
 #include <stdexcept>
 #include <string>
+#include <variant>
 
 #include "geom/motion.hpp"
+#include "net/packet_io.hpp"
+#include "sim/checkpoint.hpp"
+#include "sim/event_tag.hpp"
 
 namespace cocoa::multicast {
 
@@ -69,10 +73,9 @@ void MulticastNode::refresh_now(net::GroupId group) {
 void MulticastNode::schedule_refresh(net::GroupId group) {
     auto it = sources_.find(group);
     if (it == sources_.end() || !config_.auto_refresh) return;
-    it->second.refresh_event =
-        node_.simulator().schedule_in(config_.refresh_interval, [this, group] {
-            do_refresh(group);
-        });
+    it->second.refresh_event = node_.simulator().schedule_in(
+        config_.refresh_interval, [this, group] { do_refresh(group); },
+        sim::make_tag(sim::EventKind::kMcastRefresh, node_.id(), group));
 }
 
 void MulticastNode::do_refresh(net::GroupId group) {
@@ -131,7 +134,9 @@ void MulticastNode::handle_query(const net::JoinQueryPayload& query,
         round.seq = query.seq;
         if (config_.variant == Variant::Mrmm && !config_.query_aggregation.is_zero()) {
             round.decision_event = node_.simulator().schedule_in(
-                config_.query_aggregation, [this, key] { decide_upstream(key); });
+                config_.query_aggregation, [this, key] { decide_upstream(key); },
+                sim::make_tag(sim::EventKind::kMcastDecision, node_.id(), key.group,
+                              key.source));
         }
     } else if (query.seq != round.seq || round.rebroadcast_done) {
         // A late copy of the round we already acted on.
@@ -187,16 +192,14 @@ void MulticastNode::decide_upstream(QueryKey key) {
         net::Packet packet;
         packet.port = net::Port::McastControl;
         packet.payload_bytes = config_.query_bytes;
+        packet.payload = onward;
 
         const sim::Duration jitter = sim::Duration::nanos(
             jitter_rng_.uniform_int(0, config_.reply_jitter_max.to_nanos()));
-        node_.simulator().schedule_in(jitter, [this, packet, onward]() mutable {
-            // Motion snapshot taken at transmit time, not decision time.
-            onward.sender_motion = node_.mobility().motion_state();
-            packet.payload = onward;
-            safe_send(std::move(packet));
-            ++stats_.queries_sent;
-        });
+        const std::uint64_t id = park_tx(std::move(packet), TxKind::Query);
+        node_.simulator().schedule_in(
+            jitter, [this, id] { fire_pending_tx(id); },
+            sim::make_tag(sim::EventKind::kMcastJitteredTx, node_.id(), 0, 0, id));
     }
 }
 
@@ -223,10 +226,10 @@ void MulticastNode::send_reply(net::GroupId group, net::NodeId source, std::uint
 
     const sim::Duration jitter = sim::Duration::nanos(
         jitter_rng_.uniform_int(0, config_.reply_jitter_max.to_nanos()));
-    node_.simulator().schedule_in(jitter, [this, packet]() mutable {
-        safe_send(std::move(packet));
-        ++stats_.replies_sent;
-    });
+    const std::uint64_t id = park_tx(std::move(packet), TxKind::Reply);
+    node_.simulator().schedule_in(
+        jitter, [this, id] { fire_pending_tx(id); },
+        sim::make_tag(sim::EventKind::kMcastJitteredTx, node_.id(), 0, 0, id));
 }
 
 void MulticastNode::handle_reply(const net::JoinReplyPayload& reply) {
@@ -261,6 +264,7 @@ void MulticastNode::reset_soft_state() {
         if (pending.event.valid()) {
             node_.simulator().cancel(pending.event);
         }
+        pending_tx_.erase(pending.tx_id);
     }
     pending_forwards_.clear();
     replied_seq_.clear();
@@ -309,6 +313,7 @@ void MulticastNode::on_data(const net::Packet& packet, const net::RxInfo& info) 
             if (config_.variant == Variant::Mrmm && config_.data_suppression_copies > 0 &&
                 pf->second.copies_heard >= config_.data_suppression_copies) {
                 node_.simulator().cancel(pf->second.event);
+                pending_tx_.erase(pf->second.tx_id);
                 pending_forwards_.erase(pf);
                 ++stats_.data_suppressed;
             }
@@ -336,13 +341,237 @@ void MulticastNode::on_data(const net::Packet& packet, const net::RxInfo& info) 
     const auto pf_key = std::make_pair(key, data->seq);
     const sim::Duration jitter = sim::Duration::nanos(
         jitter_rng_.uniform_int(0, config_.data_jitter_max.to_nanos()));
-    const sim::EventId event =
-        node_.simulator().schedule_in(jitter, [this, fwd, pf_key]() mutable {
-            pending_forwards_.erase(pf_key);
-            safe_send(std::move(fwd));
+    const std::uint64_t id = park_tx(std::move(fwd), TxKind::DataForward, key, data->seq);
+    const sim::EventId event = node_.simulator().schedule_in(
+        jitter, [this, id] { fire_pending_tx(id); },
+        sim::make_tag(sim::EventKind::kMcastJitteredTx, node_.id(), 0, 0, id));
+    pending_forwards_[pf_key] = PendingForward{event, 0, id};
+}
+
+std::uint64_t MulticastNode::park_tx(net::Packet packet, TxKind kind, QueryKey key,
+                                     std::uint32_t data_seq) {
+    const std::uint64_t id = next_tx_id_++;
+    pending_tx_.emplace(id, PendingTx{std::move(packet), kind, key, data_seq});
+    return id;
+}
+
+void MulticastNode::fire_pending_tx(std::uint64_t id) {
+    const auto it = pending_tx_.find(id);
+    if (it == pending_tx_.end()) return;  // suppressed/reset while parked
+    PendingTx tx = std::move(it->second);
+    pending_tx_.erase(it);
+    switch (tx.kind) {
+        case TxKind::Query: {
+            // Motion snapshot taken at transmit time, not decision time.
+            auto& onward = std::get<net::JoinQueryPayload>(tx.packet.payload);
+            onward.sender_motion = node_.mobility().motion_state();
+            safe_send(std::move(tx.packet));
+            ++stats_.queries_sent;
+            break;
+        }
+        case TxKind::Reply:
+            safe_send(std::move(tx.packet));
+            ++stats_.replies_sent;
+            break;
+        case TxKind::DataForward:
+            pending_forwards_.erase({tx.key, tx.data_seq});
+            safe_send(std::move(tx.packet));
             ++stats_.data_sent;
-        });
-    pending_forwards_[pf_key] = PendingForward{event, 0};
+            break;
+    }
+}
+
+namespace {
+constexpr std::uint32_t kMarkMcast = 0x4d435354u;  // "MCST"
+}
+
+void MulticastNode::save_state(sim::ckpt::Writer& w, net::PacketSaveCtx& pkts) const {
+    w.mark(kMarkMcast);
+    w.u64(member_groups_.size());
+    for (const auto& [group, on] : member_groups_) {
+        w.u32(group);
+        w.b(on);
+    }
+    w.u64(sources_.size());
+    for (const auto& [group, src] : sources_) {
+        w.u32(group);
+        w.u32(src.next_query_seq);
+        w.u32(src.next_data_seq);
+    }
+    w.u64(forwarder_until_.size());
+    for (const auto& [group, until] : forwarder_until_) {
+        w.u32(group);
+        w.time(until);
+    }
+    w.u64(rounds_.size());
+    for (const auto& [key, round] : rounds_) {
+        w.u32(key.group);
+        w.u32(key.source);
+        w.u32(round.seq);
+        w.b(round.rebroadcast_done);
+        w.u8(round.best_hops);
+        w.u32(round.best_upstream);
+        w.f64(round.best_lifetime);
+        w.f64(round.best_path_lifetime);
+    }
+    w.u64(replied_seq_.size());
+    for (const auto& [key, seq] : replied_seq_) {
+        w.u32(key.group);
+        w.u32(key.source);
+        w.u32(seq);
+    }
+    w.u64(data_seen_.size());
+    for (const auto& [key, seen] : data_seen_) {
+        w.u32(key.group);
+        w.u32(key.source);
+        w.u64(seen.size());
+        for (const std::uint32_t seq : seen) w.u32(seq);
+    }
+    w.u64(pending_forwards_.size());
+    for (const auto& [pf_key, pending] : pending_forwards_) {
+        w.u32(pf_key.first.group);
+        w.u32(pf_key.first.source);
+        w.u32(pf_key.second);
+        w.i32(pending.copies_heard);
+        w.u64(pending.tx_id);
+    }
+    w.u64(pending_tx_.size());
+    for (const auto& [id, tx] : pending_tx_) {
+        w.u64(id);
+        w.u8(static_cast<std::uint8_t>(tx.kind));
+        w.u32(tx.key.group);
+        w.u32(tx.key.source);
+        w.u32(tx.data_seq);
+        net::save_packet(w, tx.packet, pkts);
+    }
+    w.u64(next_tx_id_);
+    w.u64(stats_.queries_sent);
+    w.u64(stats_.replies_sent);
+    w.u64(stats_.data_sent);
+    w.u64(stats_.data_suppressed);
+    w.u64(stats_.data_delivered);
+    w.u64(stats_.data_duplicates);
+    w.u64(stats_.dropped_asleep);
+    jitter_rng_.save(w);
+}
+
+void MulticastNode::load_state(sim::ckpt::Reader& r, net::PacketLoadCtx& pkts) {
+    r.expect(kMarkMcast);
+    member_groups_.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) {
+        const net::GroupId group = r.u32();
+        member_groups_[group] = r.b();
+    }
+    sources_.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) {
+        const net::GroupId group = r.u32();
+        SourceState& src = sources_[group];
+        src.next_query_seq = r.u32();
+        src.next_data_seq = r.u32();
+    }
+    forwarder_until_.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) {
+        const net::GroupId group = r.u32();
+        forwarder_until_[group] = r.time();
+    }
+    rounds_.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) {
+        QueryKey key;
+        key.group = r.u32();
+        key.source = r.u32();
+        QueryRound& round = rounds_[key];
+        round.seq = r.u32();
+        round.rebroadcast_done = r.b();
+        round.best_hops = r.u8();
+        round.best_upstream = r.u32();
+        round.best_lifetime = r.f64();
+        round.best_path_lifetime = r.f64();
+    }
+    replied_seq_.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) {
+        QueryKey key;
+        key.group = r.u32();
+        key.source = r.u32();
+        replied_seq_[key] = r.u32();
+    }
+    data_seen_.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) {
+        QueryKey key;
+        key.group = r.u32();
+        key.source = r.u32();
+        std::set<std::uint32_t>& seen = data_seen_[key];
+        for (std::uint64_t m = r.u64(); m > 0; --m) seen.insert(r.u32());
+    }
+    pending_forwards_.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) {
+        QueryKey key;
+        key.group = r.u32();
+        key.source = r.u32();
+        const std::uint32_t seq = r.u32();
+        PendingForward pending;
+        pending.copies_heard = r.i32();
+        pending.tx_id = r.u64();
+        pending_forwards_[{key, seq}] = pending;
+    }
+    pending_tx_.clear();
+    for (std::uint64_t n = r.u64(); n > 0; --n) {
+        const std::uint64_t id = r.u64();
+        PendingTx tx;
+        tx.kind = static_cast<TxKind>(r.u8());
+        tx.key.group = r.u32();
+        tx.key.source = r.u32();
+        tx.data_seq = r.u32();
+        tx.packet = net::load_packet(r, pkts);
+        pending_tx_.emplace(id, std::move(tx));
+    }
+    next_tx_id_ = r.u64();
+    stats_.queries_sent = r.u64();
+    stats_.replies_sent = r.u64();
+    stats_.data_sent = r.u64();
+    stats_.data_suppressed = r.u64();
+    stats_.data_delivered = r.u64();
+    stats_.data_duplicates = r.u64();
+    stats_.dropped_asleep = r.u64();
+    jitter_rng_.load(r);
+}
+
+sim::InplaceCallback MulticastNode::rebuild_event(const sim::EventTag& tag) {
+    switch (static_cast<sim::EventKind>(tag.kind)) {
+        case sim::EventKind::kMcastRefresh: {
+            const net::GroupId group = tag.x;
+            return sim::InplaceCallback([this, group] { do_refresh(group); });
+        }
+        case sim::EventKind::kMcastDecision: {
+            const QueryKey key{tag.x, tag.y};
+            return sim::InplaceCallback([this, key] { decide_upstream(key); });
+        }
+        case sim::EventKind::kMcastJitteredTx: {
+            const std::uint64_t id = tag.a;
+            return sim::InplaceCallback([this, id] { fire_pending_tx(id); });
+        }
+        default:
+            throw std::logic_error("MulticastNode::rebuild_event: unexpected tag kind");
+    }
+}
+
+void MulticastNode::event_placed(const sim::EventTag& tag, sim::EventId id) {
+    switch (static_cast<sim::EventKind>(tag.kind)) {
+        case sim::EventKind::kMcastRefresh:
+            sources_.at(tag.x).refresh_event = id;
+            break;
+        case sim::EventKind::kMcastDecision:
+            rounds_.at(QueryKey{tag.x, tag.y}).decision_event = id;
+            break;
+        case sim::EventKind::kMcastJitteredTx: {
+            const auto it = pending_tx_.find(tag.a);
+            if (it != pending_tx_.end() && it->second.kind == TxKind::DataForward) {
+                pending_forwards_.at({it->second.key, it->second.data_seq}).event = id;
+            }
+            break;
+        }
+        default:
+            break;
+    }
 }
 
 MulticastFleet::MulticastFleet(net::World& world, const MulticastConfig& config) {

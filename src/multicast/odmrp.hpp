@@ -12,6 +12,19 @@
 #include "net/node.hpp"
 #include "net/packet.hpp"
 
+namespace cocoa::sim {
+struct EventTag;
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+}  // namespace cocoa::sim
+
+namespace cocoa::net {
+struct PacketSaveCtx;
+struct PacketLoadCtx;
+}  // namespace cocoa::net
+
 namespace cocoa::multicast {
 
 /// Protocol variant. MRMM (Das et al., ICRA'05) is ODMRP extended with the
@@ -115,6 +128,20 @@ class MulticastNode {
     const Stats& stats() const { return stats_; }
     net::NodeId id() const { return node_.id(); }
 
+    /// Checkpoint: serializes all protocol soft state (rounds, forwarding
+    /// group, dedup caches, parked jittered transmissions with their packets)
+    /// plus the jitter RNG and stats. Pending kernel events are *not* saved
+    /// here — the kernel snapshot holds them; rebuild_event()/event_placed()
+    /// rebuild the callbacks and re-learn the EventIds on restore.
+    void save_state(sim::ckpt::Writer& w, net::PacketSaveCtx& pkts) const;
+    void load_state(sim::ckpt::Reader& r, net::PacketLoadCtx& pkts);
+    /// Rebuilds the in-kernel callback for one of this node's tagged events
+    /// (kMcastRefresh / kMcastDecision / kMcastJitteredTx).
+    sim::InplaceCallback rebuild_event(const sim::EventTag& tag);
+    /// Invoked after the kernel re-schedules a rebuilt event, so the state
+    /// maps can re-learn the EventId (for later cancel()).
+    void event_placed(const sim::EventTag& tag, sim::EventId id);
+
   private:
     struct QueryKey {
         net::GroupId group;
@@ -139,6 +166,18 @@ class MulticastNode {
     struct PendingForward {
         sim::EventId event;
         int copies_heard = 0;
+        std::uint64_t tx_id = 0;  ///< parked packet in pending_tx_
+    };
+    /// What a parked jittered transmission does when its timer fires.
+    enum class TxKind : std::uint8_t { Query = 0, Reply = 1, DataForward = 2 };
+    /// A fully-built packet waiting out its collision-avoidance jitter. The
+    /// kernel event only carries the id, so the packet itself checkpoints
+    /// with the rest of the protocol state.
+    struct PendingTx {
+        net::Packet packet;
+        TxKind kind = TxKind::Reply;
+        QueryKey key{};             ///< DataForward: pending_forwards_ entry
+        std::uint32_t data_seq = 0;
     };
 
     /// Sends unless the radio has gone to sleep in the meantime (window-edge
@@ -155,6 +194,9 @@ class MulticastNode {
     void schedule_refresh(net::GroupId group);
     void do_refresh(net::GroupId group);
     double predicted_link_lifetime(const geom::MotionState& sender) const;
+    std::uint64_t park_tx(net::Packet packet, TxKind kind, QueryKey key = {},
+                          std::uint32_t data_seq = 0);
+    void fire_pending_tx(std::uint64_t id);
 
     net::Node& node_;
     MulticastConfig config_;
@@ -171,6 +213,9 @@ class MulticastNode {
     /// that an explicit set is the simplest correct dedup.
     std::map<QueryKey, std::set<std::uint32_t>> data_seen_;
     std::map<std::pair<QueryKey, std::uint32_t>, PendingForward> pending_forwards_;
+    /// Jitter-parked transmissions keyed by the id their kernel event carries.
+    std::map<std::uint64_t, PendingTx> pending_tx_;
+    std::uint64_t next_tx_id_ = 0;
 
     Stats stats_;
 };

@@ -1,0 +1,52 @@
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.hpp"
+#include "sim/pool.hpp"
+
+namespace cocoa::sim::ckpt {
+class Writer;
+class Reader;
+}  // namespace cocoa::sim::ckpt
+
+namespace cocoa::net {
+
+/// Shared inner-packet identity across one checkpoint blob.
+///
+/// Multicast forwarding copies McastDataPayload headers while *sharing* the
+/// inner application packet (one pooled block, many shared_ptr holders). The
+/// blob must preserve that aliasing — otherwise restore would materialise one
+/// packet per reference and the packet-pool free list (and with it every
+/// later kernel.pool.packet.* counter) would diverge from the straight run.
+/// The contexts assign each distinct inner Packet a dense id on first
+/// encounter; later references serialize as the id alone. One pair of
+/// contexts spans the whole blob, so sharing is preserved across subsystems
+/// (a frame in flight and an ODMRP forward queue entry can alias one SYNC).
+struct PacketSaveCtx {
+    std::unordered_map<const Packet*, std::uint32_t> inner_ids;
+};
+
+struct PacketLoadCtx {
+    /// Pool inner packets are acquired from on restore (the medium's packet
+    /// pool — the only allocator live code builds inner packets with). Null
+    /// falls back to make_shared, for tests without a medium.
+    sim::ObjectPool<Packet>* pool = nullptr;
+    std::vector<std::shared_ptr<const Packet>> inners;
+};
+
+/// Serializes a by-value packet (radio tx queues, AirFrame::packet, parked
+/// ODMRP rebroadcasts). Inner shared_ptr packets inside the payload dedup
+/// through `ctx`.
+void save_packet(sim::ckpt::Writer& w, const Packet& p, PacketSaveCtx& ctx);
+Packet load_packet(sim::ckpt::Reader& r, PacketLoadCtx& ctx);
+
+/// Serializes a shared inner-packet reference (possibly null).
+void save_inner(sim::ckpt::Writer& w, const std::shared_ptr<const Packet>& p,
+                PacketSaveCtx& ctx);
+std::shared_ptr<const Packet> load_inner(sim::ckpt::Reader& r, PacketLoadCtx& ctx);
+
+}  // namespace cocoa::net

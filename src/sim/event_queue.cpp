@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <stdexcept>
 #include <utility>
 
 namespace cocoa::sim {
@@ -10,7 +11,8 @@ namespace cocoa::sim {
 // EventQueue (slot + generation, 4-ary heap)
 // ---------------------------------------------------------------------------
 
-EventId EventQueue::schedule(TimePoint t, Callback cb) {
+EventId EventQueue::place(TimePoint t, std::uint64_t seq, Callback cb,
+                          const EventTag& tag) {
     ++stats_.scheduled;
     if (cb.on_heap()) ++stats_.sbo_misses;
 
@@ -21,11 +23,13 @@ EventId EventQueue::schedule(TimePoint t, Callback cb) {
     } else {
         si = static_cast<std::uint32_t>(slots_.size());
         slots_.emplace_back();
+        tags_.emplace_back();
     }
     Slot& slot = slots_[si];
     slot.time = t;
-    slot.seq = next_seq_++;
+    slot.seq = seq;
     slot.callback = std::move(cb);
+    tags_[si] = tag;
 
     heap_.push_back(si);
     slot.heap_index = static_cast<std::uint32_t>(heap_.size() - 1);
@@ -33,6 +37,30 @@ EventId EventQueue::schedule(TimePoint t, Callback cb) {
 
     stats_.peak_pending = std::max<std::uint64_t>(stats_.peak_pending, heap_.size());
     return EventId{si, slot.generation};
+}
+
+EventId EventQueue::schedule(TimePoint t, Callback cb, const EventTag& tag) {
+    return place(t, next_seq_++, std::move(cb), tag);
+}
+
+EventId EventQueue::schedule_with_seq(TimePoint t, std::uint64_t seq, Callback cb,
+                                      const EventTag& tag) {
+    return place(t, seq, std::move(cb), tag);
+}
+
+void EventQueue::for_each_pending(const PendingVisitor& fn) const {
+    for (const std::uint32_t si : heap_) {
+        const Slot& slot = slots_[si];
+        fn(slot.time, slot.seq, tags_[si]);
+    }
+}
+
+std::uint64_t EventQueue::min_pending_seq() const {
+    std::uint64_t min_seq = UINT64_MAX;
+    for (const std::uint32_t si : heap_) {
+        min_seq = std::min(min_seq, slots_[si].seq);
+    }
+    return min_seq;
 }
 
 bool EventQueue::cancel(EventId id) {
@@ -125,7 +153,7 @@ void EventQueue::release_slot(std::uint32_t si) {
 // LegacyEventQueue (tombstone oracle)
 // ---------------------------------------------------------------------------
 
-EventId LegacyEventQueue::schedule(TimePoint t, Callback cb) {
+EventId LegacyEventQueue::schedule(TimePoint t, Callback cb, const EventTag&) {
     ++stats_.scheduled;
     if (cb.on_heap()) ++stats_.sbo_misses;
     const std::uint64_t seq = next_seq_++;
@@ -171,6 +199,25 @@ LegacyEventQueue::Fired LegacyEventQueue::pop() {
 void LegacyEventQueue::clear() {
     while (!heap_.empty()) heap_.pop();
     live_.clear();
+}
+
+EventId LegacyEventQueue::schedule_with_seq(TimePoint, std::uint64_t, Callback,
+                                            const EventTag&) {
+    throw std::logic_error(
+        "checkpoint/restore requires the slot-generation kernel "
+        "(rebuild without -DCOCOA_LEGACY_KERNEL)");
+}
+
+void LegacyEventQueue::for_each_pending(const PendingVisitor&) const {
+    throw std::logic_error(
+        "checkpoint/restore requires the slot-generation kernel "
+        "(rebuild without -DCOCOA_LEGACY_KERNEL)");
+}
+
+std::uint64_t LegacyEventQueue::min_pending_seq() const {
+    throw std::logic_error(
+        "checkpoint/restore requires the slot-generation kernel "
+        "(rebuild without -DCOCOA_LEGACY_KERNEL)");
 }
 
 }  // namespace cocoa::sim

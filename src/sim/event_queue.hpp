@@ -1,11 +1,13 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <unordered_set>
 #include <vector>
 
 #include "sim/callback.hpp"
+#include "sim/event_tag.hpp"
 #include "sim/time.hpp"
 
 namespace cocoa::sim {
@@ -72,8 +74,35 @@ class EventQueue {
   public:
     using Callback = InplaceCallback;
 
+    /// Visitor over pending events for checkpointing: (time, seq, tag).
+    using PendingVisitor =
+        std::function<void(TimePoint, std::uint64_t, const EventTag&)>;
+
     /// Schedules `cb` to fire at time `t`. Returns a handle for cancellation.
-    EventId schedule(TimePoint t, Callback cb);
+    /// The tag (default: untagged) describes the callback for checkpointing;
+    /// see sim/event_tag.hpp.
+    EventId schedule(TimePoint t, Callback cb, const EventTag& tag = {});
+
+    /// Checkpoint-restore path: schedules `cb` with an explicit sequence
+    /// number instead of drawing from next_seq_, so the restored queue's
+    /// (time, seq) pop order reproduces the straight run's exactly. Counts in
+    /// stats() like schedule() (restore overwrites stats afterwards; the
+    /// forked-sweep path relies on the natural counting). Does not advance
+    /// next_seq_ — callers restore it via set_next_seq().
+    EventId schedule_with_seq(TimePoint t, std::uint64_t seq, Callback cb,
+                              const EventTag& tag);
+
+    /// Calls `fn(time, seq, tag)` for every pending event, in arbitrary
+    /// (heap) order. Save paths sort by seq afterwards.
+    void for_each_pending(const PendingVisitor& fn) const;
+
+    /// Smallest seq among pending events; UINT64_MAX when empty. The forked
+    /// sweep reserves sequence numbers below this for late-armed fault events.
+    std::uint64_t min_pending_seq() const;
+
+    std::uint64_t next_seq() const { return next_seq_; }
+    void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+    void set_stats(const KernelStats& stats) { stats_ = stats; }
 
     /// Cancels a pending event; returns false if it already fired, was
     /// already cancelled, or the id is invalid/stale.
@@ -133,8 +162,12 @@ class EventQueue {
     void sift_down(std::size_t i);
     void remove_from_heap(std::size_t i);
     void release_slot(std::uint32_t si);
+    EventId place(TimePoint t, std::uint64_t seq, Callback cb, const EventTag& tag);
 
     std::vector<Slot> slots_;
+    /// Parallel to slots_: the checkpoint tag of each slot's event. Kept out
+    /// of Slot so the hot (time, seq, heap_index) comparisons stay dense.
+    std::vector<EventTag> tags_;
     std::vector<std::uint32_t> heap_;        ///< 4-ary min-heap of slot indices
     std::vector<std::uint32_t> free_slots_;  ///< recyclable slot indices (LIFO)
     std::uint64_t next_seq_ = 1;
@@ -155,8 +188,21 @@ class EventQueue {
 class LegacyEventQueue {
   public:
     using Callback = InplaceCallback;
+    using PendingVisitor = EventQueue::PendingVisitor;
 
-    EventId schedule(TimePoint t, Callback cb);
+    EventId schedule(TimePoint t, Callback cb, const EventTag& tag = {});
+    /// Checkpointing requires the slot/generation kernel; these throw
+    /// std::logic_error so a legacy-oracle build fails loudly rather than
+    /// silently producing a bogus blob. (The oracle exists to validate
+    /// physics, not to be checkpointed.)
+    EventId schedule_with_seq(TimePoint t, std::uint64_t seq, Callback cb,
+                              const EventTag& tag);
+    void for_each_pending(const PendingVisitor& fn) const;
+    std::uint64_t min_pending_seq() const;
+    std::uint64_t next_seq() const { return next_seq_; }
+    void set_next_seq(std::uint64_t seq) { next_seq_ = seq; }
+    void set_stats(const KernelStats& stats) { stats_ = stats; }
+
     bool cancel(EventId id);
     bool pending(EventId id) const { return live_.contains(seq_of(id)); }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 #include <new>
+#include <stdexcept>
 #include <utility>
 #include <vector>
 
@@ -85,6 +86,49 @@ class SlabCore {
 
     const PoolStats& stats() const { return stats_; }
     std::size_t block_size() const { return block_size_; }
+
+    // ------------------------------------------------------------------
+    // Checkpoint warmth protocol. A pool's observable behaviour is entirely
+    // (block_size_, free-list length, stats_): restore sets the learned block
+    // size, re-acquires the live objects (transiently perturbing stats_),
+    // refills the free list to the saved length, then overwrites stats_
+    // verbatim — after which reuse/fresh/oversize counts evolve exactly as
+    // the straight run's would.
+    // ------------------------------------------------------------------
+
+    /// Length of the free list (O(free blocks); checkpoint path only).
+    std::size_t free_count() const {
+        std::size_t n = 0;
+        for (const FreeNode* node = free_; node != nullptr; node = node->next) ++n;
+        return n;
+    }
+
+    /// Pre-seeds the learned block size on a fresh core. Throws if the core
+    /// already learned a different size (restore-order bug).
+    void set_block_size(std::size_t bytes) {
+        if (bytes == 0) return;
+        if (block_size_ != 0 && block_size_ != bytes) {
+            throw std::logic_error("SlabCore::set_block_size: size already learned");
+        }
+        block_size_ = bytes;
+    }
+
+    /// Carves `n` blocks and parks them on the free list (block size must be
+    /// set). Restores the free-list length so post-restore reused/fresh
+    /// classification matches the straight run.
+    void add_free_blocks(std::size_t n) {
+        if (n == 0) return;
+        if (block_size_ == 0) {
+            throw std::logic_error("SlabCore::add_free_blocks: block size unset");
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+            FreeNode* node = static_cast<FreeNode*>(carve_block());
+            node->next = free_;
+            free_ = node;
+        }
+    }
+
+    void set_stats(const PoolStats& stats) { stats_ = stats; }
 
   private:
     struct FreeNode {

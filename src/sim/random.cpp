@@ -1,5 +1,7 @@
 #include "sim/random.hpp"
 
+#include "sim/checkpoint.hpp"
+
 namespace cocoa::sim {
 namespace {
 
@@ -16,6 +18,10 @@ std::uint64_t fnv1a(std::string_view s, std::uint64_t h) {
 }
 
 }  // namespace
+
+void RandomStream::save(ckpt::Writer& w) const { ckpt::save_engine(w, engine_); }
+
+void RandomStream::load(ckpt::Reader& r) { ckpt::load_engine(r, engine_); }
 
 RandomStream RngManager::stream(std::string_view name) const {
     constexpr std::uint64_t kOffsetBasis = 14695981039346656037ull;

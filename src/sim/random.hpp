@@ -7,6 +7,11 @@
 
 namespace cocoa::sim {
 
+namespace ckpt {
+class Writer;
+class Reader;
+}  // namespace ckpt
+
 /// The splitmix64 finalizer: one cheap, high-diffusion 64-bit mix. Stable
 /// across platforms (part of the reproducibility contract, like the FNV-1a
 /// hash in RngManager). Used both for seed derivation and as the per-draw
@@ -97,6 +102,13 @@ class RandomStream {
     }
 
     std::mt19937_64& engine() { return engine_; }
+    const std::mt19937_64& engine() const { return engine_; }
+
+    /// Checkpoints the engine position: draws after load() bitwise-match the
+    /// draws the saved stream would have produced. (All distributions here
+    /// are constructed per call, so the engine is the stream's entire state.)
+    void save(ckpt::Writer& w) const;
+    void load(ckpt::Reader& r);
 
   private:
     std::mt19937_64 engine_;

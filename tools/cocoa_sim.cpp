@@ -23,11 +23,13 @@
 #include "core/swarm.hpp"
 #include "est/estimator.hpp"
 #include "exp/backend_sweep.hpp"
+#include "exp/checkpoint.hpp"
 #include "exp/replication.hpp"
 #include "fault/fault_injector.hpp"
 #include "fault/fault_plan.hpp"
 #include "metrics/table.hpp"
 #include "obs/obs.hpp"
+#include "sim/checkpoint.hpp"
 
 using namespace cocoa;
 
@@ -119,6 +121,135 @@ void print_resilience(const fault::ResilienceReport& rep) {
     table.print(std::cout);
 }
 
+/// Swarm-family summary + the machine-readable swarm-json line (shared by
+/// the straight --nodes path and --restore of a swarm blob).
+void print_swarm(const core::SwarmResult& r, double wall_s, bool quiet) {
+    const double events_per_node =
+        static_cast<double>(r.executed_events) / static_cast<double>(r.nodes);
+    if (!quiet) {
+        metrics::Table table({"swarm metric", "value"});
+        table.add_row({"nodes", std::to_string(r.nodes)});
+        table.add_row({"area side (m)", metrics::fmt(r.area_side_m)});
+        table.add_row({"simulated (s)", metrics::fmt(r.sim_seconds)});
+        table.add_row({"wall (s)", metrics::fmt(wall_s)});
+        table.add_row({"events executed", std::to_string(r.executed_events)});
+        table.add_row({"events per node", metrics::fmt(events_per_node)});
+        table.add_row({"frames on air", std::to_string(r.medium_stats.frames_sent)});
+        table.add_row({"frames delivered", std::to_string(r.frames_delivered)});
+        table.add_row({"missed asleep", std::to_string(r.medium_stats.missed_asleep)});
+        table.add_row({"index migrations", std::to_string(r.index_stats.migrations)});
+        table.add_row(
+            {"index in-cell updates", std::to_string(r.index_stats.in_cell_updates)});
+        table.add_row(
+            {"index full refreshes", std::to_string(r.index_stats.full_refreshes)});
+        table.add_row(
+            {"flat-hash rebuilds", std::to_string(r.flat_index_stats.full_rebuilds)});
+        table.print(std::cout);
+    }
+    // Machine-readable line for tools/check_scaling.py and the CI
+    // scaling-curve artifact. One line, stable keys.
+    std::cout << "swarm-json: {\"nodes\":" << r.nodes
+              << ",\"area_side_m\":" << r.area_side_m
+              << ",\"sim_s\":" << r.sim_seconds << ",\"wall_s\":" << wall_s
+              << ",\"events\":" << r.executed_events
+              << ",\"events_per_node\":" << events_per_node
+              << ",\"frames_sent\":" << r.medium_stats.frames_sent
+              << ",\"frames_delivered\":" << r.frames_delivered
+              << ",\"index_migrations\":" << r.index_stats.migrations
+              << ",\"index_full_refreshes\":" << r.index_stats.full_refreshes
+              << ",\"flat_rebuilds\":" << r.flat_index_stats.full_rebuilds
+              << "}\n";
+}
+
+/// Everything a finished single scenario run prints: summary table,
+/// resilience, counters, kernel stats, the coarse error series and the CSV
+/// dumps. Shared by the straight single-run path and --restore, so a
+/// restored run's output can be diffed byte-for-byte against the straight
+/// run's (the CI checkpoint-identity gate).
+struct SingleRunOutput {
+    bool quiet = false;
+    std::string csv_prefix;
+    double pos_trace_interval_s = 0.0;
+    bool show_counters = false;
+    bool show_kernel_stats = false;
+};
+
+int print_single_run(const core::ScenarioResult& result, core::Scenario& scenario,
+                     const fault::FaultInjector* injector, double run_wall_seconds,
+                     const SingleRunOutput& o) {
+    metrics::Table summary({"metric", "value"});
+    summary.add_row({"avg localization error (m)",
+                     metrics::fmt(result.avg_error.stats().mean())});
+    summary.add_row({"max avg error (m)", metrics::fmt(result.avg_error.stats().max())});
+    summary.add_row({"fixes", std::to_string(result.agent_totals.fixes)});
+    summary.add_row({"windows without fix",
+                     std::to_string(result.agent_totals.windows_without_fix)});
+    summary.add_row({"beacons sent", std::to_string(result.agent_totals.beacons_sent)});
+    summary.add_row(
+        {"beacons received", std::to_string(result.agent_totals.beacons_received)});
+    summary.add_row({"SYNCs delivered",
+                     std::to_string(result.agent_totals.syncs_received)});
+    summary.add_row({"frames on air", std::to_string(result.medium_stats.frames_sent)});
+    summary.add_row({"team energy (kJ)",
+                     metrics::fmt(result.team_energy.total_mj() / 1e6)});
+    summary.add_row({"  tx (kJ)", metrics::fmt(result.team_energy.tx_mj / 1e6)});
+    summary.add_row({"  rx (kJ)", metrics::fmt(result.team_energy.rx_mj / 1e6)});
+    summary.add_row({"  idle (kJ)", metrics::fmt(result.team_energy.idle_mj / 1e6)});
+    summary.add_row({"  sleep (kJ)", metrics::fmt(result.team_energy.sleep_mj / 1e6)});
+    summary.add_row({"events executed", std::to_string(result.executed_events)});
+    summary.print(std::cout);
+
+    if (injector != nullptr) {
+        print_resilience(injector->report(result));
+    }
+    if (o.show_counters) {
+        print_counters(result.counters);
+    }
+    if (o.show_kernel_stats) {
+        print_kernel_stats(result.counters, result.executed_events, run_wall_seconds);
+    }
+
+    if (!o.quiet) {
+        std::cout << "\nerror over time (60 s buckets):\n";
+        metrics::Table series({"t (s)", "avg error (m)"});
+        const metrics::TimeSeries coarse =
+            result.avg_error.downsample(sim::Duration::seconds(60.0));
+        for (const auto& s : coarse.samples()) {
+            series.add_row(
+                {metrics::fmt(s.time.to_seconds(), 0), metrics::fmt(s.value)});
+        }
+        series.print(std::cout);
+    }
+
+    if (!o.csv_prefix.empty()) {
+        {
+            std::ofstream out(o.csv_prefix + "_avg_error.csv");
+            if (!out) return fail("cannot write " + o.csv_prefix + "_avg_error.csv");
+            metrics::Table csv({"t_s", "avg_error_m"});
+            for (const auto& s : result.avg_error.samples()) {
+                csv.add_row(
+                    {metrics::fmt(s.time.to_seconds(), 0), metrics::fmt(s.value, 4)});
+            }
+            csv.print_csv(out);
+        }
+        {
+            std::ofstream out(o.csv_prefix + "_summary.csv");
+            if (!out) return fail("cannot write " + o.csv_prefix + "_summary.csv");
+            summary.print_csv(out);
+        }
+        if (o.pos_trace_interval_s > 0.0) {
+            std::ofstream out(o.csv_prefix + "_trace.csv");
+            if (!out) return fail("cannot write " + o.csv_prefix + "_trace.csv");
+            scenario.write_position_trace_csv(out);
+        }
+        std::cout << "\nwrote " << o.csv_prefix << "_avg_error.csv and "
+                  << o.csv_prefix << "_summary.csv"
+                  << (o.pos_trace_interval_s > 0.0 ? " and the position trace" : "")
+                  << "\n";
+    }
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -157,6 +288,12 @@ int main(int argc, char** argv) {
     double avail_threshold_m = 10.0;
     int resilience_sweep = -1;
     bool backend_sweep = false;
+    double checkpoint_at_s = 0.0;
+    std::string checkpoint_out;
+    std::string restore_file;
+    bool no_fork = false;
+    bool no_fix_cpu = false;
+    double fault_at_frac = 0.25;
 
     cli::ArgParser parser("cocoa_sim", "CoCoA mobile-robot localization simulator");
     parser.add_option("robots", "team size (default 50)", &robots)
@@ -260,9 +397,98 @@ int main(int argc, char** argv) {
                   "accuracy/availability/per-fix CPU per cell; honours "
                   "--reps/--threads/--avail-threshold; prints one "
                   "'backend-json:' line per cell",
-                  &backend_sweep);
+                  &backend_sweep)
+        .add_option("checkpoint-at",
+                    "snapshot the complete simulation state T simulated "
+                    "seconds in (requires --checkpoint-out; single runs and "
+                    "--nodes runs), then keep running to the end",
+                    &checkpoint_at_s)
+        .add_option("checkpoint-out",
+                    "file the --checkpoint-at blob is written to",
+                    &checkpoint_out)
+        .add_option("restore",
+                    "resume from a --checkpoint-out blob and run to the "
+                    "blob's configured duration; scenario config and fault "
+                    "plan come from the blob, output matches the straight "
+                    "run byte for byte",
+                    &restore_file)
+        .add_flag("no-fork",
+                  "disable forked sweep execution: every cell re-simulates "
+                  "its warm prefix instead of restoring it from an in-memory "
+                  "checkpoint (outputs are byte-identical either way; this "
+                  "exists for the CI fork gate and timing comparisons)",
+                  &no_fork)
+        .add_option("fault-at-frac",
+                    "backend-sweep fault strike time as a fraction of the "
+                    "run (default 0.25)",
+                    &fault_at_frac)
+        .add_flag("no-fix-cpu",
+                  "skip the backend sweep's wall-clock per-fix CPU "
+                  "measurement, leaving only deterministic columns (CI "
+                  "identity diffs)",
+                  &no_fix_cpu);
     if (!parser.parse(argc, argv, std::cout, std::cerr)) {
         return parser.failed() ? 2 : 0;
+    }
+
+    if (checkpoint_at_s < 0.0) {
+        return fail("--checkpoint-at must be positive");
+    }
+    if ((checkpoint_at_s > 0.0) != !checkpoint_out.empty()) {
+        return fail("--checkpoint-at and --checkpoint-out go together");
+    }
+    if (checkpoint_at_s > 0.0 &&
+        (reps > 1 || backend_sweep || resilience_sweep >= 0)) {
+        return fail("--checkpoint-at works on single runs (and --nodes runs) only");
+    }
+    if (!restore_file.empty()) {
+        if (reps > 1 || backend_sweep || resilience_sweep >= 0 || swarm_nodes > 0 ||
+            !fault_spec.empty() || !fault_file.empty() || checkpoint_at_s > 0.0) {
+            return fail("--restore resumes one blob to completion; drop the "
+                        "run-shape flags (--reps, --fault*, --nodes, sweeps, "
+                        "--checkpoint-at)");
+        }
+        if (profile) {
+            obs::Profiler::set_enabled(true);
+        }
+        try {
+            const std::string blob = sim::ckpt::read_blob_file(restore_file);
+            sim::ckpt::Reader probe(blob);
+            if (sim::ckpt::read_header(probe) == sim::ckpt::Flavor::kSwarm) {
+                const std::unique_ptr<core::Swarm> swarm =
+                    exp::restore_swarm_checkpoint(blob);
+                const auto t0 = std::chrono::steady_clock::now();
+                swarm->run();
+                const double wall_s = std::chrono::duration<double>(
+                                          std::chrono::steady_clock::now() - t0)
+                                          .count();
+                print_swarm(swarm->result(), wall_s, quiet);
+            } else {
+                exp::RestoredScenario restored =
+                    exp::restore_scenario_checkpoint(blob);
+                const auto t0 = std::chrono::steady_clock::now();
+                restored.scenario->run();
+                const double wall_s = std::chrono::duration<double>(
+                                          std::chrono::steady_clock::now() - t0)
+                                          .count();
+                const core::ScenarioResult result = restored.scenario->result();
+                SingleRunOutput out;
+                out.quiet = quiet;
+                out.csv_prefix = csv_prefix;
+                out.pos_trace_interval_s = pos_trace_interval_s;
+                out.show_counters = show_counters;
+                out.show_kernel_stats = show_kernel_stats;
+                const int rc = print_single_run(result, *restored.scenario,
+                                                restored.injector.get(), wall_s, out);
+                if (rc != 0) return rc;
+            }
+        } catch (const std::exception& e) {
+            return fail(e.what());
+        }
+        if (profile) {
+            obs::Profiler::instance().report(std::cerr);
+        }
+        return 0;
     }
 
     core::ScenarioConfig config;
@@ -295,48 +521,24 @@ int main(int argc, char** argv) {
         core::SwarmResult r;
         const auto t0 = std::chrono::steady_clock::now();
         try {
-            r = core::run_swarm(sc);
+            core::Swarm swarm(sc);
+            if (checkpoint_at_s > 0.0) {
+                swarm.run_until(sim::TimePoint::origin() +
+                                sim::Duration::seconds(checkpoint_at_s));
+                const std::string blob = exp::save_swarm_checkpoint(swarm);
+                sim::ckpt::write_blob_file(checkpoint_out, blob);
+                std::cout << "wrote checkpoint (" << blob.size() << " bytes) to "
+                          << checkpoint_out << "\n";
+            }
+            swarm.run();
+            r = swarm.result();
         } catch (const std::exception& e) {
             return fail(e.what());
         }
         const double wall_s =
             std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
                 .count();
-        const double events_per_node =
-            static_cast<double>(r.executed_events) / static_cast<double>(r.nodes);
-        if (!quiet) {
-            metrics::Table table({"swarm metric", "value"});
-            table.add_row({"nodes", std::to_string(r.nodes)});
-            table.add_row({"area side (m)", metrics::fmt(r.area_side_m)});
-            table.add_row({"simulated (s)", metrics::fmt(r.sim_seconds)});
-            table.add_row({"wall (s)", metrics::fmt(wall_s)});
-            table.add_row({"events executed", std::to_string(r.executed_events)});
-            table.add_row({"events per node", metrics::fmt(events_per_node)});
-            table.add_row({"frames on air", std::to_string(r.medium_stats.frames_sent)});
-            table.add_row({"frames delivered", std::to_string(r.frames_delivered)});
-            table.add_row({"missed asleep", std::to_string(r.medium_stats.missed_asleep)});
-            table.add_row({"index migrations", std::to_string(r.index_stats.migrations)});
-            table.add_row(
-                {"index in-cell updates", std::to_string(r.index_stats.in_cell_updates)});
-            table.add_row(
-                {"index full refreshes", std::to_string(r.index_stats.full_refreshes)});
-            table.add_row(
-                {"flat-hash rebuilds", std::to_string(r.flat_index_stats.full_rebuilds)});
-            table.print(std::cout);
-        }
-        // Machine-readable line for tools/check_scaling.py and the CI
-        // scaling-curve artifact. One line, stable keys.
-        std::cout << "swarm-json: {\"nodes\":" << r.nodes
-                  << ",\"area_side_m\":" << r.area_side_m
-                  << ",\"sim_s\":" << r.sim_seconds << ",\"wall_s\":" << wall_s
-                  << ",\"events\":" << r.executed_events
-                  << ",\"events_per_node\":" << events_per_node
-                  << ",\"frames_sent\":" << r.medium_stats.frames_sent
-                  << ",\"frames_delivered\":" << r.frames_delivered
-                  << ",\"index_migrations\":" << r.index_stats.migrations
-                  << ",\"index_full_refreshes\":" << r.index_stats.full_refreshes
-                  << ",\"flat_rebuilds\":" << r.flat_index_stats.full_rebuilds
-                  << "}\n";
+        print_swarm(r, wall_s, quiet);
         return 0;
     }
 
@@ -407,6 +609,9 @@ int main(int argc, char** argv) {
         opt.n_reps = reps;
         opt.n_threads = threads;
         opt.avail_threshold_m = avail_threshold_m;
+        opt.fault_at_frac = fault_at_frac;
+        opt.fork = !no_fork;
+        opt.measure_cpu = !no_fix_cpu;
         // Keep the crash axis inside the scenario's anchor budget.
         std::erase_if(opt.crashed_anchors, [&](int k) { return k > anchors; });
         std::vector<exp::BackendCell> cells;
@@ -454,13 +659,15 @@ int main(int argc, char** argv) {
     }
 
     if (resilience_sweep >= 0) {
-        // Crash k = 0..K of the anchors (highest ids first) at 25% of the
-        // run; same seeds per k, so rows differ only by the injected faults.
+        // Crash k = 0..K of the anchors (highest ids first) at a fraction of
+        // the run; same seeds per k, so rows differ only by injected faults.
         exp::ReplicationOptions opt;
         opt.n_reps = reps;
         opt.n_threads = threads;
+        opt.fork = !no_fork;
         const sim::TimePoint strike =
-            sim::TimePoint::origin() + sim::Duration::seconds(duration_s * 0.25);
+            sim::TimePoint::origin() +
+            sim::Duration::seconds(duration_s * fault_at_frac);
         std::vector<core::ScenarioConfig> configs;
         std::vector<fault::FaultPlan> plans;
         for (int k = 0; k <= resilience_sweep; ++k) {
@@ -490,7 +697,8 @@ int main(int argc, char** argv) {
                                              : "-"});
         }
         std::cout << "resilience sweep: " << reps << " reps per point, anchors"
-                  << " crashed at t=" << duration_s * 0.25 << " s, availability"
+                  << " crashed at t=" << duration_s * fault_at_frac
+                  << " s, availability"
                   << " threshold " << avail_threshold_m << " m\n";
         table.print(std::cout);
         if (!csv_prefix.empty()) {
@@ -509,6 +717,7 @@ int main(int argc, char** argv) {
         exp::ReplicationOptions opt;
         opt.n_reps = reps;
         opt.n_threads = threads;
+        opt.fork = !no_fork;
         exp::ReplicationSet set;
         try {
             config.validate();
@@ -601,6 +810,15 @@ int main(int argc, char** argv) {
             scenario->obs().trace.open_file(trace_file, event_trace_format);
         }
         const auto run_t0 = std::chrono::steady_clock::now();
+        if (checkpoint_at_s > 0.0) {
+            scenario->run_until(sim::TimePoint::origin() +
+                                sim::Duration::seconds(checkpoint_at_s));
+            const std::string blob = exp::save_scenario_checkpoint(
+                *scenario, injector ? &*injector : nullptr);
+            sim::ckpt::write_blob_file(checkpoint_out, blob);
+            std::cout << "wrote checkpoint (" << blob.size() << " bytes) to "
+                      << checkpoint_out << "\n";
+        }
         scenario->run();
         run_wall_seconds = std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - run_t0)
@@ -616,76 +834,12 @@ int main(int argc, char** argv) {
         return fail(e.what());
     }
 
-    metrics::Table summary({"metric", "value"});
-    summary.add_row({"avg localization error (m)",
-                     metrics::fmt(result.avg_error.stats().mean())});
-    summary.add_row({"max avg error (m)", metrics::fmt(result.avg_error.stats().max())});
-    summary.add_row({"fixes", std::to_string(result.agent_totals.fixes)});
-    summary.add_row({"windows without fix",
-                     std::to_string(result.agent_totals.windows_without_fix)});
-    summary.add_row({"beacons sent", std::to_string(result.agent_totals.beacons_sent)});
-    summary.add_row(
-        {"beacons received", std::to_string(result.agent_totals.beacons_received)});
-    summary.add_row({"SYNCs delivered",
-                     std::to_string(result.agent_totals.syncs_received)});
-    summary.add_row({"frames on air", std::to_string(result.medium_stats.frames_sent)});
-    summary.add_row({"team energy (kJ)",
-                     metrics::fmt(result.team_energy.total_mj() / 1e6)});
-    summary.add_row({"  tx (kJ)", metrics::fmt(result.team_energy.tx_mj / 1e6)});
-    summary.add_row({"  rx (kJ)", metrics::fmt(result.team_energy.rx_mj / 1e6)});
-    summary.add_row({"  idle (kJ)", metrics::fmt(result.team_energy.idle_mj / 1e6)});
-    summary.add_row({"  sleep (kJ)", metrics::fmt(result.team_energy.sleep_mj / 1e6)});
-    summary.add_row({"events executed", std::to_string(result.executed_events)});
-    summary.print(std::cout);
-
-    if (injector) {
-        print_resilience(injector->report(result));
-    }
-    if (show_counters) {
-        print_counters(result.counters);
-    }
-    if (show_kernel_stats) {
-        print_kernel_stats(result.counters, result.executed_events, run_wall_seconds);
-    }
-
-    if (!quiet) {
-        std::cout << "\nerror over time (60 s buckets):\n";
-        metrics::Table series({"t (s)", "avg error (m)"});
-        const metrics::TimeSeries coarse =
-            result.avg_error.downsample(sim::Duration::seconds(60.0));
-        for (const auto& s : coarse.samples()) {
-            series.add_row(
-                {metrics::fmt(s.time.to_seconds(), 0), metrics::fmt(s.value)});
-        }
-        series.print(std::cout);
-    }
-
-    if (!csv_prefix.empty()) {
-        {
-            std::ofstream out(csv_prefix + "_avg_error.csv");
-            if (!out) return fail("cannot write " + csv_prefix + "_avg_error.csv");
-            metrics::Table csv({"t_s", "avg_error_m"});
-            for (const auto& s : result.avg_error.samples()) {
-                csv.add_row(
-                    {metrics::fmt(s.time.to_seconds(), 0), metrics::fmt(s.value, 4)});
-            }
-            csv.print_csv(out);
-        }
-        {
-            std::ofstream out(csv_prefix + "_summary.csv");
-            if (!out) return fail("cannot write " + csv_prefix + "_summary.csv");
-            summary.print_csv(out);
-        }
-        if (pos_trace_interval_s > 0.0) {
-            std::ofstream out(csv_prefix + "_trace.csv");
-            if (!out) return fail("cannot write " + csv_prefix + "_trace.csv");
-            scenario->write_position_trace_csv(out);
-        }
-        std::cout << "\nwrote " << csv_prefix << "_avg_error.csv and "
-                  << csv_prefix << "_summary.csv"
-                  << (pos_trace_interval_s > 0.0 ? " and the position trace" : "")
-                  << "\n";
-    }
+    const SingleRunOutput out_opts{quiet, csv_prefix, pos_trace_interval_s,
+                                   show_counters, show_kernel_stats};
+    const int rc = print_single_run(result, *scenario,
+                                    injector ? &*injector : nullptr,
+                                    run_wall_seconds, out_opts);
+    if (rc != 0) return rc;
     if (profile) {
         obs::Profiler::instance().report(std::cerr);
     }

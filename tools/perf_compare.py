@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Perf-regression gate: diff a fresh BENCH_9.json against the committed
+"""Perf-regression gate: diff a fresh BENCH_10.json against the committed
 baseline (bench/baseline/BENCH_baseline.json).
 
 CI boxes and developer machines run at wildly different speeds, so raw ns/op
